@@ -1,0 +1,82 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures as a
+plain-text table, printed to stdout and archived under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the exact runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_once(benchmark, fn, rounds: int = 2):
+    """Benchmark ``fn`` with a fixed small round count and return its
+    last result.
+
+    The suite runs under ``--benchmark-only``, which skips any test not
+    using the ``benchmark`` fixture — so every benchmark test times its
+    central operation through this helper (fixed rounds keep the whole
+    suite's wall time bounded, unlike calibrated mode).
+    """
+    return benchmark.pedantic(fn, rounds=rounds, iterations=1)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and archive it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+def measurement_table(
+    title: str, measurements: Sequence, metric_fields: Sequence[str] = (
+        "nodes",
+        "max_keys_examined",
+        "max_docs_examined",
+        "execution_time_ms",
+        "n_returned",
+    )
+) -> str:
+    """Format QueryMeasurement records as a (query x approach) table."""
+    headers = ["approach", "query"] + [
+        {
+            "nodes": "nodes",
+            "max_keys_examined": "maxKeys",
+            "max_docs_examined": "maxDocs",
+            "execution_time_ms": "time(ms)",
+            "n_returned": "results",
+            "decomposition_ms": "decomp(ms)",
+        }[f]
+        for f in metric_fields
+    ]
+    rows = []
+    for m in measurements:
+        row = [m.approach, m.query_label]
+        for f in metric_fields:
+            value = getattr(m, f)
+            row.append("%.2f" % value if isinstance(value, float) else value)
+        rows.append(row)
+    return format_table(title, headers, rows)

@@ -1,0 +1,95 @@
+"""Ablation: count-balanced zones vs workload-aware zones.
+
+The paper's zones balance document counts; its future-work section
+asks for a workload-aware mechanism.  This bench compares the two on a
+skewed workload (Athens-area queries dominate): workload-aware zones
+spread the hot region over more shards, reducing the straggler's
+examined documents for the hot queries while leaving results identical.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+from repro.cluster.cluster import ClusterTopology
+from repro.core.adaptive import WeightedQuery, configure_workload_aware_zones
+from repro.core.approaches import deploy_approach, make_approach
+from repro.core.benchmark import measure_query
+from repro.workloads.queries import big_queries
+
+#: The hot workload: the paper's big-box queries, frequently repeated.
+def hot_workload():
+    return [WeightedQuery(q, weight=10.0) for q in big_queries()]
+
+
+@pytest.fixture(scope="module")
+def plain(cache):
+    return cache.deployment("hil", "R", zones=True)
+
+
+@pytest.fixture(scope="module")
+def adaptive(cache):
+    _info, docs = cache.dataset("R")
+    deployment = deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=12),
+        chunk_max_bytes=32 * 1024,
+    )
+    configure_workload_aware_zones(
+        deployment.cluster,
+        deployment.collection,
+        hot_workload(),
+        deployment.approach.encoder,
+    )
+    deployment.zones_enabled = True
+    return deployment
+
+
+def test_report(plain, adaptive, benchmark):
+    rows = []
+    for q in big_queries():
+        for name, dep in (("count-zones", plain), ("load-zones", adaptive)):
+            m = measure_query(dep, q, runs=2, average_last=1)
+            rows.append(
+                [
+                    name,
+                    q.label,
+                    m.nodes,
+                    m.max_keys_examined,
+                    m.max_docs_examined,
+                    "%.2f" % m.execution_time_ms,
+                    m.n_returned,
+                ]
+            )
+    emit(
+        "ablation_adaptive_zones",
+        format_table(
+            "Ablation — count-balanced vs workload-aware zones (hil, R)",
+            ["zoning", "query", "nodes", "maxKeys", "maxDocs", "time(ms)",
+             "results"],
+            rows,
+        ),
+    )
+    bench_once(benchmark, lambda: adaptive.execute(big_queries()[2]))
+
+
+def test_results_identical(plain, adaptive, benchmark):
+    for q in big_queries():
+        assert len(plain.execute(q)[0]) == len(adaptive.execute(q)[0])
+    bench_once(benchmark, lambda: plain.execute(big_queries()[1]))
+
+
+def test_hot_queries_spread_wider(plain, adaptive, benchmark):
+    q = big_queries()[3]
+    plain_m = measure_query(plain, q, runs=1, average_last=1)
+    adaptive_m = measure_query(adaptive, q, runs=1, average_last=1)
+    assert adaptive_m.nodes >= plain_m.nodes
+    bench_once(benchmark, lambda: adaptive.execute(q))
+
+
+def test_straggler_docs_not_worse_on_hot_queries(plain, adaptive, benchmark):
+    q = big_queries()[3]
+    plain_m = measure_query(plain, q, runs=1, average_last=1)
+    adaptive_m = measure_query(adaptive, q, runs=1, average_last=1)
+    assert adaptive_m.max_docs_examined <= plain_m.max_docs_examined
+    bench_once(benchmark, lambda: plain.execute(q))

@@ -1,0 +1,102 @@
+"""Ablation: chunk size vs routing fan-out and balance.
+
+Section 3.3 discusses the trade-off: small chunks → even distribution
+but frequent migrations; large chunks → fewer migrations, lumpier
+placement.  This ablation sweeps the (scaled) chunk size and reports
+chunk counts, balance spread, and query fan-out.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import deploy_approach, make_approach
+from repro.core.benchmark import measure_query
+from repro.workloads.queries import big_queries
+
+CHUNK_SIZES = (8 * 1024, 32 * 1024, 128 * 1024)
+
+
+@pytest.fixture(scope="module")
+def deployments(cache):
+    _info, docs = cache.dataset("R")
+    out = {}
+    for size in CHUNK_SIZES:
+        out[size] = deploy_approach(
+            make_approach("hil"),
+            docs,
+            topology=ClusterTopology(n_shards=12),
+            chunk_max_bytes=size,
+        )
+    return out
+
+
+def test_report(deployments, benchmark):
+    rows = []
+    query = big_queries()[2]
+    for size, deployment in deployments.items():
+        counts = deployment.cluster.chunk_distribution(
+            deployment.collection
+        )
+        m = measure_query(deployment, query, runs=2, average_last=1)
+        rows.append(
+            [
+                size // 1024,
+                sum(counts.values()),
+                max(counts.values()) - min(counts.values())
+                if counts
+                else 0,
+                m.nodes,
+                m.max_keys_examined,
+                "%.2f" % m.execution_time_ms,
+            ]
+        )
+    emit(
+        "ablation_chunk_size",
+        format_table(
+            "Ablation — chunk size sweep (hil, Qb3 on R)",
+            ["chunkKB", "chunks", "spread", "nodes", "maxKeys", "time(ms)"],
+            rows,
+        ),
+    )
+    bench_once(
+        benchmark,
+        lambda: deployments[CHUNK_SIZES[1]].execute(big_queries()[2]),
+    )
+
+
+def test_smaller_chunks_make_more_chunks(deployments, benchmark):
+    counts = [
+        sum(
+            deployments[s]
+            .cluster.chunk_distribution(deployments[s].collection)
+            .values()
+        )
+        for s in CHUNK_SIZES
+    ]
+    assert counts[0] > counts[1] > counts[2]
+    bench_once(
+        benchmark,
+        lambda: deployments[CHUNK_SIZES[0]].execute(big_queries()[0]),
+    )
+
+
+def test_results_unaffected(deployments, benchmark):
+    for q in big_queries():
+        counts = {
+            s: len(dep.execute(q)[0]) for s, dep in deployments.items()
+        }
+        assert len(set(counts.values())) == 1
+    bench_once(
+        benchmark,
+        lambda: deployments[CHUNK_SIZES[2]].execute(big_queries()[1]),
+    )
+
+
+def test_chunk_maps_stay_valid(deployments, benchmark):
+    for deployment in deployments.values():
+        deployment.cluster.validate(deployment.collection)
+    bench_once(
+        benchmark,
+        lambda: deployments[CHUNK_SIZES[1]].cluster.validate("traces"),
+    )

@@ -1,0 +1,104 @@
+"""Ablation: Hilbert vs Z-order as the 1D mapping.
+
+The paper picks Hilbert for its clustering properties (citing Moon et
+al.).  This ablation quantifies the choice on this workload: for the
+same query rectangles, the Z-order covering fragments into more ranges
+(→ more ``$or`` clauses, more seeks), while result counts stay equal.
+"""
+
+import datetime as dt
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import HilbertApproach, deploy_approach
+from repro.core.benchmark import measure_query
+from repro.core.encoder import SpatioTemporalEncoder
+from repro.sfc.ranges import covering_ranges
+from repro.sfc.zorder import ZOrderCurve2D
+from repro.workloads.queries import big_queries, small_queries
+
+
+def make_zorder_approach() -> HilbertApproach:
+    """The hil recipe with a Z-order curve swapped in."""
+    return HilbertApproach(
+        encoder=SpatioTemporalEncoder.zorder_global(), name="zorder"
+    )
+
+
+@pytest.fixture(scope="module")
+def deployments(cache):
+    _info, docs = cache.dataset("R")
+    hil = cache.deployment("hil", "R")
+    zorder = deploy_approach(
+        make_zorder_approach(),
+        docs,
+        topology=ClusterTopology(n_shards=12),
+        chunk_max_bytes=32 * 1024,
+    )
+    return {"hil": hil, "zorder": zorder}
+
+
+def test_report(deployments, benchmark):
+    rows = []
+    for q in big_queries():
+        for name, deployment in deployments.items():
+            m = measure_query(deployment, q, runs=2, average_last=1)
+            rows.append(
+                [
+                    name,
+                    q.label,
+                    m.nodes,
+                    m.max_keys_examined,
+                    m.max_docs_examined,
+                    "%.2f" % m.execution_time_ms,
+                    m.n_returned,
+                ]
+            )
+    emit(
+        "ablation_curves",
+        format_table(
+            "Ablation — Hilbert vs Z-order 1D mapping (big queries, R)",
+            ["curve", "query", "nodes", "maxKeys", "maxDocs", "time(ms)",
+             "results"],
+            rows,
+        ),
+    )
+    bench_once(
+        benchmark,
+        lambda: deployments["zorder"].execute(big_queries()[2]),
+    )
+
+
+def test_equal_results(deployments, benchmark):
+    for q in small_queries() + big_queries():
+        counts = {
+            name: len(dep.execute(q)[0])
+            for name, dep in deployments.items()
+        }
+        assert len(set(counts.values())) == 1, (q.label, counts)
+    bench_once(
+        benchmark, lambda: deployments["hil"].execute(big_queries()[0])
+    )
+
+
+def test_hilbert_covering_never_more_fragmented(benchmark):
+    # Average over the workload rectangles: Hilbert needs ≤ as many
+    # ranges as Z-order (the clustering property, Moon et al. 2001).
+    from repro.sfc.hilbert import HilbertCurve2D
+
+    hilbert = HilbertCurve2D.global_curve(13)
+    zorder = ZOrderCurve2D.global_curve(13)
+    boxes = [q.bbox for q in small_queries() + big_queries()]
+
+    def fragment_counts():
+        h_total = z_total = 0
+        for bbox in boxes:
+            args = (bbox.min_lon, bbox.min_lat, bbox.max_lon, bbox.max_lat)
+            h_total += len(covering_ranges(hilbert, *args))
+            z_total += len(covering_ranges(zorder, *args))
+        return h_total, z_total
+
+    h_total, z_total = bench_once(benchmark, fragment_counts)
+    assert h_total <= z_total

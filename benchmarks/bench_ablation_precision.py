@@ -1,0 +1,106 @@
+"""Ablation: Hilbert curve precision (bits per dimension).
+
+The paper fixes 13 bits/dimension to match MongoDB's 26-bit GeoHash
+default and hints (Section 3.2) that more bits trade memory for query
+sharpness.  This ablation sweeps the order and reports covering
+fragmentation, false-positive cells, and end-to-end query behaviour.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import HilbertApproach, deploy_approach
+from repro.core.benchmark import measure_query
+from repro.workloads.queries import big_queries
+
+ORDERS = (8, 11, 13, 15)
+
+
+@pytest.fixture(scope="module")
+def deployments(cache):
+    _info, docs = cache.dataset("R")
+    out = {}
+    for order in ORDERS:
+        approach = HilbertApproach.global_domain(order)
+        approach.name = "hil%d" % order
+        out[order] = deploy_approach(
+            approach,
+            docs,
+            topology=ClusterTopology(n_shards=12),
+            chunk_max_bytes=32 * 1024,
+        )
+    return out
+
+
+def test_report(deployments, benchmark):
+    rows = []
+    query = big_queries()[2]
+    for order, deployment in deployments.items():
+        m = measure_query(deployment, query, runs=2, average_last=1)
+        rendering = query.to_hilbert_query(deployment.approach.encoder)
+        rows.append(
+            [
+                order,
+                len(rendering.range_set.all_ranges),
+                rendering.range_set.total_cells,
+                m.nodes,
+                m.max_keys_examined,
+                m.max_docs_examined,
+                "%.2f" % m.execution_time_ms,
+                m.n_returned,
+            ]
+        )
+    emit(
+        "ablation_precision",
+        format_table(
+            "Ablation — Hilbert order sweep (Qb3 on R)",
+            ["order", "ranges", "cells", "nodes", "maxKeys", "maxDocs",
+             "time(ms)", "results"],
+            rows,
+        ),
+    )
+    bench_once(
+        benchmark, lambda: deployments[13].execute(big_queries()[2])
+    )
+
+
+def test_results_independent_of_precision(deployments, benchmark):
+    # Precision changes pruning, never correctness: the $geoWithin
+    # refinement removes every false positive.
+    for q in big_queries():
+        counts = {
+            order: len(dep.execute(q)[0])
+            for order, dep in deployments.items()
+        }
+        assert len(set(counts.values())) == 1, (q.label, counts)
+    bench_once(
+        benchmark, lambda: deployments[8].execute(big_queries()[1])
+    )
+
+
+def test_coarse_curves_examine_more_docs(deployments, benchmark):
+    # Fewer bits → bigger cells → more false-positive documents
+    # fetched for refinement.
+    query = big_queries()[3]
+    coarse = measure_query(deployments[8], query, runs=1, average_last=1)
+    fine = measure_query(deployments[15], query, runs=1, average_last=1)
+    assert fine.max_docs_examined <= coarse.max_docs_examined
+    bench_once(
+        benchmark, lambda: deployments[15].execute(big_queries()[3])
+    )
+
+
+def test_finer_curves_fragment_coverings(deployments, benchmark):
+    query = big_queries()[3]
+    fragments = {
+        order: len(
+            query.to_hilbert_query(dep.approach.encoder).range_set.all_ranges
+        )
+        for order, dep in deployments.items()
+    }
+    assert fragments[15] >= fragments[8]
+    bench_once(
+        benchmark,
+        lambda: query.to_hilbert_query(deployments[15].approach.encoder),
+    )

@@ -1,0 +1,172 @@
+"""Figure 13 + Tables 4 & 5: scalability of Q^b_2 over R1-R4.
+
+The paper grows the real data set by factors x2/x3/x4 (adding vehicles
+inside the same spatio-temporal MBR) and re-runs query Q^b_2 under
+default sharding for bslST, bslTS, and hil.  Expected shapes:
+
+* result counts grow roughly linearly with the scale factor (Table 5);
+* hil examines orders of magnitude fewer keys/documents (Fig. 13a-b);
+* the gap between hil and the baselines widens with scale (Fig. 13d);
+* bslTS beats bslST on this temporally-selective query.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table, measurement_table
+from repro.core.benchmark import measure_query
+from repro.docstore.storage import collection_data_size
+from repro.workloads.queries import big_queries
+
+APPROACHES = ("bslST", "bslTS", "hil")
+FACTORS = (1, 2)  # paper runs 1..4; bench default keeps 1-2, env can raise
+import os
+
+if os.environ.get("REPRO_BENCH_FULL_SCALABILITY"):
+    FACTORS = (1, 2, 3, 4)
+
+
+def qb2():
+    return big_queries()[1]
+
+
+@pytest.fixture(scope="module")
+def fig13(cache):
+    measurements = {}
+    for factor in FACTORS:
+        dataset = "R%d" % factor
+        for name in APPROACHES:
+            deployment = cache.deployment(name, dataset)
+            measurements[(name, factor)] = measure_query(
+                deployment, qb2(), runs=2, average_last=1
+            )
+    return measurements
+
+
+class TestTables4And5:
+    def test_table4_dataset_sizes(self, cache, benchmark):
+        bench_once(benchmark, lambda: cache.dataset("R1"))
+        rows = []
+        for factor in FACTORS:
+            _info, docs = cache.dataset("R%d" % factor)
+            size_mb = collection_data_size(docs) / (1024 * 1024)
+            rows.append(
+                ["R%d" % factor, len(docs), "%.1f" % size_mb]
+            )
+        emit(
+            "table4_dataset_sizes",
+            format_table(
+                "Table 4 — R1..R%d sizes (paper: 15.2M..63.9M docs, "
+                "40.8..171.6 GB)" % FACTORS[-1],
+                ["dataset", "#documents", "size (MB)"],
+                rows,
+            ),
+        )
+        counts = [cache.dataset("R%d" % f)[1] for f in FACTORS]
+        assert all(
+            len(counts[i]) == (i + 1) * len(counts[0])
+            for i in range(len(FACTORS))
+        )
+
+    def test_table5_result_counts_grow(self, fig13, benchmark, cache):
+        counts = [fig13[("hil", f)].n_returned for f in FACTORS]
+        emit(
+            "table5_qb2_results",
+            format_table(
+                "Table 5 — Q^b_2 results per scale factor "
+                "(paper: 5640/11792/17840/23854)",
+                ["factor"] + ["x%d" % f for f in FACTORS],
+                [["Qb2"] + counts],
+            ),
+        )
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+        deployment = cache.deployment("hil", "R%d" % FACTORS[-1])
+        bench_once(benchmark, lambda: deployment.execute(qb2()))
+
+
+class TestFig13:
+    def test_report(self, fig13, benchmark, cache):
+        rows = [fig13[(a, f)] for f in FACTORS for a in APPROACHES]
+        # Re-label with the scale factor for readability.
+        table_rows = []
+        for f in FACTORS:
+            for a in APPROACHES:
+                m = fig13[(a, f)]
+                table_rows.append(
+                    [
+                        a,
+                        "x%d" % f,
+                        m.nodes,
+                        m.max_keys_examined,
+                        m.max_docs_examined,
+                        "%.2f" % m.execution_time_ms,
+                        m.n_returned,
+                    ]
+                )
+        emit(
+            "fig13_scalability",
+            format_table(
+                "Fig 13 — scalability of Q^b_2 (default sharding)",
+                ["approach", "scale", "nodes", "maxKeys", "maxDocs",
+                 "time(ms)", "results"],
+                table_rows,
+            ),
+        )
+        deployment = cache.deployment("bslST", "R%d" % FACTORS[-1])
+        bench_once(benchmark, lambda: deployment.execute(qb2()))
+
+    def test_hil_examines_fewer_docs(self, fig13, benchmark, cache):
+        # Fig. 13a: hil's straggler examines far fewer documents than
+        # the baselines' at every scale.  (The paper's companion claim
+        # about *keys* needs the paper's data volume: hil pays a fixed
+        # ~tens-of-keys covering overhead per node which only amortizes
+        # when the baselines scan thousands of keys — see
+        # EXPERIMENTS.md, deviation 2.)
+        for f in FACTORS:
+            hil = fig13[("hil", f)]
+            assert (
+                hil.max_docs_examined
+                < fig13[("bslST", f)].max_docs_examined
+            )
+            # bslTS's compound already refines well on this temporally
+            # selective query; hil must stay in its league (at paper
+            # scale hil pulls 1-2 orders ahead of both).
+            assert (
+                hil.max_docs_examined
+                <= fig13[("bslTS", f)].max_docs_examined * 1.3 + 2
+            )
+        deployment = cache.deployment("hil", "R1")
+        bench_once(benchmark, lambda: deployment.execute(qb2()))
+
+    def test_hil_gain_grows_with_scale(self, fig13, benchmark, cache):
+        # Fig. 13d: "the gain of hil over the baseline methods
+        # increases with the size of the data."  Assert the ratio
+        # hil/bsl improves from the smallest to the largest factor, and
+        # hil stays at least competitive throughout.
+        def ratio(f, baseline):
+            return (
+                fig13[("hil", f)].execution_time_ms
+                / fig13[(baseline, f)].execution_time_ms
+            )
+
+        for baseline in ("bslST", "bslTS"):
+            assert ratio(FACTORS[-1], baseline) <= (
+                ratio(FACTORS[0], baseline) * 1.05
+            )
+        for f in FACTORS:
+            assert ratio(f, "bslST") <= 1.5
+        deployment = cache.deployment("bslTS", "R1")
+        bench_once(benchmark, lambda: deployment.execute(qb2()))
+
+    def test_bslts_beats_bslst_on_temporally_selective_query(
+        self, fig13, benchmark, cache
+    ):
+        # Q^b_2 covers one day: the (date, location) index prunes more
+        # effectively than (location, date), as the paper observes.
+        top = FACTORS[-1]
+        assert (
+            fig13[("bslTS", top)].max_docs_examined
+            <= fig13[("bslST", top)].max_docs_examined
+        )
+        deployment = cache.deployment("bslST", "R1")
+        bench_once(benchmark, lambda: deployment.execute(qb2()))

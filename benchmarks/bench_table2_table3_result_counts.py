@@ -1,0 +1,73 @@
+"""Tables 2 & 3: result counts of small and big queries on R and S.
+
+The paper's Table 2 (small queries) and Table 3 (big queries) report
+how many documents each query retrieves.  At bench scale the absolute
+counts shrink proportionally; the *shape* — counts growing with the
+temporal window, big ≫ small, S big queries selecting a large data
+share — must match.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+from repro.workloads.queries import big_queries, small_queries
+
+
+@pytest.fixture(scope="module")
+def hil_r(cache):
+    return cache.deployment("hil", "R")
+
+
+@pytest.fixture(scope="module")
+def hil_s(cache):
+    return cache.deployment("hil", "S")
+
+
+def _count_row(deployment, queries):
+    return [len(deployment.execute(q)[0]) for q in queries]
+
+
+def test_table2_small_query_counts(hil_r, hil_s, benchmark):
+    r_counts = bench_once(benchmark, lambda: _count_row(hil_r, small_queries()))
+    s_counts = _count_row(hil_s, small_queries())
+    text = format_table(
+        "Table 2 — retrieved documents, small queries (paper: R 2/34/877/3829)",
+        ["dataset", "Qs1", "Qs2", "Qs3", "Qs4"],
+        [["R"] + r_counts, ["S"] + s_counts],
+    )
+    emit("table2_small_counts", text)
+    assert r_counts == sorted(r_counts), "counts must grow with time window"
+    assert s_counts == sorted(s_counts)
+    assert r_counts[3] > 0
+
+
+def test_table3_big_query_counts(hil_r, hil_s, benchmark):
+    r_counts = bench_once(benchmark, lambda: _count_row(hil_r, big_queries()))
+    s_counts = _count_row(hil_s, big_queries())
+    text = format_table(
+        "Table 3 — retrieved documents, big queries "
+        "(paper: R 580/5640/113890/431788)",
+        ["dataset", "Qb1", "Qb2", "Qb3", "Qb4"],
+        [["R"] + r_counts, ["S"] + s_counts],
+    )
+    emit("table3_big_counts", text)
+    assert r_counts == sorted(r_counts)
+    assert s_counts == sorted(s_counts)
+    assert r_counts[3] > 50
+    # On S (uniform, Qb inside the MBR) Qb4 selects a sizable share, as
+    # in the paper (1.89 M of 30.4 M ≈ 6 %).
+    total_s = hil_s.totals()["count"]
+    assert s_counts[3] > 0.03 * total_s
+
+
+def test_big_queries_dominate_small(hil_r, benchmark):
+    def check():
+        for qs, qb in zip(small_queries(), big_queries()):
+            assert len(hil_r.execute(qb)[0]) >= len(hil_r.execute(qs)[0])
+
+    bench_once(benchmark, check)
+
+
+def test_benchmark_big_query_execution(benchmark, hil_r):
+    query = big_queries()[1]  # Qb2, the paper's scalability query
+    benchmark(lambda: hil_r.execute(query))

@@ -1,0 +1,78 @@
+"""Table 6: stored data size of R and S under bsl vs hil(*).
+
+The paper: R is 40.54 GB under bsl and 40.8 GB under hil(\\*) — the
+Hilbert approaches pay one extra long field per document; S grows from
+3.62 GB to 4.13 GB (relatively more, because S documents are tiny).
+We reproduce the ordering and the relative overheads from exact BSON
+sizes of the loaded clusters.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+
+
+@pytest.fixture(scope="module")
+def sizes(cache):
+    out = {}
+    for dataset in ("R", "S"):
+        for approach in ("bslST", "hil"):
+            deployment = cache.deployment(approach, dataset)
+            out[(dataset, approach)] = deployment.totals()["dataSize"]
+    return out
+
+
+def test_table6_report(sizes, benchmark, cache):
+    rows = []
+    for dataset in ("R", "S"):
+        rows.append(
+            [
+                dataset,
+                "%.2f" % (sizes[(dataset, "bslST")] / 2**20),
+                "%.2f" % (sizes[(dataset, "hil")] / 2**20),
+            ]
+        )
+    emit(
+        "table6_data_size",
+        format_table(
+            "Table 6 — stored data size in MB "
+            "(paper, GB: R 40.54/40.8, S 3.62/4.13)",
+            ["dataset", "bsl", "hil(*)"],
+            rows,
+        ),
+    )
+    bench_once(
+        benchmark,
+        lambda: cache.deployment("hil", "R").totals(),
+    )
+
+
+def test_hil_slightly_larger_on_r(sizes, benchmark, cache):
+    # The hilbertIndex field adds bytes, marginal on wide R documents.
+    bsl, hil = sizes[("R", "bslST")], sizes[("R", "hil")]
+    assert hil > bsl
+    assert (hil - bsl) / bsl < 0.05
+    bench_once(benchmark, lambda: cache.deployment("bslST", "R").totals())
+
+
+def test_overhead_relatively_bigger_on_s(sizes, benchmark, cache):
+    # S documents are 4 columns: the same extra field is a much larger
+    # relative overhead (paper: +14% on S vs +0.6% on R).
+    r_overhead = (sizes[("R", "hil")] - sizes[("R", "bslST")]) / sizes[
+        ("R", "bslST")
+    ]
+    s_overhead = (sizes[("S", "hil")] - sizes[("S", "bslST")]) / sizes[
+        ("S", "bslST")
+    ]
+    assert s_overhead > r_overhead
+    bench_once(benchmark, lambda: cache.deployment("hil", "S").totals())
+
+
+def test_r_much_larger_than_s_per_document(sizes, benchmark, cache):
+    # R carries ~75 values per record; S carries 4 (Section 5.1).
+    r_count = cache.deployment("bslST", "R").totals()["count"]
+    s_count = cache.deployment("bslST", "S").totals()["count"]
+    r_per_doc = sizes[("R", "bslST")] / r_count
+    s_per_doc = sizes[("S", "bslST")] / s_count
+    assert r_per_doc > 4 * s_per_doc
+    bench_once(benchmark, lambda: cache.deployment("bslST", "S").totals())

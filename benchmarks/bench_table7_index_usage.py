@@ -1,0 +1,131 @@
+"""Table 7: which index the optimizer uses, per query, under bslST.
+
+bslST shards on ``date``, which auto-creates a single-field date index
+next to the ``(location, date)`` compound index.  The paper observes
+the optimizer choosing the date index for big queries with short
+windows (low temporal selectivity per node) and the compound index for
+all small queries — and bslTS always using its compound index.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+from repro.core.benchmark import measure_query
+from repro.workloads.queries import big_queries, small_queries
+
+
+def _index_usage(deployment, queries):
+    """query label → set of index names the shards' optimizers chose."""
+    usage = {}
+    for q in queries:
+        m = measure_query(deployment, q, runs=1, average_last=1)
+        usage[q.label] = set(m.index_used_by_shard.values()) or {"(no shard)"}
+    return usage
+
+
+@pytest.fixture(scope="module")
+def bslst_usage(cache):
+    out = {}
+    for dataset in ("R", "S"):
+        deployment = cache.deployment("bslST", dataset)
+        out[dataset] = _index_usage(
+            deployment, small_queries() + big_queries()
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def bslst_usage_zones(cache):
+    out = {}
+    for dataset in ("R", "S"):
+        deployment = cache.deployment("bslST", dataset, zones=True)
+        out[dataset] = _index_usage(
+            deployment, small_queries() + big_queries()
+        )
+    return out
+
+
+def _render(name):
+    return {
+        "location_date": "compound",
+        "date_location": "compound",
+        "shardkey_date": "date-index",
+    }.get(name, name)
+
+
+def test_table7_report(bslst_usage, bslst_usage_zones, benchmark, cache):
+    rows = []
+    for distribution, usage in (
+        ("default", bslst_usage),
+        ("zones", bslst_usage_zones),
+    ):
+        for dataset in ("R", "S"):
+            for label, names in usage[dataset].items():
+                rows.append(
+                    [
+                        distribution,
+                        dataset,
+                        label,
+                        " + ".join(sorted(_render(n) for n in names)),
+                    ]
+                )
+    emit(
+        "table7_bslst_index_usage",
+        format_table(
+            "Table 7 — index used by the bslST optimizer "
+            "(paper: compound for Q^s, date index for short-window Q^b)",
+            ["distribution", "dataset", "query", "index used"],
+            rows,
+        ),
+    )
+    deployment = cache.deployment("bslST", "R")
+    bench_once(benchmark, lambda: deployment.execute(big_queries()[0]))
+
+
+def test_zones_small_queries_still_compound(bslst_usage_zones, benchmark, cache):
+    # Table 7's zones rows: Q^s remains on the compound index.
+    for dataset in ("R", "S"):
+        for i in (1, 2, 3):
+            names = bslst_usage_zones[dataset].get("Qs%d" % i, set())
+            if names != {"(no shard)"}:
+                assert "location_date" in names or names == {"(no shard)"}, (
+                    dataset,
+                    i,
+                    names,
+                )
+    deployment = cache.deployment("bslST", "S", zones=True)
+    bench_once(benchmark, lambda: deployment.execute(small_queries()[1]))
+
+
+def test_small_queries_use_compound(bslst_usage, benchmark, cache):
+    # Table 7: every Q^s runs on the compound index (filled circles).
+    for dataset in ("R", "S"):
+        for i in (1, 2, 3, 4):
+            names = bslst_usage[dataset].get("Qs%d" % i, set())
+            assert "shardkey_date" not in names or len(names) > 1 or not names, (
+                dataset,
+                i,
+                names,
+            )
+    deployment = cache.deployment("bslST", "R")
+    bench_once(benchmark, lambda: deployment.execute(small_queries()[3]))
+
+
+def test_short_big_queries_prefer_date_index(bslst_usage, benchmark, cache):
+    # Table 7: Q^b_1 (1-hour window over a huge box) runs on the date
+    # index (open circles) — the hallmark observation.
+    names = bslst_usage["R"].get("Qb1", set())
+    if names != {"(no shard)"}:
+        assert "shardkey_date" in names, names
+    deployment = cache.deployment("bslST", "R")
+    bench_once(benchmark, lambda: deployment.execute(big_queries()[0]))
+
+
+def test_bslts_always_uses_compound(benchmark, cache):
+    # Table 7's footnote: in bslTS all queries use the compound index.
+    deployment = cache.deployment("bslTS", "R")
+    for q in small_queries() + big_queries():
+        m = measure_query(deployment, q, runs=1, average_last=1)
+        for index_name in m.index_used_by_shard.values():
+            assert index_name == "date_location", (q.label, index_name)
+    bench_once(benchmark, lambda: deployment.execute(big_queries()[2]))

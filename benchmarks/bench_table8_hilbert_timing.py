@@ -1,0 +1,126 @@
+"""Table 8: time to identify the curve cells a query must search.
+
+The paper measures the Hilbert "cell identification" algorithm —
+query rectangle → ranges of 1D values — for hil and hil*, small and
+big queries, on both data sets.  Expected shape: hil* is slower than
+hil (its restricted domain gives each cell higher precision, so more
+quadrants are visited), big boxes are slower than small ones, and the
+S domain (smallest extent → finest cells) is the slowest for hil*.
+Paper values (ms): hil 0.05-0.3; hil* 0.1-7.6.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks._harness import bench_once, emit, format_table
+from repro.core.encoder import SpatioTemporalEncoder
+from repro.datagen.uniform import S_BBOX
+from repro.datagen.vehicles import GREECE_BBOX
+from repro.workloads.queries import big_queries, small_queries
+
+ENCODERS = {
+    ("hil", "R"): SpatioTemporalEncoder.hilbert_global(),
+    ("hil", "S"): SpatioTemporalEncoder.hilbert_global(),
+    ("hilstar", "R"): SpatioTemporalEncoder.hilbert_for_bbox(GREECE_BBOX),
+    ("hilstar", "S"): SpatioTemporalEncoder.hilbert_for_bbox(S_BBOX),
+}
+
+
+def _decomposition_ms(encoder, queries, repetitions=5):
+    times = []
+    for q in queries:
+        per_query = [
+            q.hilbert_ranges(encoder)[1] for _ in range(repetitions)
+        ]
+        times.append(min(per_query))
+    return statistics.fmean(times)
+
+
+@pytest.fixture(scope="module")
+def timings():
+    out = {}
+    for (method, dataset), encoder in ENCODERS.items():
+        out[(method, dataset, "Qs")] = _decomposition_ms(
+            encoder, small_queries()
+        )
+        out[(method, dataset, "Qb")] = _decomposition_ms(
+            encoder, big_queries()
+        )
+    return out
+
+
+def test_table8_report(timings, benchmark):
+    rows = []
+    for dataset in ("R", "S"):
+        rows.append(
+            [
+                dataset,
+                "%.3f" % timings[("hil", dataset, "Qs")],
+                "%.3f" % timings[("hil", dataset, "Qb")],
+                "%.3f" % timings[("hilstar", dataset, "Qs")],
+                "%.3f" % timings[("hilstar", dataset, "Qb")],
+            ]
+        )
+    emit(
+        "table8_hilbert_timing",
+        format_table(
+            "Table 8 — cell-identification time in ms "
+            "(paper: hil 0.05-0.3, hil* 0.1-7.6)",
+            ["dataset", "hil Qs", "hil Qb", "hil* Qs", "hil* Qb"],
+            rows,
+        ),
+    )
+    encoder = ENCODERS[("hil", "R")]
+    bench_once(
+        benchmark, lambda: big_queries()[3].hilbert_ranges(encoder)
+    )
+
+
+def test_hilstar_slower_than_hil_on_big_queries(timings, benchmark):
+    for dataset in ("R", "S"):
+        assert (
+            timings[("hilstar", dataset, "Qb")]
+            > timings[("hil", dataset, "Qb")]
+        )
+    encoder = ENCODERS[("hilstar", "R")]
+    bench_once(
+        benchmark, lambda: big_queries()[3].hilbert_ranges(encoder)
+    )
+
+
+def test_big_queries_slower_than_small(timings, benchmark):
+    for method in ("hil", "hilstar"):
+        for dataset in ("R", "S"):
+            assert (
+                timings[(method, dataset, "Qb")]
+                >= timings[(method, dataset, "Qs")]
+            )
+    encoder = ENCODERS[("hilstar", "S")]
+    bench_once(
+        benchmark, lambda: small_queries()[0].hilbert_ranges(encoder)
+    )
+
+
+def test_hilstar_slowest_on_s_domain(timings, benchmark):
+    # S's MBR is the smallest → finest effective precision → the most
+    # quadrant work for the same query rectangle (paper: 7.6 ms).
+    assert (
+        timings[("hilstar", "S", "Qb")] >= timings[("hilstar", "R", "Qb")]
+    )
+    encoder = ENCODERS[("hilstar", "S")]
+    bench_once(
+        benchmark, lambda: big_queries()[1].hilbert_ranges(encoder)
+    )
+
+
+def test_benchmark_hil_global_decomposition(benchmark):
+    encoder = ENCODERS[("hil", "R")]
+    query = big_queries()[3]
+    benchmark(lambda: query.hilbert_ranges(encoder))
+
+
+def test_benchmark_hilstar_s_decomposition(benchmark):
+    encoder = ENCODERS[("hilstar", "S")]
+    query = big_queries()[3]
+    benchmark(lambda: query.hilbert_ranges(encoder))

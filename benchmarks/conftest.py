@@ -1,0 +1,88 @@
+"""Session-wide fixtures for the benchmark suite.
+
+Deployments are expensive (fresh cluster + bulk load per approach, as
+in the paper), so they are built lazily and cached for the whole pytest
+session.  The dataset scale comes from ``REPRO_BENCH_RECORDS`` (R1
+record count; default 12 000 keeps the full suite around a few
+minutes — raise it for sharper curves).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import Deployment, deploy_approach, make_approach
+from repro.core.zoning import configure_zones
+from repro.datagen.datasets import ReproScale, load_r_dataset, load_s_dataset
+
+#: The paper's cluster: 12 shards (plus config servers and routers).
+TOPOLOGY = ClusterTopology(n_shards=12)
+
+#: Scaled stand-in for MongoDB's 64 MB default chunk size, chosen so a
+#: bench-scale R data set produces a few hundred chunks like the paper.
+CHUNK_MAX_BYTES = 32 * 1024
+
+
+def bench_scale() -> ReproScale:
+    raw = os.environ.get("REPRO_BENCH_RECORDS", "16000")
+    return ReproScale(r1_records=int(raw))
+
+
+@pytest.fixture(scope="session")
+def scale() -> ReproScale:
+    return bench_scale()
+
+
+class DeploymentCache:
+    """Lazy cache of datasets and per-approach deployments."""
+
+    def __init__(self, scale: ReproScale) -> None:
+        self.scale = scale
+        self._datasets: Dict[str, Tuple] = {}
+        self._deployments: Dict[Tuple[str, str, bool], Deployment] = {}
+
+    def dataset(self, name: str):
+        """(info, docs) for "R", "S", or "R2".."R4"."""
+        if name not in self._datasets:
+            if name == "S":
+                self._datasets[name] = load_s_dataset(self.scale)
+            elif name.startswith("R"):
+                factor = int(name[1:]) if len(name) > 1 else 1
+                self._datasets[name] = load_r_dataset(
+                    self.scale, scale_factor=factor
+                )
+            else:
+                raise KeyError(name)
+        return self._datasets[name]
+
+    def deployment(
+        self, approach_name: str, dataset: str, zones: bool = False
+    ) -> Deployment:
+        key = (approach_name, dataset, zones)
+        if key not in self._deployments:
+            info, docs = self.dataset(dataset)
+            approach = make_approach(approach_name, dataset_bbox=info.bbox)
+            deployment = deploy_approach(
+                approach,
+                docs,
+                topology=TOPOLOGY,
+                chunk_max_bytes=CHUNK_MAX_BYTES,
+            )
+            if zones:
+                configure_zones(
+                    deployment.cluster,
+                    deployment.collection,
+                    approach.zone_field(),
+                )
+                deployment.zones_enabled = True
+            self._deployments[key] = deployment
+        return self._deployments[key]
+
+
+@pytest.fixture(scope="session")
+def cache(scale: ReproScale) -> DeploymentCache:
+    return DeploymentCache(scale)

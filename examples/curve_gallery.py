@@ -1,0 +1,66 @@
+"""Curve gallery: Fig. 1 of the paper, in ASCII.
+
+Draws the order-3 Hilbert and Z-order traversal of an 8x8 grid (each
+cell labelled with its 1D value) and shows how a query rectangle
+decomposes into 1D ranges on each curve — making the clustering
+difference visible: the Hilbert covering merges into fewer ranges.
+
+Run:  python examples/curve_gallery.py
+"""
+
+from repro.sfc.hilbert import HilbertCurve2D
+from repro.sfc.ranges import covering_ranges
+from repro.sfc.zorder import ZOrderCurve2D
+
+ORDER = 3
+SIDE = 1 << ORDER
+
+
+def draw(curve, title: str) -> None:
+    print(title)
+    print("-" * len(title))
+    for y in range(SIDE - 1, -1, -1):  # north at the top
+        row = []
+        for x in range(SIDE):
+            row.append("%3d" % curve.encode_cell(x, y))
+        print(" ".join(row))
+    print()
+
+
+def show_covering(curve, name: str, box) -> None:
+    ranges = covering_ranges(curve, *box)
+    parts = [
+        "[%d..%d]" % (r.lo, r.hi) if r.lo != r.hi else "{%d}" % r.lo
+        for r in ranges
+    ]
+    print(
+        "%-8s covering of x in [%g, %g], y in [%g, %g]: %d range(s)"
+        % (name, box[0], box[2], box[1], box[3], len(ranges))
+    )
+    print("         " + " ".join(parts))
+
+
+def main() -> None:
+    hilbert = HilbertCurve2D(
+        order=ORDER, min_x=0, min_y=0, max_x=SIDE, max_y=SIDE
+    )
+    zorder = ZOrderCurve2D(
+        order=ORDER, min_x=0, min_y=0, max_x=SIDE, max_y=SIDE
+    )
+    draw(hilbert, "Hilbert curve, order 3 (cell -> 1D value)")
+    draw(zorder, "Z-order curve, order 3 (cell -> 1D value)")
+
+    box = (1.2, 2.1, 4.9, 5.8)  # a 4x4-ish query rectangle
+    print("Query rectangle decomposition (the paper's Section 4.2.1):")
+    show_covering(hilbert, "Hilbert", box)
+    show_covering(zorder, "Z-order", box)
+    print()
+    print(
+        "Fewer, longer runs on the Hilbert curve mean fewer $or clauses\n"
+        "and fewer B-tree seeks per query — the clustering property the\n"
+        "paper cites (Moon et al., TKDE 2001) for choosing Hilbert."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Day-2 operations: cold-storage archival and nearest-vehicle search.
+
+The paper's introduction motivates the system with fleet operators who
+"apply data analysis techniques only on recent subsets of their
+historical database, while older data is kept in cold storage".  This
+example runs that lifecycle on a live cluster:
+
+1. load five months of traces;
+2. archive everything older than two months to a cold JSON file, and
+   show the hot tier shrinking while recent queries still work;
+3. answer an operational question over the hot tier — "which 5
+   vehicles passed closest to the depot last week?" — with k-NN over
+   the Hilbert index;
+4. restore the archive for a historical re-analysis.
+
+Run:  python examples/lifecycle_and_knn.py
+"""
+
+import datetime as dt
+import os
+import tempfile
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core import (
+    archive_before,
+    deploy_approach,
+    knn,
+    make_approach,
+    restore_archive,
+)
+from repro.core.loader import BulkLoader
+from repro.datagen import FleetConfig, FleetGenerator
+from repro.geo import Point
+
+UTC = dt.timezone.utc
+DEPOT = Point(23.7275, 37.9838)  # central Athens depot
+
+
+def main() -> None:
+    print("Loading 8,000 traces (Jul-Nov 2018) into a 6-shard hil cluster ...")
+    docs = FleetGenerator(FleetConfig(n_vehicles=60)).generate_list(8000)
+    deployment = deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=6),
+        chunk_max_bytes=24 * 1024,
+        loader=BulkLoader(batch_size=2000),
+    )
+    total = deployment.totals()["count"]
+    print("  hot tier: %d documents\n" % total)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_path = os.path.join(tmp, "2018H2_cold.json")
+        cutoff = dt.datetime(2018, 9, 1, tzinfo=UTC)
+        print("Archiving everything before %s ..." % cutoff.date())
+        result = archive_before(
+            deployment.cluster, deployment.collection, cutoff, cold_path
+        )
+        print(
+            "  archived %d documents to %s (%.0f KB); hot tier now %d\n"
+            % (
+                result.archived,
+                os.path.basename(cold_path),
+                os.path.getsize(cold_path) / 1024,
+                result.remaining,
+            )
+        )
+
+        print("Nearest 5 vehicles to the depot, first week of September:")
+        neighbours = knn(
+            deployment,
+            DEPOT,
+            k=5,
+            time_from=dt.datetime(2018, 9, 1, tzinfo=UTC),
+            time_to=dt.datetime(2018, 9, 8, tzinfo=UTC),
+        )
+        for n in neighbours:
+            print(
+                "  vehicle %-4s at %.2f km  (%s)"
+                % (
+                    n.document["vehicle_id"],
+                    n.distance_km,
+                    n.document["date"].strftime("%Y-%m-%d %H:%M"),
+                )
+            )
+        print()
+
+        print("Restoring the cold tier for a historical study ...")
+        restored = restore_archive(deployment.cluster, cold_path)
+        print(
+            "  restored %d documents; hot tier back to %d"
+            % (restored, deployment.totals()["count"])
+        )
+
+
+if __name__ == "__main__":
+    main()

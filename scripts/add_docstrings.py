@@ -1,0 +1,276 @@
+"""One-off maintenance script: insert missing one-line docstrings.
+
+Reads a (file, qualified name) → docstring table and inserts each
+docstring right after the function/property signature using AST
+positions, preserving indentation.  Idempotent: functions that already
+have a docstring are skipped.
+"""
+
+import ast
+import sys
+
+DOCS = {
+    "src/repro/sfc/ranges.py": {
+        "CurveRange.contains": "Whether ``value`` lies inside the closed range.",
+        "Quadtree2DCurve.order": "Bits per dimension.",
+        "Quadtree2DCurve.decode_cell": "Grid cell of a curve distance.",
+        "Quadtree2DCurve.encode_cell": "Curve distance of a grid cell.",
+        "Quadtree2DCurve.cell_range_for_box": "Inclusive cell rectangle covering a box.",
+        "RangeSet.from_ranges": "Split merged ranges into multi-value intervals and singles.",
+        "RangeSet.total_cells": "Number of distinct curve values covered.",
+        "RangeSet.contains": "Whether a curve value falls inside any range or single.",
+    },
+    "src/repro/sfc/zorder.py": {
+        "ZOrderCurve2D.cells_per_side": "Number of grid cells along each dimension.",
+        "ZOrderCurve2D.max_distance": "Largest valid curve distance (inclusive).",
+        "ZOrderCurve2D.encode": "Morton code of the cell containing ``(x, y)``.",
+        "ZOrderCurve2D.decode_cell": "Grid cell of a Morton code.",
+        "ZOrderCurve2D.cell_bounds": "Continuous bounds of a cell.",
+        "ZOrderCurve2D.cell_range_for_box": "Inclusive cell rectangle covering a box.",
+    },
+    "src/repro/sfc/geohash.py": {
+        "GeoHashGrid.cells_per_side": "Number of grid cells along each dimension.",
+        "GeoHashGrid.max_distance": "Largest valid integer GeoHash (inclusive).",
+        "GeoHashGrid.cell_range_for_box": "Inclusive cell rectangle covering a box.",
+    },
+    "src/repro/sfc/morton3.py": {
+        "Morton3D.cells_per_side": "Number of grid cells along each dimension.",
+        "Morton3D.max_distance": "Largest valid Morton code (inclusive).",
+        "Morton3D.cell_of": "Grid cell of a normalized (a, b, c) point, clamped.",
+        "Morton3D.encode": "Morton code of the cell containing a normalized point.",
+        "Morton3D.encode_cell": "Morton code of a grid cell.",
+        "Morton3D.decode_cell": "Grid cell of a Morton code.",
+        "morton3_deinterleave": "Recover the three coordinates from a Morton code.",
+    },
+    "src/repro/geo/geometry.py": {
+        "Point.as_tuple": "The point as a ``(lon, lat)`` tuple.",
+        "BoundingBox.world": "The whole-globe box.",
+        "BoundingBox.width": "Longitudinal extent in degrees.",
+        "BoundingBox.height": "Latitudinal extent in degrees.",
+        "BoundingBox.center": "The box's central point.",
+        "BoundingBox.contains": "Whether a point lies inside (borders inclusive).",
+        "BoundingBox.contains_lonlat": "Whether a raw (lon, lat) pair lies inside.",
+        "BoundingBox.intersects": "Whether two boxes overlap (touching counts).",
+        "BoundingBox.intersection": "The overlapping box, or None when disjoint.",
+        "BoundingBox.to_polygon": "The box as a closed polygon ring.",
+        "Polygon.bbox": "The polygon's bounding box.",
+        "LineString.bbox": "The polyline's bounding box.",
+        "LineString.segments": "Consecutive point pairs forming the segments.",
+        "LineString.length_km": "Total great-circle length in kilometres.",
+    },
+    "src/repro/docstore/bson.py": {
+        "ObjectId.from_bytes": "Wrap an existing 12-byte value.",
+        "ObjectId.from_hex": "Parse a 24-character hex string.",
+        "ObjectId.binary": "The raw 12 bytes.",
+        "ObjectId.generation_time": "The embedded creation timestamp (UTC).",
+    },
+    "src/repro/docstore/btree.py": {
+        "BPlusTree.order": "Maximum children per node / entries per leaf.",
+    },
+    "src/repro/docstore/index.py": {
+        "IndexDefinition.paths": "The indexed dotted paths, in declaration order.",
+        "IndexDefinition.field_kind": "The kind of a path in this index, or None.",
+        "Index.storage_key": "Canonical key plus the record-id tiebreaker.",
+        "Index.insert_document": "Add a document's key(s) to the index.",
+        "Index.remove_document": "Remove a document's key(s) from the index.",
+        "Index.name": "The index's name.",
+        "Index.grid": "The GeoHash grid backing 2dsphere fields.",
+    },
+    "src/repro/docstore/matcher.py": {
+        "Matcher.matches": "Whether a document satisfies the compiled query.",
+    },
+    "src/repro/docstore/planner.py": {
+        "Interval.full": "The unbounded interval (every key).",
+        "Interval.point": "A single-value interval.",
+        "Interval.is_full": "Whether the interval spans the whole key space.",
+        "Interval.is_point": "Whether the interval holds exactly one value.",
+        "PathPredicate.has_range": "Whether any range operator constrains the path.",
+        "PathPredicate.is_constraining": "Whether the predicate can produce index bounds.",
+        "QueryShape.predicate": "The predicate on a path, or None.",
+        "IndexScanPlan.index_name": "Name of the index this plan scans.",
+        "IndexScanPlan.kind": "Plan stage label (IXSCAN).",
+        "IndexScanPlan.describe": "Explain-style summary of the plan.",
+        "CollScanPlan.kind": "Plan stage label (COLLSCAN).",
+        "CollScanPlan.describe": "Explain-style summary of the plan.",
+    },
+    "src/repro/docstore/executor.py": {
+        "ExecutionStats.as_dict": "The counters as an executionStats-like mapping.",
+    },
+    "src/repro/docstore/collection.py": {
+        "Collection.insert_many": "Insert documents in order; returns their ids.",
+        "Collection.delete_many": "Delete matching documents; returns the count.",
+        "Collection.drop_index": "Remove a secondary index by name.",
+        "Collection.list_indexes": "Names of all indexes, ``_id_`` included.",
+        "Collection.get_index": "The live index object for a name.",
+        "Collection.find": "Matching documents as a chainable cursor.",
+        "Collection.find_one": "The first matching document, or None.",
+        "Collection.count_documents": "Number of documents matching the query.",
+        "Collection.aggregate": "Run an aggregation pipeline over the collection.",
+        "Collection.total_index_size": "Sum of all index sizes in bytes.",
+    },
+    "src/repro/docstore/database.py": {
+        "Database.drop_collection": "Remove a collection from the namespace.",
+        "Database.list_collections": "Names of the existing collections.",
+        "Database.stats": "A dbStats-style summary.",
+    },
+    "src/repro/docstore/cursor.py": {
+        "Cursor.sort": "Order results by the given field directions.",
+        "Cursor.skip": "Skip the first ``count`` results.",
+        "Cursor.limit": "Cap the number of results returned.",
+        "Cursor.to_list": "Materialize the results as a list.",
+        "Cursor.first": "The first result, or None.",
+    },
+    "src/repro/docstore/storage.py": {
+        "StorageModel.index_size": "Prefix-compressed size of an index in bytes.",
+    },
+    "src/repro/cluster/chunk.py": {
+        "ShardKeyPattern.from_spec": "Build from a list or mapping of (path, kind) pairs.",
+        "ShardKeyPattern.paths": "The shard-key dotted paths, in order.",
+        "ShardKeyPattern.is_hashed": "Whether any field is hashed.",
+        "ShardKeyPattern.extract_canonical": "Canonical (comparable) shard key of a document.",
+        "ShardKeyPattern.global_min": "The smallest possible key (all MinKey).",
+        "ShardKeyPattern.global_max": "The largest possible key (all MaxKey).",
+        "Chunk.contains": "Whether a canonical key falls in [min, max).",
+        "Chunk.describe": "The chunk as a readable mapping.",
+    },
+    "src/repro/cluster/catalog.py": {
+        "CollectionMetadata.chunk_for_key": "The chunk covering a canonical key.",
+        "CollectionMetadata.chunk_index": "Position of a chunk in the ordered map.",
+        "CollectionMetadata.mark_jumbo": "Flag a chunk as unsplittable.",
+        "CollectionMetadata.chunks_on_shard": "Chunks currently owned by one shard.",
+        "CollectionMetadata.chunk_counts": "Chunk count per shard id.",
+        "CollectionMetadata.shards_used": "Sorted shard ids holding at least one chunk.",
+        "ConfigCatalog.add_collection": "Register a newly sharded collection.",
+        "ConfigCatalog.get": "Metadata of a sharded collection.",
+        "ConfigCatalog.list_collections": "Names of all sharded collections.",
+    },
+    "src/repro/cluster/zones.py": {
+        "Zone.contains": "Whether a canonical key falls in [min, max).",
+        "Zone.overlaps_range": "Whether the zone overlaps a chunk range at all.",
+        "ZoneSet.overlapping_zones": "Every zone overlapping a key range.",
+    },
+    "src/repro/cluster/shard.py": {
+        "Shard.collection": "The shard-local collection for a name.",
+    },
+    "src/repro/cluster/cluster.py": {
+        "ShardedCluster.insert_one": "Route and insert a single document.",
+        "ShardedCluster.run_balancer": "Run the balancer; returns migrations performed.",
+        "ShardedCluster.count_documents": "Number of matching documents cluster-wide.",
+        "ShardedCluster.chunk_distribution": "Chunk count per shard for a collection.",
+    },
+    "src/repro/cluster/metrics.py": {
+        "ClusterQueryStats.max_keys_examined": "Worst per-shard keys examined.",
+        "ClusterQueryStats.max_docs_examined": "Worst per-shard documents examined.",
+        "ClusterQueryStats.total_keys_examined": "Keys examined summed over shards.",
+        "ClusterQueryStats.total_docs_examined": "Documents examined summed over shards.",
+        "ClusterQueryStats.n_returned": "Total documents returned.",
+        "ClusterQueryStats.as_dict": "The metrics as a readable mapping.",
+    },
+    "src/repro/cluster/snapshot.py": {
+        "dump_cluster": "Write a cluster snapshot to a JSON file.",
+        "load_cluster": "Read a cluster snapshot from a JSON file.",
+    },
+    "src/repro/core/approaches.py": {
+        "Approach.shard_key_spec": "The shard-key fields this approach uses.",
+        "BaselineST.shard_key_spec": "Shard on the date field (Section 4.1.2).",
+        "BaselineST.index_specs": "The (location, date) compound index.",
+        "BaselineST.render_query": "The baseline query document (no 1D clauses).",
+        "BaselineST.zone_field": "Zones are defined on date.",
+        "BaselineTS.shard_key_spec": "Shard on the date field (Section 4.1.2).",
+        "BaselineTS.index_specs": "The (date, location) compound index.",
+        "BaselineTS.render_query": "The baseline query document (no 1D clauses).",
+        "BaselineTS.zone_field": "Zones are defined on date.",
+        "HilbertApproach.shard_key_spec": "Shard on (hilbertIndex, date) (Section 4.2.2).",
+        "HilbertApproach.index_specs": "No extra index: the shard-key compound suffices.",
+        "HilbertApproach.transform": "Add the hilbertIndex field at load time.",
+        "HilbertApproach.render_query": "Query with the $or of Hilbert ranges.",
+        "HilbertApproach.zone_field": "Zones are defined on hilbertIndex.",
+        "Deployment.totals": "Cluster-wide size statistics for the collection.",
+    },
+    "src/repro/core/benchmark.py": {
+        "QueryMeasurement.as_row": "The measurement as a flat report row.",
+        "MeasurementRun.rows": "All measurements as flat report rows.",
+        "MeasurementRun.by_query": "Measurements grouped by query label.",
+    },
+    "src/repro/core/query.py": {
+        "SpatioTemporalQuery.duration": "Length of the temporal window.",
+        "SpatioTemporalQuery.temporal_predicate": "The $gte/$lte clause on the date field.",
+    },
+    "src/repro/core/sthash.py": {
+        "STHashEncoder.curve": "The 3D Morton curve behind the encoding.",
+        "STHashEncoder.encode_document": "ST-Hash of a document's location and date.",
+        "STHashEncoder.enrich": "A copy of the document with the stHash field added.",
+        "STHashApproach.shard_key_spec": "Shard on the single stHash string field.",
+        "STHashApproach.index_specs": "No extra index: the shard-key index suffices.",
+        "STHashApproach.transform": "Add the stHash field at load time.",
+        "STHashApproach.render_query": "Query with the $or of ST-Hash string ranges.",
+        "STHashApproach.zone_field": "Zones are defined on stHash.",
+    },
+    "src/repro/datagen/datasets.py": {
+        "ReproScale.from_env": "Scale from the REPRO_R_RECORDS environment variable.",
+    },
+    "src/repro/datagen/vehicles.py": {
+        "FleetGenerator.generate_list": "Generate and materialize ``n_records`` documents.",
+    },
+    "src/repro/datagen/uniform.py": {
+        "UniformGenerator.generate": "Yield exactly ``n_records`` uniform documents.",
+        "UniformGenerator.generate_list": "Generate and materialize ``n_records`` documents.",
+    },
+    "src/repro/datagen/csv_io.py": {
+        "write_csv_file": "Write documents to a CSV file.",
+        "read_csv_file": "Read documents back from a CSV file.",
+    },
+    "src/repro/workloads/queries.py": {
+        "all_queries": "Both query categories keyed by 'small'/'big'.",
+    },
+    "src/repro/cli.py": {
+        "build_parser": "The argparse parser for the repro CLI.",
+        "main": "CLI entry point; returns the process exit code.",
+    },
+}
+
+
+def insert_docstrings(path: str, table: dict) -> int:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source)
+    lines = source.splitlines(keepends=True)
+    insertions = []  # (line_index, text)
+
+    def visit(node, prefix=""):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, prefix=child.name + ".")
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                qualname = prefix + child.name
+                if qualname not in table:
+                    continue
+                if ast.get_docstring(child) is not None:
+                    continue
+                first = child.body[0]
+                indent = " " * first.col_offset
+                text = '%s"""%s"""\n' % (indent, table[qualname])
+                insertions.append((first.lineno - 1, text))
+
+    visit(tree)
+    for line_index, text in sorted(insertions, reverse=True):
+        lines.insert(line_index, text)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("".join(lines))
+    return len(insertions)
+
+
+def main() -> int:
+    total = 0
+    for path, table in DOCS.items():
+        count = insert_docstrings(path, table)
+        print("%-40s +%d docstrings" % (path, count))
+        total += count
+    print("total inserted:", total)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,457 @@
+"""The sharded cluster: shards + config servers + query routers.
+
+This class plays the role of the paper's 17-VM deployment: 12 shards,
+3 config servers, and 2 mongos routers (Section 5.1).  Config servers
+hold the :class:`~repro.cluster.catalog.ConfigCatalog`; routers expose
+``insert_many``/``find``; shards host the data through
+:mod:`repro.docstore`.
+
+Write path mechanics reproduce MongoDB's:
+
+* each insert routes to the chunk covering its shard key;
+* a chunk exceeding ``chunk_max_bytes`` splits at the median shard-key
+  value of its documents (splitting on the temporal component when one
+  Hilbert value overflows a chunk, per Section 4.2.2);
+* a chunk whose documents all share one full shard-key value cannot be
+  split and is marked *jumbo*;
+* after a split, if the cluster is imbalanced, one of the new chunks
+  migrates to the least-loaded shard (MongoDB's auto-balancing), which
+  is what scatters adjacent key ranges across shards under "default"
+  distribution — the effect the paper's zone experiments remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.balancer import Balancer
+from repro.cluster.catalog import CollectionMetadata, ConfigCatalog
+from repro.cluster.chunk import Chunk, KeyBound, ShardKeyPattern
+from repro.cluster.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.metrics import ClusterQueryStats
+from repro.cluster.router import TargetingResult, target_chunks
+from repro.cluster.shard import Shard, shard_key_index_name
+from repro.cluster.zones import Zone, ZoneSet
+from repro.docstore.bson import bson_document_size
+from repro.docstore.planner import analyze_query
+from repro.docstore.storage import StorageModel
+from repro.errors import ShardingError
+
+__all__ = ["ClusterTopology", "ClusterFindResult", "ShardedCluster"]
+
+DEFAULT_CHUNK_MAX_BYTES = 64 * 1024  # scaled-down stand-in for 64 MB
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Node counts, defaulting to the paper's deployment."""
+
+    n_shards: int = 12
+    n_config_servers: int = 3
+    n_routers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ShardingError("a cluster needs at least one shard")
+        if self.n_config_servers < 1 or self.n_routers < 1:
+            raise ShardingError(
+                "a cluster needs config servers and routers"
+            )
+
+
+class ClusterFindResult:
+    """Merged documents plus cluster execution statistics."""
+
+    def __init__(
+        self, documents: List[dict], stats: ClusterQueryStats
+    ) -> None:
+        self.documents = documents
+        self.stats = stats
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+
+class ShardedCluster:
+    """A MongoDB-like sharded cluster in one process."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology | None = None,
+        chunk_max_bytes: int = DEFAULT_CHUNK_MAX_BYTES,
+        storage_model: Optional[StorageModel] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        auto_balance: bool = True,
+    ) -> None:
+        self.topology = topology or ClusterTopology()
+        self.chunk_max_bytes = chunk_max_bytes
+        self.storage_model = storage_model or StorageModel()
+        self.cost_model = cost_model
+        self.auto_balance = auto_balance
+        self.shards: Dict[str, Shard] = {
+            "shard%02d" % i: Shard(
+                "shard%02d" % i, storage_model=self.storage_model
+            )
+            for i in range(self.topology.n_shards)
+        }
+        self.catalog = ConfigCatalog()
+        self.balancer = Balancer(
+            shard_ids=list(self.shards),
+            migrate=self._migrate_chunk,
+        )
+
+    # -- DDL ------------------------------------------------------------------
+
+    def shard_collection(
+        self,
+        name: str,
+        key_spec: Sequence[Tuple[str, Any]] | Mapping[str, Any],
+        strategy: str = "range",
+        chunk_max_bytes: Optional[int] = None,
+    ) -> CollectionMetadata:
+        """Shard a collection; creates the shard-key index on every shard."""
+        pattern = ShardKeyPattern.from_spec(key_spec)
+        metadata = CollectionMetadata(
+            name=name,
+            pattern=pattern,
+            strategy=strategy,
+            chunk_max_bytes=chunk_max_bytes or self.chunk_max_bytes,
+        )
+        first_shard = next(iter(self.shards))
+        metadata.chunks.append(
+            Chunk(
+                min_key=pattern.global_min(),
+                max_key=pattern.global_max(),
+                shard_id=first_shard,
+            )
+        )
+        self.catalog.add_collection(metadata)
+        index_spec = [
+            (path, 1 if kind == 1 else "hashed")
+            for path, kind in pattern.fields
+        ]
+        for shard in self.shards.values():
+            shard.collection(name).create_index(
+                index_spec, name=shard_key_index_name(pattern)
+            )
+        return metadata
+
+    def create_index(
+        self,
+        collection: str,
+        spec: Sequence[Tuple[str, Any]] | Mapping[str, Any],
+        name: str = "",
+        geohash_bits: int = 26,
+    ) -> None:
+        """Create a local secondary index on every shard."""
+        for shard in self.shards.values():
+            shard.collection(collection).create_index(
+                spec, name=name, geohash_bits=geohash_bits
+            )
+
+    # -- writes ------------------------------------------------------------------
+
+    def insert_one(self, collection: str, document: Mapping[str, Any]) -> None:
+        """Route and insert a single document."""
+        self.insert_many(collection, [document])
+
+    def insert_many(
+        self, collection: str, documents: Iterable[Mapping[str, Any]]
+    ) -> int:
+        """Route and insert documents; auto-split/balance as chunks grow."""
+        metadata = self.catalog.get(collection)
+        inserted = 0
+        dirty: List[Chunk] = []
+        for document in documents:
+            key = metadata.pattern.extract_canonical(document)
+            chunk = metadata.chunk_for_key(key)
+            self.shards[chunk.shard_id].collection(collection).insert_one(
+                document
+            )
+            chunk.doc_count += 1
+            chunk.byte_size += bson_document_size(document)
+            inserted += 1
+            if chunk.byte_size > metadata.chunk_max_bytes and not chunk.jumbo:
+                self._split_chunk(metadata, chunk)
+        return inserted
+
+    def delete_many(
+        self, collection: str, query: Mapping[str, Any]
+    ) -> int:
+        """Delete matching documents on every targeted shard.
+
+        Chunk document/byte counters are recounted afterwards, since a
+        delete can touch any chunk.
+        """
+        metadata = self.catalog.get(collection)
+        shape = analyze_query(query)
+        targeting = target_chunks(metadata, shape)
+        deleted = 0
+        for shard_id in targeting.shard_ids:
+            deleted += self.shards[shard_id].collection(collection).delete_many(
+                query
+            )
+        if deleted:
+            for chunk in metadata.chunks:
+                self._recount_chunk(metadata, chunk)
+        return deleted
+
+    def update_many(
+        self,
+        collection: str,
+        query: Mapping[str, Any],
+        update: Mapping[str, Any],
+    ) -> int:
+        """Apply an update on every targeted shard.
+
+        Updates must not modify shard-key fields (MongoDB enforces the
+        same restriction for pre-4.2 semantics this model follows).
+        """
+        metadata = self.catalog.get(collection)
+        forbidden = set(metadata.pattern.paths)
+        for section in ("$set", "$unset", "$inc", "$mul", "$min", "$max"):
+            touched = set(update.get(section, {}))
+            if touched & forbidden:
+                raise ShardingError(
+                    "update would modify shard-key fields %r"
+                    % sorted(touched & forbidden)
+                )
+        shape = analyze_query(query)
+        targeting = target_chunks(metadata, shape)
+        updated = 0
+        for shard_id in targeting.shard_ids:
+            updated += self.shards[shard_id].collection(collection).update_many(
+                query, update
+            )
+        return updated
+
+    # -- chunk surgery --------------------------------------------------------------
+
+    def _split_chunk(self, metadata: CollectionMetadata, chunk: Chunk) -> None:
+        shard = self.shards[chunk.shard_id]
+        keys = shard.shard_key_values_in_range(
+            metadata.name, metadata.pattern, chunk.min_key, chunk.max_key
+        )
+        if not keys:
+            return
+        split_key = self._choose_split_key(keys, chunk)
+        if split_key is None:
+            metadata.mark_jumbo(chunk)
+            return
+        left, right = metadata.split_chunk(chunk, split_key)
+        self._recount_chunk(metadata, left)
+        self._recount_chunk(metadata, right)
+        if self.auto_balance:
+            self._post_split_balance(metadata, right)
+
+    @staticmethod
+    def _choose_split_key(
+        keys: List[KeyBound], chunk: Chunk
+    ) -> Optional[KeyBound]:
+        """Median shard-key value, nudged off the chunk minimum.
+
+        Returns None when every document shares one full shard-key
+        value — the jumbo case.
+        """
+        median = keys[len(keys) // 2]
+        if median > chunk.min_key and median > keys[0]:
+            return median
+        for key in keys[len(keys) // 2 :]:
+            if key > keys[0] and key > chunk.min_key:
+                return key
+        return None
+
+    def _recount_chunk(self, metadata: CollectionMetadata, chunk: Chunk) -> None:
+        shard = self.shards[chunk.shard_id]
+        count = 0
+        size = 0
+        for _rid, doc in shard.iter_range(
+            metadata.name, metadata.pattern, chunk.min_key, chunk.max_key
+        ):
+            count += 1
+            size += bson_document_size(doc)
+        chunk.doc_count = count
+        chunk.byte_size = size
+
+    def _post_split_balance(
+        self, metadata: CollectionMetadata, new_chunk: Chunk
+    ) -> None:
+        """MongoDB-style top-chunk relief: after a split, offload the new
+        chunk when its shard holds noticeably more chunks than the
+        emptiest shard."""
+        counts = {s: 0 for s in self.shards}
+        counts.update(metadata.chunk_counts())
+        donor = new_chunk.shard_id
+        recipient = min(counts, key=lambda s: (counts[s], s))
+        if counts[donor] - counts[recipient] <= 1:
+            return
+        if metadata.zone_set is not None:
+            zone = metadata.zone_set.zone_for_range(
+                new_chunk.min_key, new_chunk.max_key
+            )
+            if zone is not None:
+                if zone.shard_id != donor:
+                    self._migrate_chunk(metadata, new_chunk, zone.shard_id)
+                return
+        self._migrate_chunk(metadata, new_chunk, recipient)
+
+    def _migrate_chunk(
+        self, metadata: CollectionMetadata, chunk: Chunk, dest_shard_id: str
+    ) -> None:
+        if dest_shard_id not in self.shards:
+            raise ShardingError("unknown shard %r" % dest_shard_id)
+        if dest_shard_id == chunk.shard_id:
+            return
+        source = self.shards[chunk.shard_id]
+        moving = source.extract_documents_in_range(
+            metadata.name, metadata.pattern, chunk.min_key, chunk.max_key
+        )
+        self.shards[dest_shard_id].receive_documents(metadata.name, moving)
+        chunk.shard_id = dest_shard_id
+
+    # -- zones -----------------------------------------------------------------------
+
+    def update_zones(self, collection: str, zones: Sequence[Zone]) -> None:
+        """Install zones: split chunks at zone boundaries, then move data.
+
+        Mirrors MongoDB applying zones to an already-sharded collection
+        (Section 3.3): chunk boundaries are aligned to zone edges and
+        the balancer migrates affected chunks to their zones.
+        """
+        metadata = self.catalog.get(collection)
+        zone_set = ZoneSet(zones)
+        for shard_id in {z.shard_id for z in zone_set}:
+            if shard_id not in self.shards:
+                raise ShardingError("zone references unknown shard %r" % shard_id)
+        for boundary in zone_set.boundaries():
+            self._split_at(metadata, boundary)
+        metadata.zone_set = zone_set
+        self.balancer.balance(metadata)
+
+    def _split_at(self, metadata: CollectionMetadata, key: KeyBound) -> None:
+        if key <= metadata.pattern.global_min():
+            return
+        if key >= metadata.pattern.global_max():
+            return
+        chunk = metadata.chunk_for_key(key)
+        if chunk.min_key == key:
+            return
+        left, right = metadata.split_chunk(chunk, key)
+        self._recount_chunk(metadata, left)
+        self._recount_chunk(metadata, right)
+
+    def run_balancer(self, collection: str) -> int:
+        """Run the balancer; returns migrations performed."""
+        return self.balancer.balance(self.catalog.get(collection))
+
+    # -- reads ------------------------------------------------------------------------
+
+    def find(
+        self,
+        collection: str,
+        query: Mapping[str, Any],
+        hint: Optional[str] = None,
+        max_geo_ranges: Optional[int] = None,
+    ) -> ClusterFindResult:
+        """Route, execute on targeted shards, merge, and account time."""
+        from repro.docstore.matcher import Matcher
+
+        metadata = self.catalog.get(collection)
+        shape = analyze_query(query)
+        matcher = Matcher(query)
+        targeting = target_chunks(metadata, shape)
+        stats = ClusterQueryStats(
+            targeted_shards=list(targeting.shard_ids),
+            broadcast=targeting.broadcast,
+        )
+        documents: List[dict] = []
+        for shard_id in targeting.shard_ids:
+            col = self.shards[shard_id].collection(collection)
+            result = col.find_with_stats(
+                query,
+                hint=hint,
+                max_geo_ranges=max_geo_ranges,
+                matcher=matcher,
+                shape=shape,
+            )
+            stats.per_shard[shard_id] = result.stats
+            documents.extend(result.documents)
+        stats.execution_time_ms = self.cost_model.query_time_ms(
+            stats.per_shard
+        )
+        return ClusterFindResult(documents, stats)
+
+    def count_documents(self, collection: str, query: Mapping[str, Any]) -> int:
+        """Number of matching documents cluster-wide."""
+        return len(self.find(collection, query))
+
+    def aggregate(
+        self, collection: str, pipeline: Sequence[Mapping[str, Any]]
+    ) -> List[dict]:
+        """Scatter-gather aggregation (merge on the router).
+
+        Pipelines whose first stages are shard-local ($match) run per
+        shard; the merged document stream then re-runs the pipeline on
+        the router, which is correct for the stages this store supports
+        because they are all deterministic functions of the full input.
+        """
+        from repro.docstore.aggregation import run_pipeline
+
+        merged: List[dict] = []
+        for shard in self.shards.values():
+            col = shard.collection(collection)
+            merged.extend(dict(d) for d in col.all_documents())
+        return run_pipeline(merged, pipeline)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def collection_totals(self, collection: str) -> dict:
+        """Cluster-wide size/statistics roll-up for one collection."""
+        per_shard = {}
+        total_docs = 0
+        total_data = 0
+        total_index = 0
+        for shard_id, shard in self.shards.items():
+            col = shard.collection(collection)
+            stats = col.stats()
+            per_shard[shard_id] = stats
+            total_docs += stats["count"]
+            total_data += stats["size"]
+            total_index += stats["totalIndexSize"]
+        return {
+            "count": total_docs,
+            "dataSize": total_data,
+            "totalIndexSize": total_index,
+            "shards": per_shard,
+        }
+
+    def chunk_distribution(self, collection: str) -> Dict[str, int]:
+        """Chunk count per shard for a collection."""
+        return self.catalog.get(collection).chunk_counts()
+
+    def validate(self, collection: str) -> None:
+        """Cross-check catalog vs shard contents (test support)."""
+        metadata = self.catalog.get(collection)
+        metadata.validate()
+        for chunk in metadata.chunks:
+            shard = self.shards[chunk.shard_id]
+            actual = sum(
+                1
+                for _ in shard.iter_range(
+                    metadata.name,
+                    metadata.pattern,
+                    chunk.min_key,
+                    chunk.max_key,
+                )
+            )
+            if actual != chunk.doc_count:
+                # Chunk counters are maintained incrementally; recount
+                # drift indicates a bookkeeping bug.
+                raise ShardingError(
+                    "chunk %r count drift: catalog=%d actual=%d"
+                    % (chunk.describe(), chunk.doc_count, actual)
+                )

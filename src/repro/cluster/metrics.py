@@ -1,0 +1,86 @@
+"""Cluster-level query metrics — the paper's four plotted quantities.
+
+Section 5.1 defines them:
+
+* **average execution time** — modelled by
+  :mod:`repro.cluster.cost_model` from the counters below;
+* **documents examined** — the *maximum* over nodes (the straggler
+  determines latency);
+* **keys examined** — likewise the maximum over nodes;
+* **nodes** — how many shards served the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.docstore.executor import ExecutionStats
+
+__all__ = ["ClusterQueryStats"]
+
+
+@dataclass
+class ClusterQueryStats:
+    """Per-shard execution statistics merged at the router."""
+
+    per_shard: Dict[str, ExecutionStats] = field(default_factory=dict)
+    targeted_shards: List[str] = field(default_factory=list)
+    broadcast: bool = False
+    execution_time_ms: float = 0.0
+
+    @property
+    def nodes(self) -> int:
+        """Number of shards that served the query."""
+        return len(self.targeted_shards)
+
+    @property
+    def max_keys_examined(self) -> int:
+        """Worst per-shard keys examined."""
+        if not self.per_shard:
+            return 0
+        return max(s.keys_examined for s in self.per_shard.values())
+
+    @property
+    def max_docs_examined(self) -> int:
+        """Worst per-shard documents examined."""
+        if not self.per_shard:
+            return 0
+        return max(s.docs_examined for s in self.per_shard.values())
+
+    @property
+    def total_keys_examined(self) -> int:
+        """Keys examined summed over shards."""
+        return sum(s.keys_examined for s in self.per_shard.values())
+
+    @property
+    def total_docs_examined(self) -> int:
+        """Documents examined summed over shards."""
+        return sum(s.docs_examined for s in self.per_shard.values())
+
+    @property
+    def n_returned(self) -> int:
+        """Total documents returned."""
+        return sum(s.n_returned for s in self.per_shard.values())
+
+    def index_used_by_shard(self) -> Dict[str, str]:
+        """Which index each shard's optimizer chose (Table 7)."""
+        return {
+            shard: stats.index_name or stats.stage
+            for shard, stats in self.per_shard.items()
+        }
+
+    def as_dict(self) -> dict:
+        """The metrics as a readable mapping."""
+        return {
+            "nodes": self.nodes,
+            "broadcast": self.broadcast,
+            "maxKeysExamined": self.max_keys_examined,
+            "maxDocsExamined": self.max_docs_examined,
+            "nReturned": self.n_returned,
+            "executionTimeMs": round(self.execution_time_ms, 3),
+            "shards": {
+                shard: stats.as_dict()
+                for shard, stats in self.per_shard.items()
+            },
+        }

@@ -1,0 +1,92 @@
+"""A shard: one cluster node hosting a document-store database."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Mapping, Optional, Tuple
+
+from repro.cluster.chunk import KeyBound, ShardKeyPattern
+from repro.docstore.collection import Collection
+from repro.docstore.database import Database
+from repro.docstore.storage import StorageModel
+
+__all__ = ["Shard", "shard_key_index_name"]
+
+
+def shard_key_index_name(pattern: ShardKeyPattern) -> str:
+    """The name of the index MongoDB auto-creates for a shard key."""
+    return "shardkey_" + "_".join(pattern.paths)
+
+
+class Shard:
+    """A primary shard node (the paper runs 12, without replicas).
+
+    Range operations go through the shard-key index so chunk splits and
+    migrations cost time proportional to the chunk, not to the shard.
+    """
+
+    def __init__(
+        self, shard_id: str, storage_model: Optional[StorageModel] = None
+    ) -> None:
+        self.shard_id = shard_id
+        self.database = Database(
+            "shard_%s" % shard_id, storage_model=storage_model
+        )
+
+    def collection(self, name: str) -> Collection:
+        """The shard-local collection for a name."""
+        return self.database.collection(name)
+
+    def iter_range(
+        self,
+        collection_name: str,
+        pattern: ShardKeyPattern,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> Iterator[Tuple[int, Mapping[str, Any]]]:
+        """(rid, document) pairs with shard key in ``[lo, hi)``."""
+        col = self.collection(collection_name)
+        yield from col.iter_index_range(shard_key_index_name(pattern), lo, hi)
+
+    def extract_documents_in_range(
+        self,
+        collection_name: str,
+        pattern: ShardKeyPattern,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> List[dict]:
+        """Remove and return documents whose shard key ∈ [lo, hi).
+
+        This is the data-movement half of a chunk migration.
+        """
+        col = self.collection(collection_name)
+        rids: List[int] = []
+        moving: List[dict] = []
+        for rid, doc in self.iter_range(collection_name, pattern, lo, hi):
+            rids.append(rid)
+            moving.append(dict(doc))
+        col.remove_by_rids(rids)
+        return moving
+
+    def receive_documents(
+        self, collection_name: str, documents: List[Mapping[str, Any]]
+    ) -> None:
+        """Install migrated documents (ids preserved)."""
+        self.collection(collection_name).insert_many(documents)
+
+    def shard_key_values_in_range(
+        self,
+        collection_name: str,
+        pattern: ShardKeyPattern,
+        lo: KeyBound,
+        hi: KeyBound,
+    ) -> List[KeyBound]:
+        """Sorted canonical shard-key values of documents in [lo, hi).
+
+        Used to find chunk split points (medians).
+        """
+        keys = [
+            pattern.extract_canonical(doc)
+            for _rid, doc in self.iter_range(collection_name, pattern, lo, hi)
+        ]
+        keys.sort()
+        return keys

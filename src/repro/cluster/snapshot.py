@@ -1,0 +1,143 @@
+"""Cluster snapshots: dump/restore a whole sharded deployment.
+
+Restoring reproduces the exact chunk map, zone set, and per-shard
+contents, so every metric (nodes targeted, keys/docs examined, index
+sizes) is identical across a save/load cycle — which is what lets
+experiments cache expensive deployments between processes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.cluster.catalog import CollectionMetadata
+from repro.cluster.chunk import Chunk, ShardKeyPattern
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.cluster.zones import Zone, ZoneSet
+from repro.docstore.snapshot import (
+    collection_from_snapshot,
+    collection_to_snapshot,
+    value_from_jsonable,
+    value_to_jsonable,
+)
+
+__all__ = [
+    "cluster_to_snapshot",
+    "cluster_from_snapshot",
+    "dump_cluster",
+    "load_cluster",
+]
+
+
+def cluster_to_snapshot(cluster: ShardedCluster) -> Dict[str, Any]:
+    """A JSON-serializable dump of the whole cluster."""
+    collections = {}
+    for name in cluster.catalog.list_collections():
+        metadata = cluster.catalog.get(name)
+        collections[name] = {
+            "pattern": [[p, k] for p, k in metadata.pattern.fields],
+            "strategy": metadata.strategy,
+            "chunkMaxBytes": metadata.chunk_max_bytes,
+            "chunks": [
+                {
+                    "min": value_to_jsonable(tuple(c.min_key)),
+                    "max": value_to_jsonable(tuple(c.max_key)),
+                    "shard": c.shard_id,
+                    "count": c.doc_count,
+                    "bytes": c.byte_size,
+                    "jumbo": c.jumbo,
+                }
+                for c in metadata.chunks
+            ],
+            "zones": [
+                {
+                    "name": z.name,
+                    "min": value_to_jsonable(tuple(z.min_key)),
+                    "max": value_to_jsonable(tuple(z.max_key)),
+                    "shard": z.shard_id,
+                }
+                for z in (metadata.zone_set or [])
+            ],
+        }
+    return {
+        "topology": {
+            "n_shards": cluster.topology.n_shards,
+            "n_config_servers": cluster.topology.n_config_servers,
+            "n_routers": cluster.topology.n_routers,
+        },
+        "chunkMaxBytes": cluster.chunk_max_bytes,
+        "collections": collections,
+        "shards": {
+            shard_id: [
+                collection_to_snapshot(shard.collection(name))
+                for name in shard.database.list_collections()
+            ]
+            for shard_id, shard in cluster.shards.items()
+        },
+    }
+
+
+def cluster_from_snapshot(snapshot: Mapping[str, Any]) -> ShardedCluster:
+    """Rebuild a cluster from a snapshot, metadata and data included."""
+    topology = ClusterTopology(**snapshot["topology"])
+    cluster = ShardedCluster(
+        topology=topology,
+        chunk_max_bytes=snapshot["chunkMaxBytes"],
+        auto_balance=False,  # placement comes from the snapshot
+    )
+    for name, meta_snap in snapshot["collections"].items():
+        pattern = ShardKeyPattern.from_spec(
+            [(p, k) for p, k in meta_snap["pattern"]]
+        )
+        metadata = CollectionMetadata(
+            name=name,
+            pattern=pattern,
+            strategy=meta_snap["strategy"],
+            chunk_max_bytes=meta_snap["chunkMaxBytes"],
+        )
+        for chunk_snap in meta_snap["chunks"]:
+            metadata.chunks.append(
+                Chunk(
+                    min_key=value_from_jsonable(chunk_snap["min"]),
+                    max_key=value_from_jsonable(chunk_snap["max"]),
+                    shard_id=chunk_snap["shard"],
+                    doc_count=chunk_snap["count"],
+                    byte_size=chunk_snap["bytes"],
+                    jumbo=chunk_snap["jumbo"],
+                )
+            )
+        if meta_snap["zones"]:
+            metadata.zone_set = ZoneSet(
+                [
+                    Zone(
+                        name=z["name"],
+                        min_key=value_from_jsonable(z["min"]),
+                        max_key=value_from_jsonable(z["max"]),
+                        shard_id=z["shard"],
+                    )
+                    for z in meta_snap["zones"]
+                ]
+            )
+        cluster.catalog.add_collection(metadata)
+
+    for shard_id, col_snaps in snapshot["shards"].items():
+        shard = cluster.shards[shard_id]
+        for col_snap in col_snaps:
+            rebuilt = collection_from_snapshot(col_snap)
+            # Install under the shard's database namespace.
+            shard.database._collections[rebuilt.name] = rebuilt
+    cluster.auto_balance = True  # resume normal behaviour post-restore
+    return cluster
+
+
+def dump_cluster(cluster: ShardedCluster, path: str) -> None:
+    """Write a cluster snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(cluster_to_snapshot(cluster), fh)
+
+
+def load_cluster(path: str) -> ShardedCluster:
+    """Read a cluster snapshot from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return cluster_from_snapshot(json.load(fh))

@@ -1,0 +1,77 @@
+"""The paper's contribution: Hilbert spatio-temporal keys over a
+document store, with indexing, sharding, zoning, and benchmarking."""
+
+from repro.core.approaches import (
+    APPROACH_NAMES,
+    Approach,
+    BaselineST,
+    BaselineTS,
+    Deployment,
+    HilbertApproach,
+    deploy_approach,
+    make_approach,
+)
+from repro.core.benchmark import (
+    MeasurementRun,
+    QueryMeasurement,
+    measure_query,
+    run_workload,
+)
+from repro.core.encoder import DEFAULT_HILBERT_ORDER, SpatioTemporalEncoder
+from repro.core.loader import DEFAULT_BATCH_SIZE, BulkLoader
+from repro.core.query import HilbertQueryRendering, SpatioTemporalQuery
+from repro.core.adaptive import (
+    WeightedQuery,
+    configure_workload_aware_zones,
+    workload_aware_boundaries,
+)
+from repro.core.archival import ArchiveResult, archive_before, restore_archive
+from repro.core.knn import KnnResult, knn
+from repro.core.sthash import STHashApproach, STHashEncoder
+from repro.core.trajectories import (
+    TrajectoryEncoder,
+    build_trajectory_document,
+    trajectories_from_traces,
+)
+from repro.core.zoning import (
+    build_zones,
+    compute_zone_boundaries,
+    configure_zones,
+)
+
+__all__ = [
+    "APPROACH_NAMES",
+    "Approach",
+    "BaselineST",
+    "BaselineTS",
+    "Deployment",
+    "HilbertApproach",
+    "deploy_approach",
+    "make_approach",
+    "MeasurementRun",
+    "QueryMeasurement",
+    "measure_query",
+    "run_workload",
+    "DEFAULT_HILBERT_ORDER",
+    "SpatioTemporalEncoder",
+    "DEFAULT_BATCH_SIZE",
+    "BulkLoader",
+    "HilbertQueryRendering",
+    "SpatioTemporalQuery",
+    "build_zones",
+    "compute_zone_boundaries",
+    "configure_zones",
+    "WeightedQuery",
+    "configure_workload_aware_zones",
+    "workload_aware_boundaries",
+    "ArchiveResult",
+    "archive_before",
+    "restore_archive",
+    "KnnResult",
+    "knn",
+    "STHashApproach",
+    "STHashEncoder",
+    "TrajectoryEncoder",
+    "build_trajectory_document",
+    "trajectories_from_traces",
+]

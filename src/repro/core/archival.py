@@ -1,0 +1,96 @@
+"""Cold-storage archival of historical data.
+
+The paper's introduction describes the operational pain this library
+exists to remove: "fleet management operators apply data analysis
+techniques only on recent subsets of their historical database, while
+older data is kept in cold storage."  This module implements that
+lifecycle explicitly: documents older than a cutoff move out of the
+live cluster into a snapshot file (the cold tier), and can be restored
+into any collection later for historical analysis.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.cluster.cluster import ShardedCluster
+from repro.docstore.snapshot import value_from_jsonable, value_to_jsonable
+from repro.errors import ReproError
+
+__all__ = ["ArchiveResult", "archive_before", "restore_archive"]
+
+
+class ArchiveResult:
+    """Outcome of an archival run."""
+
+    def __init__(self, archived: int, remaining: int, path: str) -> None:
+        self.archived = archived
+        self.remaining = remaining
+        self.path = path
+
+    def __repr__(self) -> str:
+        return "ArchiveResult(archived=%d, remaining=%d, path=%r)" % (
+            self.archived,
+            self.remaining,
+            self.path,
+        )
+
+
+def archive_before(
+    cluster: ShardedCluster,
+    collection: str,
+    cutoff: _dt.datetime,
+    path: str,
+    date_field: str = "date",
+) -> ArchiveResult:
+    """Move documents with ``date_field < cutoff`` to a cold archive.
+
+    The archive file is extended JSON (one self-describing object), so
+    it survives process and version boundaries; the live cluster keeps
+    only the recent tier, exactly the regime the paper's operators run.
+    """
+    query = {date_field: {"$lt": cutoff}}
+    result = cluster.find(collection, query)
+    documents = result.documents
+    payload = {
+        "collection": collection,
+        "dateField": date_field,
+        "cutoff": value_to_jsonable(cutoff),
+        "archivedAt": None,  # stamped by the caller if desired
+        "documents": [value_to_jsonable(d) for d in documents],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    deleted = cluster.delete_many(collection, query)
+    if deleted != len(documents):
+        raise ReproError(
+            "archival mismatch: %d archived but %d deleted"
+            % (len(documents), deleted)
+        )
+    remaining = cluster.collection_totals(collection)["count"]
+    return ArchiveResult(
+        archived=len(documents), remaining=remaining, path=path
+    )
+
+
+def restore_archive(
+    cluster: ShardedCluster,
+    path: str,
+    collection: Optional[str] = None,
+) -> int:
+    """Load an archive back into a (sharded) collection.
+
+    Returns the number of documents restored.  ``collection`` defaults
+    to the archive's original collection name.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    target = collection or payload["collection"]
+    documents: List[Dict[str, Any]] = [
+        value_from_jsonable(d) for d in payload.get("documents", [])
+    ]
+    if documents:
+        cluster.insert_many(target, documents)
+    return len(documents)

@@ -1,0 +1,97 @@
+"""k-nearest-neighbour search via expanding Hilbert regions.
+
+Beyond range queries, the curve key supports k-NN: start with a small
+box around the query point, render the usual Hilbert range query,
+and expand the box until at least ``k`` candidates are found *and* the
+box is wide enough that no closer point can hide outside it; then rank
+candidates by great-circle distance.  This is the classic SFC k-NN
+pattern (the same one GeoMesa and friends use), built entirely on the
+library's public query machinery — every probe is an ordinary
+spatio-temporal range query with cluster-level stats.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.approaches import Deployment
+from repro.core.query import SpatioTemporalQuery
+from repro.geo.geojson import parse_point
+from repro.geo.geometry import BoundingBox, Point, haversine_km
+
+__all__ = ["KnnResult", "knn"]
+
+#: Degrees of latitude per kilometre (for the distance-to-box bound).
+_DEG_PER_KM_LAT = 1.0 / 110.574
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """One neighbour: the document and its distance."""
+
+    document: Mapping[str, Any]
+    distance_km: float
+
+
+def _box_around(center: Point, radius_deg: float) -> BoundingBox:
+    return BoundingBox(
+        max(-180.0, center.lon - radius_deg),
+        max(-90.0, center.lat - radius_deg),
+        min(180.0, center.lon + radius_deg),
+        min(90.0, center.lat + radius_deg),
+    )
+
+
+def knn(
+    deployment: Deployment,
+    center: Point,
+    k: int,
+    time_from: _dt.datetime,
+    time_to: _dt.datetime,
+    initial_radius_deg: float = 0.01,
+    max_radius_deg: float = 8.0,
+    location_field: str = "location",
+) -> List[KnnResult]:
+    """The ``k`` documents nearest to ``center`` within a time window.
+
+    Runs ordinary range queries over the deployment's approach (hil,
+    hil*, baselines — anything with ``render_query``), doubling the
+    search radius until the k-th candidate provably cannot be beaten by
+    a point outside the searched box.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    radius = initial_radius_deg
+    while True:
+        box = _box_around(center, radius)
+        query = SpatioTemporalQuery(
+            bbox=box,
+            time_from=time_from,
+            time_to=time_to,
+            label="knn-r%g" % radius,
+            location_field=location_field,
+        )
+        result, _ = deployment.execute(query)
+        candidates: List[KnnResult] = []
+        for doc in result.documents:
+            point = parse_point(doc[location_field])
+            candidates.append(
+                KnnResult(
+                    document=doc,
+                    distance_km=haversine_km(center, point),
+                )
+            )
+        candidates.sort(key=lambda r: r.distance_km)
+        if len(candidates) >= k:
+            # The box guarantees correctness only when the k-th
+            # distance fits inside it: a point just outside the box is
+            # at least (radius degrees of latitude) away.
+            kth_km = candidates[k - 1].distance_km
+            guaranteed_km = radius / _DEG_PER_KM_LAT
+            if kth_km <= guaranteed_km or radius >= max_radius_deg:
+                return candidates[:k]
+        if radius >= max_radius_deg:
+            return candidates[:k]
+        radius *= 2.0

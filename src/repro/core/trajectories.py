@@ -1,0 +1,190 @@
+"""Trajectory (polyline) support — the paper's stated future work.
+
+Section 6: "extending our work towards supporting more complex data
+types (polylines and polygons) is of interest."  This module carries
+the Hilbert scheme over to whole trajectories:
+
+* a trajectory document stores its route as a GeoJSON LineString plus a
+  ``hilbertCells`` array — the sorted Hilbert cells the route passes
+  through (computed exactly like the 2dsphere multikey cells, but on
+  the sharding curve);
+* a *multikey* index on ``(hilbertCells, startDate)`` serves
+  spatio-temporal range queries: the familiar ``$or`` of cell ranges
+  matches any array element, and a ``$geoIntersects`` refinement
+  removes false positives;
+* helper builders assemble trajectory documents from point streams
+  (e.g. the fleet generator's traces).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.encoder import SpatioTemporalEncoder
+from repro.core.query import SpatioTemporalQuery
+from repro.geo.geojson import linestring_to_geojson, parse_linestring
+from repro.geo.geometry import LineString, Point
+
+__all__ = [
+    "TrajectoryEncoder",
+    "build_trajectory_document",
+    "trajectories_from_traces",
+]
+
+
+@dataclass(frozen=True)
+class TrajectoryEncoder:
+    """Computes the Hilbert cell set of a polyline.
+
+    Reuses the point encoder's curve, so trajectory cells and point
+    cells live in the same 1D key space and the same query ranges work
+    for both.
+    """
+
+    encoder: SpatioTemporalEncoder
+    route_field: str = "route"
+    cells_field: str = "hilbertCells"
+
+    def cells_of(self, line: LineString) -> List[int]:
+        """Sorted distinct curve cells the polyline passes through."""
+        curve = self.encoder.curve
+        step = min(
+            (curve.max_x - curve.min_x) / curve.cells_per_side,
+            (curve.max_y - curve.min_y) / curve.cells_per_side,
+        )
+        cells = {curve.encode(p.lon, p.lat) for p in line.sample(step)}
+        return sorted(cells)
+
+    def enrich(self, document: Mapping[str, Any]) -> dict:
+        """A copy of the document with the cells array added."""
+        line = parse_linestring(document[self.route_field])
+        enriched = dict(document)
+        enriched[self.cells_field] = self.cells_of(line)
+        return enriched
+
+    def render_query(
+        self,
+        query: SpatioTemporalQuery,
+        date_field: str = "startDate",
+        max_ranges: Optional[int] = None,
+    ) -> Tuple[Dict[str, Any], float]:
+        """A trajectory-flavoured spatio-temporal query document.
+
+        Shape: ``$geoIntersects`` on the route + date range + ``$or``
+        of cell ranges on the (multikey) cells array.  Array-element
+        semantics make the interval clauses match any covered cell.
+        """
+        range_set, elapsed_ms = query.hilbert_ranges(
+            self.encoder, max_ranges=max_ranges
+        )
+        clauses: List[Dict[str, Any]] = [
+            {self.cells_field: {"$gte": r.lo, "$lte": r.hi}}
+            for r in range_set.ranges
+        ]
+        if range_set.singles:
+            clauses.append(
+                {self.cells_field: {"$in": list(range_set.singles)}}
+            )
+        rendered: Dict[str, Any] = {
+            self.route_field: {
+                "$geoIntersects": {
+                    "$geometry": {
+                        "type": "Polygon",
+                        "coordinates": [
+                            [
+                                [query.bbox.min_lon, query.bbox.min_lat],
+                                [query.bbox.max_lon, query.bbox.min_lat],
+                                [query.bbox.max_lon, query.bbox.max_lat],
+                                [query.bbox.min_lon, query.bbox.max_lat],
+                                [query.bbox.min_lon, query.bbox.min_lat],
+                            ]
+                        ],
+                    }
+                }
+            },
+            date_field: {"$gte": query.time_from, "$lte": query.time_to},
+        }
+        if clauses:
+            rendered["$or"] = clauses
+        return rendered, elapsed_ms
+
+
+def build_trajectory_document(
+    vehicle_id: Any,
+    points: Sequence[Point],
+    start: _dt.datetime,
+    end: _dt.datetime,
+    encoder: Optional[TrajectoryEncoder] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> dict:
+    """Assemble one trajectory document (route + time span + cells)."""
+    if end < start:
+        raise ValueError("trajectory ends before it starts")
+    line = LineString(tuple(points))
+    document: dict = {
+        "vehicle_id": vehicle_id,
+        "route": linestring_to_geojson(line),
+        "startDate": start,
+        "endDate": end,
+        "n_points": len(points),
+        "length_km": round(line.length_km(), 3),
+    }
+    if extra:
+        document.update(extra)
+    if encoder is not None:
+        document = encoder.enrich(document)
+    return document
+
+
+def trajectories_from_traces(
+    traces: Iterable[Mapping[str, Any]],
+    encoder: Optional[TrajectoryEncoder] = None,
+    max_gap: _dt.timedelta = _dt.timedelta(minutes=10),
+) -> List[dict]:
+    """Fold point traces into trajectory documents.
+
+    Traces are grouped by vehicle and split wherever the time gap
+    between consecutive points exceeds ``max_gap`` — the standard
+    trip-segmentation rule in fleet analytics.
+    """
+    by_vehicle: Dict[Any, List[Mapping[str, Any]]] = {}
+    for trace in traces:
+        by_vehicle.setdefault(trace["vehicle_id"], []).append(trace)
+
+    out: List[dict] = []
+    for vehicle_id, rows in by_vehicle.items():
+        rows.sort(key=lambda r: r["date"])
+        segment: List[Mapping[str, Any]] = []
+        for row in rows:
+            if segment and row["date"] - segment[-1]["date"] > max_gap:
+                out.extend(
+                    _finish_segment(vehicle_id, segment, encoder)
+                )
+                segment = []
+            segment.append(row)
+        out.extend(_finish_segment(vehicle_id, segment, encoder))
+    return out
+
+
+def _finish_segment(
+    vehicle_id: Any,
+    segment: List[Mapping[str, Any]],
+    encoder: Optional[TrajectoryEncoder],
+) -> List[dict]:
+    if len(segment) < 2:
+        return []
+    points = [
+        Point(r["location"]["coordinates"][0], r["location"]["coordinates"][1])
+        for r in segment
+    ]
+    return [
+        build_trajectory_document(
+            vehicle_id,
+            points,
+            start=segment[0]["date"],
+            end=segment[-1]["date"],
+            encoder=encoder,
+        )
+    ]

@@ -1,0 +1,112 @@
+"""Zone configuration via ``$bucketAuto`` (Section 4.2.4).
+
+The paper defines as many zones as shards and assigns one per shard.
+Boundaries come from ``$bucketAuto`` over the zoning field — ``date``
+for the baseline approaches, ``hilbertIndex`` for the Hilbert ones —
+so buckets hold (approximately) even document counts.  Zone ranges on
+a compound shard key are *prefix* ranges: a zone on ``hilbertIndex``
+spans every date, which is exactly why zones recover spatial locality
+but cannot guarantee temporal locality (Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.cluster.chunk import ShardKeyPattern
+from repro.cluster.cluster import ShardedCluster
+from repro.cluster.zones import Zone
+from repro.docstore import bson
+from repro.errors import ZoneError
+
+__all__ = ["compute_zone_boundaries", "build_zones", "configure_zones"]
+
+
+def compute_zone_boundaries(
+    cluster: ShardedCluster,
+    collection: str,
+    field: str,
+    n_zones: int,
+) -> List[Any]:
+    """Even-count boundaries of ``n_zones`` buckets over a field.
+
+    Returns the lower bound of each bucket except the first (interior
+    boundaries only).  Skewed data can yield fewer buckets than
+    requested — the caller gets fewer zones, as in MongoDB.
+    """
+    buckets = cluster.aggregate(
+        collection,
+        [{"$bucketAuto": {"groupBy": "$" + field, "buckets": n_zones}}],
+    )
+    if not buckets:
+        raise ZoneError("collection %r is empty; cannot compute zones" % collection)
+    return [b["_id"]["min"] for b in buckets[1:]]
+
+
+def build_zones(
+    pattern: ShardKeyPattern,
+    boundaries: Sequence[Any],
+    shard_ids: Sequence[str],
+    field: str,
+) -> List[Zone]:
+    """Zones tiling the whole key space from interior boundaries.
+
+    The zoning field must be the first shard-key field (it is, in both
+    of the paper's schemes); deeper fields pad with MinKey so zones are
+    prefix ranges.
+    """
+    if pattern.fields[0][0] != field:
+        raise ZoneError(
+            "zoning field %r must lead the shard key %r"
+            % (field, pattern.paths)
+        )
+    n_zones = len(boundaries) + 1
+    if n_zones > len(shard_ids):
+        raise ZoneError(
+            "%d zones but only %d shards" % (n_zones, len(shard_ids))
+        )
+
+    def prefix_bound(value: Any) -> tuple:
+        head = (bson.sort_key(value),)
+        pad = tuple(
+            bson.sort_key(bson.MINKEY) for _ in range(len(pattern) - 1)
+        )
+        return head + pad
+
+    edges = (
+        [pattern.global_min()]
+        + [prefix_bound(b) for b in boundaries]
+        + [pattern.global_max()]
+    )
+    zones: List[Zone] = []
+    for i in range(n_zones):
+        zones.append(
+            Zone(
+                name="zone%02d" % i,
+                min_key=edges[i],
+                max_key=edges[i + 1],
+                shard_id=shard_ids[i],
+            )
+        )
+    return zones
+
+
+def configure_zones(
+    cluster: ShardedCluster,
+    collection: str,
+    field: str,
+) -> List[Zone]:
+    """The paper's full zone procedure: one zone per shard, even counts.
+
+    Runs ``$bucketAuto`` with ``buckets = number of shards``, builds
+    prefix zones on the shard key, installs them (splitting chunks at
+    zone edges and migrating data), and returns the zones.
+    """
+    metadata = cluster.catalog.get(collection)
+    shard_ids = sorted(cluster.shards)
+    boundaries = compute_zone_boundaries(
+        cluster, collection, field, n_zones=len(shard_ids)
+    )
+    zones = build_zones(metadata.pattern, boundaries, shard_ids, field)
+    cluster.update_zones(collection, zones)
+    return zones

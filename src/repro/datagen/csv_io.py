@@ -1,0 +1,133 @@
+"""CSV export/ingest — the paper's actual loading pipeline.
+
+Appendix A.1: the data sets live as CSV files on the query routers'
+disks; loading reads them record-by-record, converts each to a
+document — forming the GeoJSON ``location`` from the longitude and
+latitude columns — and bulk-inserts.  These helpers reproduce that
+path so the examples and tests can run the same ingest the paper ran.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+import io
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence
+
+__all__ = [
+    "documents_to_csv",
+    "csv_to_documents",
+    "write_csv_file",
+    "read_csv_file",
+]
+
+_DATE_FORMAT = "%Y-%m-%dT%H:%M:%S.%f%z"
+
+
+def _flatten(document: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in document.items():
+        path = "%s.%s" % (prefix, key) if prefix else key
+        if isinstance(value, Mapping) and value.get("type") != "Point":
+            out.update(_flatten(value, path))
+        elif isinstance(value, Mapping) and value.get("type") == "Point":
+            lon, lat = value["coordinates"]
+            out[path + ".lon"] = lon
+            out[path + ".lat"] = lat
+        elif isinstance(value, _dt.datetime):
+            out[path] = value.strftime(_DATE_FORMAT)
+        else:
+            out[path] = value
+    return out
+
+
+def documents_to_csv(documents: Sequence[Mapping[str, Any]]) -> str:
+    """Render documents as CSV text (GeoJSON points become lon/lat
+    columns, dates become ISO strings)."""
+    if not documents:
+        return ""
+    rows = [_flatten(d) for d in documents]
+    fieldnames: List[str] = []
+    for row in rows:
+        for name in row:
+            if name not in fieldnames:
+                fieldnames.append(name)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+_LON_COLUMNS = ("location.lon", "longitude", "lon")
+_LAT_COLUMNS = ("location.lat", "latitude", "lat")
+
+
+def csv_to_documents(text: str, date_column: str = "date") -> Iterator[dict]:
+    """Convert CSV rows back to documents, Appendix A.1 style.
+
+    Each row becomes a flat document; the GeoJSON ``location`` is
+    formed from the longitude/latitude columns (several common column
+    names are recognised), and the date column is parsed to a
+    timezone-aware datetime.  Dotted column names rebuild nested
+    documents (``weather.humidity_pct`` → ``{"weather": {...}}``).
+    """
+    from repro.docstore.document import set_path
+
+    reader = csv.DictReader(io.StringIO(text))
+    for row in reader:
+        document: dict = {}
+        lon = lat = None
+        for column, raw in row.items():
+            if raw is None or raw == "":
+                continue
+            if column in _LON_COLUMNS:
+                lon = float(raw)
+                if column != "location.lon":
+                    set_path(document, column, lon)
+                continue
+            if column in _LAT_COLUMNS:
+                lat = float(raw)
+                if column != "location.lat":
+                    set_path(document, column, lat)
+                continue
+            if column == date_column:
+                document[column] = _dt.datetime.strptime(raw, _DATE_FORMAT)
+                continue
+            set_path(document, column, _coerce(raw))
+        if lon is not None and lat is not None:
+            document["location"] = {
+                "type": "Point",
+                "coordinates": [lon, lat],
+            }
+        yield document
+
+
+def _coerce(raw: str) -> Any:
+    """Best-effort typing of a CSV cell (int, float, bool, str)."""
+    if raw == "True":
+        return True
+    if raw == "False":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def write_csv_file(path: str, documents: Sequence[Mapping[str, Any]]) -> None:
+    """Write documents to a CSV file."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(documents_to_csv(documents))
+
+
+def read_csv_file(path: str, **kwargs: Any) -> List[dict]:
+    """Read documents back from a CSV file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(csv_to_documents(fh.read(), **kwargs))

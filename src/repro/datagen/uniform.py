@@ -1,0 +1,74 @@
+"""Uniform synthetic generator (the paper's S data set).
+
+Section 5.1: the S set holds twice as many records as R, four columns
+(id, longitude, latitude, date), values uniform within predefined
+ranges; MBR ``[(23.3, 37.6), (24.3, 38.5)]`` (~1.54 % of the R MBR's
+area); time span 2.5 months (half of R's).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.geo.geometry import BoundingBox
+
+__all__ = ["S_BBOX", "S_TIMESPAN", "UniformConfig", "UniformGenerator"]
+
+#: The paper's S data set MBR.
+S_BBOX = BoundingBox(23.3, 37.6, 24.3, 38.5)
+
+#: 2.5 months, half of R's five-month span.
+S_TIMESPAN = (
+    _dt.datetime(2018, 7, 1, tzinfo=_dt.timezone.utc),
+    _dt.datetime(2018, 9, 15, 12, tzinfo=_dt.timezone.utc),
+)
+
+
+@dataclass(frozen=True)
+class UniformConfig:
+    """Knobs of the uniform generator."""
+
+    seed: int = 20181002
+    bbox: BoundingBox = S_BBOX
+    time_from: _dt.datetime = S_TIMESPAN[0]
+    time_to: _dt.datetime = S_TIMESPAN[1]
+
+
+class UniformGenerator:
+    """Streams uniform point documents, CSV-conversion style.
+
+    Documents carry the four CSV columns plus the GeoJSON ``location``
+    the paper's loader derives from longitude/latitude (Appendix A.1),
+    so they are much smaller than R documents — the paper's Table 6
+    contrast."""
+
+    def __init__(self, config: UniformConfig | None = None) -> None:
+        self.config = config or UniformConfig()
+
+    def generate(self, n_records: int) -> Iterator[dict]:
+        """Yield exactly ``n_records`` uniform documents."""
+        if n_records < 0:
+            raise ValueError("n_records must be non-negative")
+        rng = random.Random(self.config.seed)
+        bbox = self.config.bbox
+        span_s = (self.config.time_to - self.config.time_from).total_seconds()
+        for i in range(n_records):
+            lon = rng.uniform(bbox.min_lon, bbox.max_lon)
+            lat = rng.uniform(bbox.min_lat, bbox.max_lat)
+            stamp = self.config.time_from + _dt.timedelta(
+                seconds=rng.uniform(0.0, span_s)
+            )
+            yield {
+                "id": i,
+                "location": {"type": "Point", "coordinates": [lon, lat]},
+                "longitude": lon,
+                "latitude": lat,
+                "date": stamp,
+            }
+
+    def generate_list(self, n_records: int) -> List[dict]:
+        """Generate and materialize ``n_records`` documents."""
+        return list(self.generate(n_records))

@@ -1,0 +1,309 @@
+"""Fleet-management trajectory generator (the paper's R data set).
+
+The paper's real data set is proprietary: 15.2 M GPS traces from a
+Greek fleet operator, five months (July-November 2018), 75 values per
+record (vehicle, position, weather, road network, nearest POIs), MBR
+``[(19.632533, 34.929233), (28.245285, 41.757797)]``.
+
+This generator reproduces the *properties the evaluation depends on*:
+
+* points inside the same MBR, heavily skewed toward urban centres
+  (Athens above all — the paper's query boxes sit there);
+* trajectory structure: consecutive records of a vehicle are close in
+  both space and time (this correlation is what gives Hilbert sharding
+  its locality advantage);
+* wide, realistic documents (vehicle + weather + road + POI fields) so
+  BSON sizes, chunk counts, and index/data size ratios behave like the
+  paper's (Tables 4 and 6);
+* deterministic output for any (seed, n_records) pair.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.geo.geometry import BoundingBox
+
+__all__ = ["GREECE_BBOX", "R_TIMESPAN", "FleetConfig", "FleetGenerator"]
+
+#: The paper's R data set MBR.
+GREECE_BBOX = BoundingBox(19.632533, 34.929233, 28.245285, 41.757797)
+
+#: July through November 2018, the paper's R time span.
+R_TIMESPAN = (
+    _dt.datetime(2018, 7, 1, tzinfo=_dt.timezone.utc),
+    _dt.datetime(2018, 12, 1, tzinfo=_dt.timezone.utc),
+)
+
+# Urban hotspots: (lon, lat, spread in degrees, vehicle-home weight).
+# Athens dominates, as in any Greek fleet, which is what makes the
+# paper's Athens-centred query boxes selective-but-nonempty.
+_HOTSPOTS: List[Tuple[float, float, float, float]] = [
+    (23.7620, 37.9900, 0.015, 0.02),  # downtown Athens (the Q^s area)
+    (23.7275, 37.9838, 0.07, 0.51),  # greater Athens
+    (22.9444, 40.6401, 0.09, 0.14),  # Thessaloniki
+    (21.7346, 38.2466, 0.08, 0.09),  # Patras
+    (22.4191, 39.6390, 0.07, 0.07),  # Larissa
+    (25.1442, 35.3387, 0.07, 0.06),  # Heraklion
+    (21.7453, 40.3007, 0.06, 0.05),  # Kozani
+    (26.5572, 39.1086, 0.06, 0.03),  # Mytilene
+    (23.8500, 38.2500, 0.15, 0.03),  # Attica outskirts / highways north
+]
+
+_ROAD_TYPES = ("motorway", "primary", "secondary", "tertiary", "residential")
+_POI_CATEGORIES = ("fuel", "parking", "restaurant", "warehouse", "customer")
+_WEATHER_CODES = ("clear", "clouds", "rain", "drizzle", "thunderstorm")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the fleet simulation."""
+
+    n_vehicles: int = 120
+    seed: int = 20181001
+    sample_interval_s: float = 90.0
+    mean_trip_minutes: float = 20.0
+    #: Fraction of records that are parked-vehicle heartbeats.  Fleet
+    #: telematics units beacon while parked; these records spread
+    #: uniformly over time (smoothing temporal coverage) and cluster at
+    #: vehicle home bases (preserving spatial skew).
+    heartbeat_fraction: float = 0.4
+    time_from: _dt.datetime = R_TIMESPAN[0]
+    time_to: _dt.datetime = R_TIMESPAN[1]
+    bbox: BoundingBox = GREECE_BBOX
+
+
+class FleetGenerator:
+    """Streams fleet GPS-trace documents, trajectory by trajectory."""
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self.config = config or FleetConfig()
+        self._rng = random.Random(self.config.seed)
+        self._vehicle_homes = [
+            self._sample_hotspot_point() for _ in range(self.config.n_vehicles)
+        ]
+
+    # -- sampling helpers -------------------------------------------------------
+
+    def _sample_hotspot_point(self) -> Tuple[float, float, int]:
+        """(lon, lat, hotspot id) drawn from the urban mixture."""
+        r = self._rng.random()
+        acc = 0.0
+        for idx, (lon, lat, sigma, weight) in enumerate(_HOTSPOTS):
+            acc += weight
+            if r <= acc:
+                return (
+                    self._clamped_gauss(lon, sigma, "lon"),
+                    self._clamped_gauss(lat, sigma, "lat"),
+                    idx,
+                )
+        lon, lat, sigma, _ = _HOTSPOTS[-1]
+        return (
+            self._clamped_gauss(lon, sigma, "lon"),
+            self._clamped_gauss(lat, sigma, "lat"),
+            len(_HOTSPOTS) - 1,
+        )
+
+    def _clamped_gauss(self, mean: float, sigma: float, axis: str) -> float:
+        bbox = self.config.bbox
+        lo, hi = (
+            (bbox.min_lon, bbox.max_lon)
+            if axis == "lon"
+            else (bbox.min_lat, bbox.max_lat)
+        )
+        value = self._rng.gauss(mean, sigma)
+        return min(hi, max(lo, value))
+
+    # -- trajectory synthesis ------------------------------------------------------
+
+    def _trip_points(
+        self, start: Tuple[float, float], end: Tuple[float, float]
+    ) -> List[Tuple[float, float]]:
+        """Sampled positions along a jittered straight-line trip."""
+        duration_s = max(
+            300.0,
+            self._rng.expovariate(1.0 / (self.config.mean_trip_minutes * 60.0)),
+        )
+        n_points = max(2, int(duration_s / self.config.sample_interval_s))
+        jitter = 0.002
+        points = []
+        for i in range(n_points):
+            t = i / (n_points - 1)
+            lon = start[0] + (end[0] - start[0]) * t
+            lat = start[1] + (end[1] - start[1]) * t
+            points.append(
+                (
+                    lon + self._rng.uniform(-jitter, jitter),
+                    lat + self._rng.uniform(-jitter, jitter),
+                )
+            )
+        return points
+
+    # -- document construction -------------------------------------------------------
+
+    def _make_document(
+        self,
+        record_id: int,
+        vehicle_id: int,
+        lon: float,
+        lat: float,
+        stamp: _dt.datetime,
+        speed_kmh: float,
+        heading: float,
+        hotspot: int,
+    ) -> dict:
+        rng = self._rng
+        bbox = self.config.bbox
+        lon = min(bbox.max_lon, max(bbox.min_lon, lon))
+        lat = min(bbox.max_lat, max(bbox.min_lat, lat))
+        # ~40 fields whose BSON rendering is ~1 KB, standing in for the
+        # paper's 75 CSV values per record.
+        return {
+            "record_id": record_id,
+            "vehicle_id": vehicle_id,
+            "driver_id": vehicle_id * 7 % 211,
+            "fleet": "fleet-%02d" % (vehicle_id % 6),
+            "location": {"type": "Point", "coordinates": [lon, lat]},
+            "longitude": lon,
+            "latitude": lat,
+            "date": stamp,
+            "speed_kmh": round(speed_kmh, 2),
+            "heading_deg": round(heading, 1),
+            "altitude_m": round(rng.uniform(0.0, 900.0), 1),
+            "odometer_km": round(50_000 + record_id * 0.03, 2),
+            "ignition": True,
+            "engine_rpm": int(800 + speed_kmh * 28),
+            "fuel_level_pct": round(rng.uniform(10.0, 100.0), 1),
+            "fuel_rate_lph": round(2.0 + speed_kmh * 0.07, 2),
+            "engine_temp_c": round(rng.uniform(75.0, 98.0), 1),
+            "battery_v": round(rng.uniform(12.1, 14.6), 2),
+            "gps_accuracy_m": round(rng.uniform(2.0, 12.0), 1),
+            "satellites": rng.randint(5, 14),
+            "weather": {
+                "temperature_c": round(rng.uniform(12.0, 38.0), 1),
+                "humidity_pct": round(rng.uniform(20.0, 90.0), 1),
+                "wind_speed_ms": round(rng.uniform(0.0, 15.0), 1),
+                "wind_dir_deg": round(rng.uniform(0.0, 360.0), 1),
+                "pressure_hpa": round(rng.uniform(995.0, 1030.0), 1),
+                "precipitation_mm": round(max(0.0, rng.gauss(0.0, 1.0)), 2),
+                "visibility_km": round(rng.uniform(4.0, 20.0), 1),
+                "cloud_cover_pct": round(rng.uniform(0.0, 100.0), 1),
+                "code": rng.choice(_WEATHER_CODES),
+            },
+            "road": {
+                "type": rng.choice(_ROAD_TYPES),
+                "segment_id": rng.randint(1, 250_000),
+                "speed_limit_kmh": rng.choice((30, 50, 70, 90, 110, 130)),
+                "lanes": rng.randint(1, 4),
+                "one_way": rng.random() < 0.3,
+                "surface": "asphalt",
+            },
+            "poi": {
+                "nearest_id": rng.randint(1, 60_000),
+                "category": rng.choice(_POI_CATEGORIES),
+                "distance_m": round(rng.uniform(5.0, 2500.0), 1),
+            },
+            "hotspot_id": hotspot,
+            "trip_active": True,
+            "event_type": "position",
+            "provider": "synthetic-fleet",
+        }
+
+    # -- the public stream -----------------------------------------------------------
+
+    def generate(self, n_records: int) -> Iterator[dict]:
+        """Yield exactly ``n_records`` trajectory documents.
+
+        Trips start at times drawn uniformly over the whole window (so
+        every hour of the five months has traffic, as a real fleet's
+        ingest does) and the stream is emitted in chronological order —
+        matching a CSV export of an operational ingest, which is how
+        the paper loads data.
+        """
+        if n_records < 0:
+            raise ValueError("n_records must be non-negative")
+        total_seconds = (
+            self.config.time_to - self.config.time_from
+        ).total_seconds()
+        raw: List[Tuple[float, int, float, float, float, float, int]] = []
+        produced = 0
+        n_heartbeats = int(n_records * self.config.heartbeat_fraction)
+        for _ in range(n_heartbeats):
+            vehicle_id = self._rng.randrange(self.config.n_vehicles)
+            home_lon, home_lat, hotspot = self._vehicle_homes[vehicle_id]
+            raw.append(
+                (
+                    self._rng.uniform(0.0, total_seconds),
+                    vehicle_id,
+                    self._clamped_gauss(home_lon, 0.008, "lon"),
+                    self._clamped_gauss(home_lat, 0.008, "lat"),
+                    0.0,  # parked
+                    self._rng.uniform(0.0, 360.0),
+                    hotspot,
+                )
+            )
+            produced += 1
+        while produced < n_records:
+            vehicle_id = self._rng.randrange(self.config.n_vehicles)
+            home_lon, home_lat, hotspot = self._vehicle_homes[vehicle_id]
+            # Mostly local trips; occasionally a long haul to another city.
+            if self._rng.random() < 0.12:
+                dest = self._sample_hotspot_point()
+            else:
+                # Local trips stay within the home hotspot's footprint:
+                # a downtown courier roams blocks, a regional hauler
+                # roams the prefecture.
+                spread = max(0.015, _HOTSPOTS[hotspot][2] * 0.8)
+                dest = (
+                    self._clamped_gauss(home_lon, spread, "lon"),
+                    self._clamped_gauss(home_lat, spread * 0.85, "lat"),
+                    hotspot,
+                )
+            start = (
+                self._clamped_gauss(home_lon, 0.02, "lon"),
+                self._clamped_gauss(home_lat, 0.02, "lat"),
+            )
+            points = self._trip_points(start, (dest[0], dest[1]))
+            trip_start_s = self._rng.uniform(
+                0.0,
+                max(
+                    1.0,
+                    total_seconds
+                    - len(points) * self.config.sample_interval_s,
+                ),
+            )
+            heading = self._rng.uniform(0.0, 360.0)
+            for i, (lon, lat) in enumerate(points):
+                if produced >= n_records:
+                    break
+                offset = trip_start_s + i * self.config.sample_interval_s
+                speed = max(0.0, self._rng.gauss(48.0, 18.0))
+                heading = (heading + self._rng.uniform(-25.0, 25.0)) % 360.0
+                raw.append(
+                    (offset, vehicle_id, lon, lat, speed, heading, dest[2])
+                )
+                produced += 1
+        # Chronological export order; trip points stay adjacent because
+        # their offsets are consecutive.
+        raw.sort(key=lambda r: r[0])
+        for record_id, (offset, vehicle_id, lon, lat, speed, heading,
+                        hotspot) in enumerate(raw):
+            stamp = self.config.time_from + _dt.timedelta(seconds=offset)
+            yield self._make_document(
+                record_id=record_id,
+                vehicle_id=vehicle_id,
+                lon=lon,
+                lat=lat,
+                stamp=stamp,
+                speed_kmh=speed,
+                heading=heading,
+                hotspot=hotspot,
+            )
+
+    def generate_list(self, n_records: int) -> List[dict]:
+        """Generate and materialize ``n_records`` documents."""
+        return list(self.generate(n_records))

@@ -1,0 +1,246 @@
+"""A B+tree: the index structure behind every MongoDB index.
+
+Table 1 of the paper notes that MongoDB indexes (including its spatial
+index) are B-trees.  This implementation is a textbook B+tree with
+linked leaves, supporting duplicate logical keys by appending the record
+id as a tiebreaker, plus the *seek* primitive the executor needs to
+reproduce MongoDB's index-bounds scanning (and therefore its
+``keysExamined`` numbers).
+
+Keys must already be canonically comparable (see
+:func:`repro.docstore.bson.sort_key`); the tree never interprets them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+Entry = Tuple[Any, Any]  # (comparable key, payload)
+
+
+class _Leaf:
+    __slots__ = ("keys", "payloads", "next", "prev")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.payloads: List[Any] = []
+        self.next: Optional["_Leaf"] = None
+        self.prev: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: List[Any] = []
+        self.children: List[Any] = []
+
+
+class BPlusTree:
+    """B+tree keyed by comparable values with arbitrary payloads.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children per internal node (and entries per
+        leaf).  Real WiredTiger pages hold hundreds of keys; the default
+        keeps trees shallow without hiding structure.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise ValueError("order must be at least 4, got %r" % order)
+        self._order = order
+        self._root: Any = _Leaf()
+        self._first_leaf: _Leaf = self._root
+        self._size = 0
+        self._height = 1
+
+    # -- basic properties -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def order(self) -> int:
+        """Maximum children per node / entries per leaf."""
+        return self._order
+
+    @property
+    def height(self) -> int:
+        """Number of levels, leaves included."""
+        return self._height
+
+    def min_key(self) -> Any:
+        """Smallest key, or None when empty."""
+        leaf = self._first_leaf
+        while leaf is not None and not leaf.keys:
+            leaf = leaf.next
+        return leaf.keys[0] if leaf is not None and leaf.keys else None
+
+    def max_key(self) -> Any:
+        """Largest key, or None when empty."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: Any, payload: Any) -> None:
+        """Insert an entry; duplicate keys are allowed and preserved."""
+        split = self._insert(self._root, key, payload)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+        self._size += 1
+
+    def _insert(self, node: Any, key: Any, payload: Any):
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.payloads.insert(idx, payload)
+            if len(node.keys) <= self._order:
+                return None
+            return self._split_leaf(node)
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, payload)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self._order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.payloads = leaf.payloads[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.payloads = leaf.payloads[:mid]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.children) // 2
+        right = _Internal()
+        sep = node.keys[mid - 1]
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        node.keys = node.keys[: mid - 1]
+        node.children = node.children[:mid]
+        return sep, right
+
+    def remove(self, key: Any, payload: Any) -> bool:
+        """Remove one entry matching both key and payload.
+
+        Returns True when an entry was removed.  Underflowed leaves are
+        left in place (lazy deletion), which matches how we use the tree
+        — bulk load, then read-heavy querying — and keeps scans correct.
+        """
+        leaf, idx = self._find_leaf(key)
+        while leaf is not None:
+            if idx >= len(leaf.keys):
+                leaf = leaf.next
+                idx = 0
+                continue
+            if leaf.keys[idx] != key and leaf.keys[idx] > key:
+                return False
+            if leaf.keys[idx] == key and leaf.payloads[idx] == payload:
+                del leaf.keys[idx]
+                del leaf.payloads[idx]
+                self._size -= 1
+                return True
+            idx += 1
+        return False
+
+    # -- search ------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> Tuple[_Leaf, int]:
+        """Leaf and slot of the first entry with key >= ``key``."""
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect.bisect_left(node.keys, key)
+            # Equal separators may have equal keys in the left child
+            # (duplicates straddle splits), so descend left on equality.
+            node = node.children[idx]
+        idx = bisect.bisect_left(node.keys, key)
+        return node, idx
+
+    def seek(self, key: Any) -> Iterator[Entry]:
+        """Iterate entries with key >= ``key`` in ascending order."""
+        leaf, idx = self._find_leaf(key)
+        # Duplicates may continue in the previous leaf? No: bisect_left
+        # on the leaf already lands at the first >=; but a preceding
+        # leaf can also contain equal keys when a split separated them.
+        prev = leaf.prev
+        while prev is not None and prev.keys and prev.keys[-1] >= key:
+            idx = bisect.bisect_left(prev.keys, key)
+            leaf = prev
+            prev = leaf.prev
+        while leaf is not None:
+            keys = leaf.keys
+            payloads = leaf.payloads
+            while idx < len(keys):
+                yield keys[idx], payloads[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def scan_all(self) -> Iterator[Entry]:
+        """Iterate every entry in ascending key order."""
+        leaf: Optional[_Leaf] = self._first_leaf
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.payloads)
+            leaf = leaf.next
+
+    def count_range(
+        self,
+        lo: Any,
+        hi: Any,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> int:
+        """Number of entries with lo ≤/< key ≤/< hi (used for costing)."""
+        total = 0
+        for key, _ in self.seek(lo):
+            if not lo_inclusive and key == lo:
+                continue
+            if key > hi or (not hi_inclusive and key == hi):
+                break
+            total += 1
+        return total
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on damage."""
+        expected = self._size
+        seen = 0
+        last = None
+        for key, _ in self.scan_all():
+            if last is not None:
+                assert not key < last, "leaf chain out of order"
+            last = key
+            seen += 1
+        assert seen == expected, "size %d != walked %d" % (expected, seen)
+        self._validate_node(self._root)
+
+    def _validate_node(self, node: Any) -> None:
+        if isinstance(node, _Internal):
+            assert len(node.children) == len(node.keys) + 1
+            for child in node.children:
+                self._validate_node(child)

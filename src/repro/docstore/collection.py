@@ -1,0 +1,391 @@
+"""Collections: documents + indexes + query execution + stats.
+
+This is the single-node MongoDB surface the rest of the reproduction
+builds on.  Every shard in :mod:`repro.cluster` hosts collections of
+this class; the mongos router fans queries out to them and merges the
+per-shard :class:`~repro.docstore.executor.ExecutionStats` into the
+cluster metrics the paper reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.docstore.aggregation import run_pipeline
+from repro.docstore.bson import ObjectId, bson_document_size
+from repro.docstore.cursor import Cursor
+from repro.docstore.document import deep_copy_document, get_path
+from repro.docstore.executor import ExecutionStats, execute_plan
+from repro.docstore.index import Index, IndexDefinition
+from repro.docstore.matcher import Matcher
+from repro.docstore.planner import (
+    CollScanPlan,
+    IndexScanPlan,
+    analyze_query,
+    plan_query,
+)
+from repro.docstore.storage import StorageModel
+from repro.errors import DocumentStoreError, IndexError_
+
+__all__ = ["Collection", "FindResult"]
+
+
+class FindResult:
+    """Documents plus the execution evidence (plan + stats)."""
+
+    def __init__(
+        self,
+        documents: List[dict],
+        stats: ExecutionStats,
+        plan: IndexScanPlan | CollScanPlan,
+    ) -> None:
+        self.documents = documents
+        self.stats = stats
+        self.plan = plan
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+
+class Collection:
+    """A named collection of documents with secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        storage_model: Optional[StorageModel] = None,
+        btree_order: int = 64,
+    ) -> None:
+        self.name = name
+        self._records: Dict[int, dict] = {}
+        self._rid_counter = itertools.count()
+        self._indexes: Dict[str, Index] = {}
+        self._btree_order = btree_order
+        self.storage_model = storage_model or StorageModel()
+        # The _id index exists on every MongoDB collection and cannot
+        # be dropped (Section 3.1).
+        self._id_index = Index(
+            IndexDefinition.from_spec([("_id", 1)], name="_id_", unique=True),
+            order=btree_order,
+        )
+        self._indexes["_id_"] = self._id_index
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> Any:
+        """Insert one document; returns its ``_id``.
+
+        A fresh ObjectId is assigned when the document has none, exactly
+        like the MongoDB client driver (Appendix A.1).
+        """
+        doc = dict(document)
+        if "_id" not in doc:
+            doc["_id"] = ObjectId()
+        rid = next(self._rid_counter)
+        for index in self._indexes.values():
+            index.insert_document(rid, doc)
+        self._records[rid] = doc
+        return doc["_id"]
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> List[Any]:
+        """Insert documents in order; returns their ids."""
+        return [self.insert_one(d) for d in documents]
+
+    def delete_many(self, query: Mapping[str, Any]) -> int:
+        """Delete matching documents; returns the count."""
+        matcher = Matcher(query)
+        doomed = [
+            (rid, doc)
+            for rid, doc in self._records.items()
+            if matcher.matches(doc)
+        ]
+        for rid, doc in doomed:
+            for index in self._indexes.values():
+                index.remove_document(rid, doc)
+            del self._records[rid]
+        return len(doomed)
+
+    _UPDATE_OPERATORS = {
+        "$set", "$unset", "$inc", "$mul", "$min", "$max", "$push",
+    }
+
+    def update_many(
+        self, query: Mapping[str, Any], update: Mapping[str, Any]
+    ) -> int:
+        """Apply an update document to matching documents.
+
+        Supports ``$set``, ``$unset``, ``$inc``, ``$mul``, ``$min``,
+        ``$max``, and ``$push``; indexes are maintained through the
+        change.  Returns the number of documents modified.
+        """
+        unknown = set(update) - self._UPDATE_OPERATORS
+        if unknown:
+            raise DocumentStoreError(
+                "unsupported update operators %r" % sorted(unknown)
+            )
+        matcher = Matcher(query)
+        touched = 0
+        for rid, doc in list(self._records.items()):
+            if not matcher.matches(doc):
+                continue
+            for index in self._indexes.values():
+                index.remove_document(rid, doc)
+            self._apply_update(doc, update)
+            for index in self._indexes.values():
+                index.insert_document(rid, doc)
+            touched += 1
+        return touched
+
+    @staticmethod
+    def _apply_update(doc: dict, update: Mapping[str, Any]) -> None:
+        from repro.docstore import bson
+        from repro.docstore.document import MISSING, get_path, set_path
+
+        for path, value in update.get("$set", {}).items():
+            set_path(doc, path, value)
+        for path in update.get("$unset", {}):
+            doc.pop(path, None)
+        for path, delta in update.get("$inc", {}).items():
+            current = get_path(doc, path)
+            base = current if isinstance(current, (int, float)) else 0
+            set_path(doc, path, base + delta)
+        for path, factor in update.get("$mul", {}).items():
+            current = get_path(doc, path)
+            base = current if isinstance(current, (int, float)) else 0
+            set_path(doc, path, base * factor)
+        for path, value in update.get("$min", {}).items():
+            current = get_path(doc, path)
+            if current is MISSING or bson.compare(value, current) < 0:
+                set_path(doc, path, value)
+        for path, value in update.get("$max", {}).items():
+            current = get_path(doc, path)
+            if current is MISSING or bson.compare(value, current) > 0:
+                set_path(doc, path, value)
+        for path, value in update.get("$push", {}).items():
+            current = get_path(doc, path)
+            if current is MISSING or not isinstance(current, list):
+                current = []
+            set_path(doc, path, current + [value])
+
+    # -- indexes ---------------------------------------------------------------
+
+    def create_index(
+        self,
+        spec: Sequence[Tuple[str, Any]] | Mapping[str, Any],
+        name: str = "",
+        unique: bool = False,
+        geohash_bits: int = 26,
+    ) -> str:
+        """Create (and build) a secondary index; returns its name."""
+        definition = IndexDefinition.from_spec(
+            spec, name=name, unique=unique, geohash_bits=geohash_bits
+        )
+        if definition.name in self._indexes:
+            raise IndexError_("index %r already exists" % definition.name)
+        index = Index(definition, order=self._btree_order)
+        for rid, doc in self._records.items():
+            index.insert_document(rid, doc)
+        self._indexes[definition.name] = index
+        return definition.name
+
+    def drop_index(self, name: str) -> None:
+        """Remove a secondary index by name."""
+        if name == "_id_":
+            raise IndexError_("the _id index cannot be dropped")
+        if name not in self._indexes:
+            raise IndexError_("no index named %r" % name)
+        del self._indexes[name]
+
+    def list_indexes(self) -> List[str]:
+        """Names of all indexes, ``_id_`` included."""
+        return list(self._indexes)
+
+    def get_index(self, name: str) -> Index:
+        """The live index object for a name."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise IndexError_("no index named %r" % name) from None
+
+    # -- reads -----------------------------------------------------------------
+
+    def find_with_stats(
+        self,
+        query: Mapping[str, Any],
+        hint: Optional[str] = None,
+        max_geo_ranges: Optional[int] = None,
+        planning: str = "estimate",
+        matcher: Optional[Matcher] = None,
+        shape=None,
+    ) -> FindResult:
+        """Execute a query, returning documents + plan + stats.
+
+        ``planning`` selects the optimizer mode: ``"estimate"`` ranks
+        candidate plans by cost estimates (fast, deterministic) while
+        ``"trial"`` races them for a short work budget, as MongoDB's
+        optimizer does.  ``matcher``/``shape`` accept pre-compiled
+        forms of the same query (the mongos router analyses once and
+        shares with every targeted shard).
+        """
+        if matcher is None:
+            matcher = Matcher(query)
+        if shape is None:
+            shape = analyze_query(query)
+        if planning == "trial" and hint is None:
+            from repro.docstore.trial import plan_query_by_trial
+
+            plan = plan_query_by_trial(
+                shape,
+                list(self._indexes.values()),
+                self._records,
+                matcher,
+                collection_size=len(self._records),
+                max_geo_ranges=max_geo_ranges,
+            )
+        elif planning in ("estimate", "trial"):
+            plan = plan_query(
+                shape,
+                list(self._indexes.values()),
+                collection_size=len(self._records),
+                hint=hint,
+                max_geo_ranges=max_geo_ranges,
+            )
+        else:
+            raise DocumentStoreError(
+                "unknown planning mode %r" % (planning,)
+            )
+        docs, stats = execute_plan(plan, self._records, matcher)
+        return FindResult(
+            [deep_copy_document(d) for d in docs], stats, plan
+        )
+
+    def find(
+        self,
+        query: Mapping[str, Any] | None = None,
+        projection: Optional[Mapping[str, Any]] = None,
+        hint: Optional[str] = None,
+    ) -> Cursor:
+        """Matching documents as a chainable cursor."""
+        result = self.find_with_stats(query or {}, hint=hint)
+        documents = result.documents
+        if projection:
+            from repro.docstore.aggregation import run_pipeline
+
+            documents = run_pipeline(documents, [{"$project": projection}])
+        return Cursor(documents)
+
+    def find_one(
+        self, query: Mapping[str, Any] | None = None
+    ) -> Optional[dict]:
+        """The first matching document, or None."""
+        return self.find(query).first()
+
+    def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
+        """Number of documents matching the query."""
+        if not query:
+            return len(self._records)
+        return len(self.find_with_stats(query).documents)
+
+    def explain(
+        self, query: Mapping[str, Any], hint: Optional[str] = None
+    ) -> dict:
+        """MongoDB-flavoured explain output with execution stats.
+
+        Includes ``rejectedPlans`` — the candidate plans the optimizer
+        considered but did not pick, as MongoDB's explain does.
+        """
+        from repro.docstore.planner import plan_candidates
+
+        result = self.find_with_stats(query, hint=hint)
+        shape = analyze_query(query)
+        winner = result.plan.describe()
+        rejected = [
+            plan.describe()
+            for plan in plan_candidates(shape, list(self._indexes.values()))
+            if plan.describe() != winner
+        ]
+        return {
+            "queryPlanner": {
+                "winningPlan": winner,
+                "rejectedPlans": rejected,
+            },
+            "executionStats": result.stats.as_dict(),
+        }
+
+    def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> List[dict]:
+        """Run an aggregation pipeline over the collection."""
+        docs = [deep_copy_document(d) for d in self._records.values()]
+        return run_pipeline(docs, pipeline)
+
+    # -- internal fast paths (used by the sharding layer) -------------------------
+
+    def iter_index_range(
+        self, index_name: str, lo: Tuple, hi: Tuple
+    ):
+        """Yield ``(rid, document)`` for index keys in ``[lo, hi)``.
+
+        ``lo``/``hi`` are canonical key tuples covering all index
+        fields.  This is the chunk-migration fast path: proportional to
+        the range size, not the collection size.
+        """
+        index = self.get_index(index_name)
+        width = len(index.definition.fields)
+        for key, rid in index.tree.seek(lo):
+            if key[:width] >= hi:
+                break
+            yield rid, self._records[rid]
+
+    def remove_by_rids(self, rids: Sequence[int]) -> int:
+        """Remove records by internal id (chunk-migration fast path)."""
+        removed = 0
+        for rid in rids:
+            doc = self._records.pop(rid, None)
+            if doc is None:
+                continue
+            for index in self._indexes.values():
+                index.remove_document(rid, doc)
+            removed += 1
+        return removed
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all_documents(self) -> Iterable[Mapping[str, Any]]:
+        """Storage view of all documents (do not mutate)."""
+        return self._records.values()
+
+    def data_size(self) -> int:
+        """Uncompressed BSON bytes of all documents."""
+        return self.storage_model.data_size(self._records.values())
+
+    def storage_size(self) -> int:
+        """Block-compressed collection bytes."""
+        return self.storage_model.storage_size(self._records.values())
+
+    def index_sizes(self) -> Dict[str, int]:
+        """Prefix-compressed size per index, in bytes."""
+        return {
+            name: self.storage_model.index_size(index)
+            for name, index in self._indexes.items()
+        }
+
+    def total_index_size(self) -> int:
+        """Sum of all index sizes in bytes."""
+        return sum(self.index_sizes().values())
+
+    def stats(self) -> dict:
+        """A ``collStats``-style summary."""
+        return {
+            "count": len(self._records),
+            "size": self.data_size(),
+            "storageSize": self.storage_size(),
+            "nindexes": len(self._indexes),
+            "indexSizes": self.index_sizes(),
+            "totalIndexSize": self.total_index_size(),
+        }

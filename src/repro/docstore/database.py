@@ -1,0 +1,57 @@
+"""Databases: namespaces of collections, as in MongoDB."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.docstore.collection import Collection
+from repro.docstore.storage import StorageModel
+from repro.errors import DocumentStoreError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named group of collections sharing a storage model."""
+
+    def __init__(
+        self, name: str, storage_model: Optional[StorageModel] = None
+    ) -> None:
+        self.name = name
+        self.storage_model = storage_model or StorageModel()
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or lazily create a collection (MongoDB semantics)."""
+        if name not in self._collections:
+            self._collections[name] = Collection(
+                name, storage_model=self.storage_model
+            )
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection from the namespace."""
+        if name not in self._collections:
+            raise DocumentStoreError("no collection named %r" % name)
+        del self._collections[name]
+
+    def list_collections(self) -> List[str]:
+        """Names of the existing collections."""
+        return list(self._collections)
+
+    def stats(self) -> dict:
+        """A dbStats-style summary."""
+        return {
+            "db": self.name,
+            "collections": len(self._collections),
+            "objects": sum(len(c) for c in self._collections.values()),
+            "dataSize": sum(
+                c.data_size() for c in self._collections.values()
+            ),
+            "totalIndexSize": sum(
+                c.total_index_size() for c in self._collections.values()
+            ),
+        }

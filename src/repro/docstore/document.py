@@ -1,0 +1,103 @@
+"""Document helpers: dotted-path access and deep utilities.
+
+MongoDB addresses nested fields with dotted paths
+(``location.coordinates``); the matcher, indexes, and projections all
+share these helpers.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator, Mapping, MutableMapping, Sequence, Tuple
+
+__all__ = [
+    "MISSING",
+    "get_path",
+    "set_path",
+    "has_path",
+    "iter_paths",
+    "deep_copy_document",
+]
+
+
+class _Missing:
+    """Sentinel distinguishing an absent field from a ``None`` value."""
+
+    _instance: "_Missing | None" = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISSING = _Missing()
+
+
+def get_path(document: Mapping[str, Any], path: str) -> Any:
+    """Value at a dotted path, or :data:`MISSING` if absent.
+
+    Numeric path components index into arrays, mirroring MongoDB
+    (``coordinates.0`` is the longitude of a GeoJSON point).
+    """
+    current: Any = document
+    for part in path.split("."):
+        if isinstance(current, Mapping):
+            if part not in current:
+                return MISSING
+            current = current[part]
+        elif isinstance(current, Sequence) and not isinstance(
+            current, (str, bytes)
+        ):
+            if not part.isdigit():
+                return MISSING
+            idx = int(part)
+            if idx >= len(current):
+                return MISSING
+            current = current[idx]
+        else:
+            return MISSING
+    return current
+
+
+def has_path(document: Mapping[str, Any], path: str) -> bool:
+    """True when the dotted path resolves to any value (even ``None``)."""
+    return get_path(document, path) is not MISSING
+
+
+def set_path(
+    document: MutableMapping[str, Any], path: str, value: Any
+) -> None:
+    """Set a dotted path, creating intermediate objects as needed."""
+    parts = path.split(".")
+    current: MutableMapping[str, Any] = document
+    for part in parts[:-1]:
+        nxt = current.get(part)
+        if not isinstance(nxt, MutableMapping):
+            nxt = {}
+            current[part] = nxt
+        current = nxt
+    current[parts[-1]] = value
+
+
+def iter_paths(
+    document: Mapping[str, Any], prefix: str = ""
+) -> Iterator[Tuple[str, Any]]:
+    """Yield every (dotted path, leaf value) pair in the document."""
+    for key, value in document.items():
+        path = "%s.%s" % (prefix, key) if prefix else key
+        if isinstance(value, Mapping) and value:
+            yield from iter_paths(value, path)
+        else:
+            yield path, value
+
+
+def deep_copy_document(document: Mapping[str, Any]) -> dict:
+    """A deep copy safe to hand to callers without aliasing storage."""
+    return copy.deepcopy(dict(document))

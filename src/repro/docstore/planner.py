@@ -1,0 +1,563 @@
+"""Query planning: predicate analysis, index bounds, plan selection.
+
+This is the component responsible for Table 7 of the paper: given a
+query and the available indexes, the optimizer must choose between, say,
+the ``(location, date)`` compound index and the single-field ``date``
+index created by sharding — and the paper observes MongoDB choosing
+differently per query shape.  The planner here mirrors the structure of
+MongoDB's: extract per-path predicates, generate index bounds for every
+candidate index, estimate a scan cost, and keep the cheapest plan.
+
+Supported bound sources, matching the paper's workloads:
+
+* comparison predicates (``$eq``/``$gt``/``$gte``/``$lt``/``$lte``)
+  intersected into one interval per path;
+* ``$in`` lists → one point interval per member;
+* ``$geoWithin`` on a 2dsphere field → GeoHash covering ranges computed
+  by :mod:`repro.sfc.ranges` (this is what MongoDB's S2/GeoHash region
+  coverer does internally);
+* a top-level ``$or`` whose every clause constrains the *same* single
+  path (the Hilbert-range pattern of Section 4.2.1) → the union of the
+  clause intervals on that path.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.docstore import bson
+from repro.docstore.index import (
+    ASCENDING,
+    GEOSPHERE,
+    HASHED,
+    SCAN_BOTTOM,
+    SCAN_TOP,
+    Index,
+)
+from repro.docstore.matcher import is_operator_expression
+from repro.errors import PlanError, QueryError
+from repro.geo.geojson import parse_geometry
+from repro.geo.geometry import BoundingBox, Polygon
+from repro.sfc.ranges import covering_ranges
+
+__all__ = [
+    "Interval",
+    "PathPredicate",
+    "QueryShape",
+    "IndexScanPlan",
+    "CollScanPlan",
+    "plan_query",
+    "analyze_query",
+    "SEEK_COST",
+]
+
+#: Cost (in key-comparison units) charged per index seek.  Calibrated so
+#: many-range scans (e.g. a big `$geoWithin` covering) lose to a single
+#: wide range when the wide range is genuinely cheaper.
+SEEK_COST = 8.0
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed/open interval over canonical key space.
+
+    ``lo``/``hi`` are canonical keys (see :func:`bson.sort_key`) or the
+    scan sentinels.  ``point`` intervals have equal inclusive bounds.
+    """
+
+    lo: Tuple
+    hi: Tuple
+    lo_inclusive: bool = True
+    hi_inclusive: bool = True
+
+    @classmethod
+    def full(cls) -> "Interval":
+        """The unbounded interval (every key)."""
+        return cls(SCAN_BOTTOM, SCAN_TOP)
+
+    @classmethod
+    def point(cls, value: Any) -> "Interval":
+        """A single-value interval."""
+        canon = bson.sort_key(value)
+        return cls(canon, canon)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the interval spans the whole key space."""
+        return self.lo == SCAN_BOTTOM and self.hi == SCAN_TOP
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the interval holds exactly one value."""
+        return self.lo == self.hi and self.lo_inclusive and self.hi_inclusive
+
+    def width_fraction(self, stats: Optional[Tuple[float, float]]) -> float:
+        """Estimated fraction of entries inside this interval.
+
+        Uses the index's observed numeric min/max when available;
+        non-numeric or unbounded-domain intervals fall back to fixed
+        heuristics (point → tiny, full → 1.0, half-bounded → 1/3),
+        similar in spirit to classic System-R defaults.
+        """
+        if self.is_full:
+            return 1.0
+        if self.is_point:
+            return 0.001
+        lo_num = _canon_to_float(self.lo)
+        hi_num = _canon_to_float(self.hi)
+        if stats is not None and stats[1] > stats[0]:
+            domain = stats[1] - stats[0]
+            lo_eff = stats[0] if lo_num is None else max(lo_num, stats[0])
+            hi_eff = stats[1] if hi_num is None else min(hi_num, stats[1])
+            if hi_eff <= lo_eff:
+                return 0.0005
+            return min(1.0, (hi_eff - lo_eff) / domain)
+        if lo_num is None or hi_num is None:
+            return 1.0 / 3.0
+        return 0.1
+
+
+def _canon_to_float(canon: Tuple) -> Optional[float]:
+    """Numeric projection of a canonical key, if it has one."""
+    if canon in (SCAN_BOTTOM, SCAN_TOP):
+        return None
+    if len(canon) >= 2 and isinstance(canon[1], (int, float)):
+        return float(canon[1])
+    return None
+
+
+@dataclass
+class PathPredicate:
+    """Everything the query asserts about one dotted path."""
+
+    path: str
+    eq_values: List[Any] = field(default_factory=list)
+    in_values: List[Any] = field(default_factory=list)
+    gt: Optional[Any] = None
+    gt_inclusive: bool = True
+    lt: Optional[Any] = None
+    lt_inclusive: bool = True
+    geo_region: Optional[Any] = None  # Polygon or BoundingBox
+    #: Interval unions contributed by a single-path $or (Hilbert ranges).
+    or_intervals: List[Interval] = field(default_factory=list)
+
+    def has_range(self) -> bool:
+        """Whether any range operator constrains the path."""
+        return self.gt is not None or self.lt is not None
+
+    def is_constraining(self) -> bool:
+        """Whether the predicate can produce index bounds."""
+        return bool(
+            self.eq_values
+            or self.in_values
+            or self.has_range()
+            or self.geo_region is not None
+            or self.or_intervals
+        )
+
+    def plain_intervals(self) -> List[Interval]:
+        """Intervals from eq/in/range predicates (no geo, no $or)."""
+        out: List[Interval] = []
+        for v in self.eq_values:
+            out.append(Interval.point(v))
+        for v in self.in_values:
+            out.append(Interval.point(v))
+        if self.has_range():
+            lo = SCAN_BOTTOM if self.gt is None else bson.sort_key(self.gt)
+            hi = SCAN_TOP if self.lt is None else bson.sort_key(self.lt)
+            out.append(
+                Interval(lo, hi, self.gt_inclusive, self.lt_inclusive)
+            )
+        if not out:
+            return []
+        # Intersect eq/in points with the range if both present.
+        ranges = [iv for iv in out if not iv.is_point]
+        points = [iv for iv in out if iv.is_point]
+        if ranges and points:
+            rng = ranges[0]
+            points = [
+                p
+                for p in points
+                if _interval_contains(rng, p.lo)
+            ]
+            out = points if points else [ranges[0]]
+        return _normalize_intervals(out)
+
+
+def _interval_contains(interval: Interval, canon: Tuple) -> bool:
+    if canon < interval.lo:
+        return False
+    if canon == interval.lo and not interval.lo_inclusive:
+        return False
+    if canon > interval.hi:
+        return False
+    if canon == interval.hi and not interval.hi_inclusive:
+        return False
+    return True
+
+
+def _normalize_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Sort and merge overlapping/adjacent intervals."""
+    ivs = sorted(intervals, key=lambda iv: (iv.lo, iv.hi))
+    merged: List[Interval] = []
+    for iv in ivs:
+        if merged:
+            last = merged[-1]
+            if iv.lo < last.hi or (
+                iv.lo == last.hi and (iv.lo_inclusive or last.hi_inclusive)
+            ):
+                hi, hii = max(
+                    (last.hi, last.hi_inclusive), (iv.hi, iv.hi_inclusive)
+                )
+                merged[-1] = Interval(last.lo, hi, last.lo_inclusive, hii)
+                continue
+        merged.append(iv)
+    return merged
+
+
+@dataclass
+class QueryShape:
+    """The analyzed form of a query document."""
+
+    predicates: Dict[str, PathPredicate]
+    residual_query: Mapping[str, Any]
+    #: True when the query contained a multi-path $or the planner could
+    #: not fold into index bounds (forces collection-scan semantics
+    #: unless some other predicate is indexed).
+    opaque_or: bool = False
+
+    def predicate(self, path: str) -> Optional[PathPredicate]:
+        """The predicate on a path, or None."""
+        return self.predicates.get(path)
+
+
+def analyze_query(query: Mapping[str, Any]) -> QueryShape:
+    """Extract per-path predicates from a query document."""
+    predicates: Dict[str, PathPredicate] = {}
+    opaque_or = False
+
+    def pred(path: str) -> PathPredicate:
+        if path not in predicates:
+            predicates[path] = PathPredicate(path)
+        return predicates[path]
+
+    def absorb(doc: Mapping[str, Any]) -> None:
+        nonlocal opaque_or
+        for key, value in doc.items():
+            if key == "$and":
+                for clause in value:
+                    absorb(clause)
+            elif key == "$or":
+                folded = _fold_or(value)
+                if folded is None:
+                    opaque_or = True
+                else:
+                    path, intervals = folded
+                    pred(path).or_intervals.extend(intervals)
+            elif key == "$nor":
+                opaque_or = True
+            elif key.startswith("$"):
+                raise QueryError("unsupported top-level operator %r" % key)
+            elif is_operator_expression(value):
+                _absorb_operators(pred(key), value)
+            else:
+                pred(key).eq_values.append(value)
+
+    absorb(query)
+    return QueryShape(
+        predicates=predicates, residual_query=query, opaque_or=opaque_or
+    )
+
+
+def _absorb_operators(p: PathPredicate, ops: Mapping[str, Any]) -> None:
+    for op, arg in ops.items():
+        if op == "$eq":
+            p.eq_values.append(arg)
+        elif op == "$in":
+            p.in_values.extend(arg)
+        elif op == "$gt":
+            _tighten_gt(p, arg, inclusive=False)
+        elif op == "$gte":
+            _tighten_gt(p, arg, inclusive=True)
+        elif op == "$lt":
+            _tighten_lt(p, arg, inclusive=False)
+        elif op == "$lte":
+            _tighten_lt(p, arg, inclusive=True)
+        elif op in ("$geoWithin", "$geoIntersects"):
+            p.geo_region = _parse_geo_argument(arg)
+        # $ne/$nin/$exists/$not/... contribute no bounds; the residual
+        # matcher enforces them.
+
+
+def _tighten_gt(p: PathPredicate, value: Any, inclusive: bool) -> None:
+    if p.gt is None or bson.compare(value, p.gt) > 0:
+        p.gt, p.gt_inclusive = value, inclusive
+    elif bson.compare(value, p.gt) == 0 and not inclusive:
+        p.gt_inclusive = False
+
+
+def _tighten_lt(p: PathPredicate, value: Any, inclusive: bool) -> None:
+    if p.lt is None or bson.compare(value, p.lt) < 0:
+        p.lt, p.lt_inclusive = value, inclusive
+    elif bson.compare(value, p.lt) == 0 and not inclusive:
+        p.lt_inclusive = False
+
+
+def _parse_geo_argument(arg: Any):
+    if isinstance(arg, Mapping):
+        if "$geometry" in arg:
+            return parse_geometry(arg["$geometry"])
+        if "$box" in arg:
+            lo, hi = arg["$box"]
+            return BoundingBox(lo[0], lo[1], hi[0], hi[1])
+    if isinstance(arg, (Polygon, BoundingBox)):
+        return arg
+    raise QueryError("unsupported $geoWithin argument %r" % (arg,))
+
+
+def _fold_or(
+    clauses: Sequence[Mapping[str, Any]]
+) -> Optional[Tuple[str, List[Interval]]]:
+    """Fold a single-path $or into an interval union, if possible.
+
+    This recognises exactly the query pattern the paper's Hilbert
+    approach generates: ``$or`` of ``{hilbertIndex: {$gte,$lte}}``
+    ranges plus one ``{hilbertIndex: {$in: [...]}}`` clause.
+    """
+    path: Optional[str] = None
+    intervals: List[Interval] = []
+    for clause in clauses:
+        if not isinstance(clause, Mapping) or len(clause) != 1:
+            return None
+        ((cpath, value),) = clause.items()
+        if cpath.startswith("$"):
+            return None
+        if path is None:
+            path = cpath
+        elif path != cpath:
+            return None
+        sub = PathPredicate(cpath)
+        if is_operator_expression(value):
+            for op in value:
+                if op not in ("$eq", "$in", "$gt", "$gte", "$lt", "$lte"):
+                    return None
+            _absorb_operators(sub, value)
+        else:
+            sub.eq_values.append(value)
+        intervals.extend(sub.plain_intervals())
+    if path is None or not intervals:
+        return None
+    return path, _normalize_intervals(intervals)
+
+
+@dataclass
+class IndexScanPlan:
+    """An executable index-bounds scan.
+
+    ``bounds`` holds one sorted interval list per index field prefix;
+    trailing unconstrained fields are omitted (the scan stops
+    descending).  ``estimated_cost`` is what the optimizer ranked by.
+    """
+
+    index: Index
+    bounds: List[List[Interval]]
+    estimated_cost: float
+    estimated_keys: float
+    n_bounded_fields: int
+
+    @property
+    def index_name(self) -> str:
+        """Name of the index this plan scans."""
+        return self.index.name
+
+    @property
+    def kind(self) -> str:
+        """Plan stage label (IXSCAN)."""
+        return "IXSCAN"
+
+    def describe(self) -> dict:
+        """Explain-style summary of the plan."""
+        return {
+            "stage": "IXSCAN",
+            "indexName": self.index_name,
+            "boundedFields": self.n_bounded_fields,
+            "intervalCounts": [len(b) for b in self.bounds],
+            "estimatedCost": round(self.estimated_cost, 2),
+            "estimatedKeys": round(self.estimated_keys, 2),
+        }
+
+
+@dataclass
+class CollScanPlan:
+    """Full collection scan fallback."""
+
+    estimated_cost: float
+
+    @property
+    def kind(self) -> str:
+        """Plan stage label (COLLSCAN)."""
+        return "COLLSCAN"
+
+    def describe(self) -> dict:
+        """Explain-style summary of the plan."""
+        return {
+            "stage": "COLLSCAN",
+            "estimatedCost": round(self.estimated_cost, 2),
+        }
+
+
+def build_bounds_for_index(
+    index: Index, shape: QueryShape, max_geo_ranges: Optional[int] = None
+) -> Optional[Tuple[List[List[Interval]], int]]:
+    """Index bounds for a query, or None when the index is unusable.
+
+    Bounds are generated for the longest constrained field prefix.  The
+    first field must be constrained — exactly the rule Section 3.1
+    explains for compound-index traversal.
+    """
+    bounds: List[List[Interval]] = []
+    for position, f in enumerate(index.definition.fields):
+        p = shape.predicate(f.path)
+        intervals: List[Interval] = []
+        if p is not None and p.is_constraining():
+            if f.kind == GEOSPHERE:
+                if p.geo_region is not None:
+                    intervals = _geo_intervals(
+                        index, p.geo_region, max_geo_ranges
+                    )
+                # eq/range predicates on a geo field give no bounds.
+            elif f.kind == HASHED:
+                from repro.docstore.index import hashed_value
+
+                for v in p.eq_values:
+                    intervals.append(Interval.point(hashed_value(v)))
+                for v in p.in_values:
+                    intervals.append(Interval.point(hashed_value(v)))
+                intervals = _normalize_intervals(intervals)
+            else:
+                intervals = p.plain_intervals()
+                if p.or_intervals:
+                    intervals = _normalize_intervals(
+                        intervals + list(p.or_intervals)
+                    ) if intervals else list(p.or_intervals)
+        if not intervals:
+            break
+        bounds.append(intervals)
+    if not bounds:
+        return None
+    return bounds, len(bounds)
+
+
+def _geo_intervals(
+    index: Index, region: Any, max_geo_ranges: Optional[int]
+) -> List[Interval]:
+    bbox = region.bbox if isinstance(region, Polygon) else region
+    ranges = covering_ranges(
+        index.grid,
+        bbox.min_lon,
+        bbox.min_lat,
+        bbox.max_lon,
+        bbox.max_lat,
+        max_ranges=max_geo_ranges,
+    )
+    return [
+        Interval(bson.sort_key(r.lo), bson.sort_key(r.hi))
+        for r in ranges
+    ]
+
+
+def estimate_plan(index: Index, bounds: List[List[Interval]]) -> Tuple[float, float]:
+    """(estimated_cost, estimated_keys) for an index-bounds scan.
+
+    Seek cost is charged for the *first* field's intervals only: the
+    bounds-checker executor seeks once per first-field interval (a
+    fragmented ``$geoWithin`` covering on the leading field is a seek
+    storm), while deeper fields' intervals are enforced by per-key
+    checks during the walk and add no seeks of their own.
+    """
+    n = float(len(index))
+    if n == 0:
+        return 0.0, 0.0
+    keys = n
+    for position, intervals in enumerate(bounds):
+        stats = index.field_stats(position)
+        fraction = sum(iv.width_fraction(stats) for iv in intervals)
+        fraction = min(1.0, max(fraction, 1e-6))
+        keys *= fraction
+    seeks = float(len(bounds[0]))
+    cost = keys + SEEK_COST * seeks
+    return cost, keys
+
+
+def plan_candidates(
+    shape: QueryShape,
+    indexes: Sequence[Index],
+    max_geo_ranges: Optional[int] = None,
+) -> List[IndexScanPlan]:
+    """Every usable index-scan plan with its cost estimate."""
+    candidates: List[IndexScanPlan] = []
+    for index in indexes:
+        built = build_bounds_for_index(index, shape, max_geo_ranges)
+        if built is None:
+            continue
+        bounds, n_bounded = built
+        cost, keys = estimate_plan(index, bounds)
+        candidates.append(
+            IndexScanPlan(
+                index=index,
+                bounds=bounds,
+                estimated_cost=cost,
+                estimated_keys=keys,
+                n_bounded_fields=n_bounded,
+            )
+        )
+    return candidates
+
+
+def plan_query(
+    shape: QueryShape,
+    indexes: Sequence[Index],
+    collection_size: int,
+    hint: Optional[str] = None,
+    max_geo_ranges: Optional[int] = None,
+) -> IndexScanPlan | CollScanPlan:
+    """Choose the cheapest plan among usable indexes and COLLSCAN."""
+    candidates: List[IndexScanPlan] = []
+    for index in indexes:
+        if hint is not None and index.name != hint:
+            continue
+        built = build_bounds_for_index(index, shape, max_geo_ranges)
+        if built is None:
+            continue
+        bounds, n_bounded = built
+        cost, keys = estimate_plan(index, bounds)
+        candidates.append(
+            IndexScanPlan(
+                index=index,
+                bounds=bounds,
+                estimated_cost=cost,
+                estimated_keys=keys,
+                n_bounded_fields=n_bounded,
+            )
+        )
+    if hint is not None:
+        if not candidates:
+            raise PlanError("hinted index %r is not usable for this query" % hint)
+        return min(candidates, key=lambda p: p.estimated_cost)
+    if not candidates:
+        return CollScanPlan(estimated_cost=float(collection_size))
+    cheapest = min(p.estimated_cost for p in candidates)
+    # MongoDB's trial-based ranking effectively treats plans of similar
+    # productivity as ties and prefers the more specific one (more
+    # bounded fields).  Mirror that: among plans within a small factor
+    # of the cheapest, pick the most-bounded, then the cheapest.
+    near_ties = [
+        p for p in candidates if p.estimated_cost <= 3.0 * cheapest + 1.0
+    ]
+    best = min(
+        near_ties,
+        key=lambda p: (-p.n_bounded_fields, p.estimated_cost, p.index_name),
+    )
+    return best

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DocumentStoreError",
+    "DuplicateKeyError",
+    "IndexError_",
+    "QueryError",
+    "PlanError",
+    "AggregationError",
+    "ShardingError",
+    "ZoneError",
+    "RoutingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every library-specific error."""
+
+
+class DocumentStoreError(ReproError):
+    """Errors raised by the single-node document store."""
+
+
+class DuplicateKeyError(DocumentStoreError):
+    """A unique index rejected an insert (e.g. duplicate ``_id``)."""
+
+
+class IndexError_(DocumentStoreError):
+    """Index definition or maintenance failure."""
+
+
+class QueryError(DocumentStoreError):
+    """Malformed query document or unsupported operator."""
+
+
+class PlanError(DocumentStoreError):
+    """The planner could not produce an executable plan."""
+
+
+class AggregationError(DocumentStoreError):
+    """Malformed aggregation pipeline or unsupported stage."""
+
+
+class ShardingError(ReproError):
+    """Errors raised by the sharded-cluster layer."""
+
+
+class ZoneError(ShardingError):
+    """Invalid zone definition (overlap, unknown shard, ...)."""
+
+
+class RoutingError(ShardingError):
+    """The router could not target or execute a query."""

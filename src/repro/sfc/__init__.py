@@ -1,0 +1,53 @@
+"""Space-filling curves: Hilbert, Z-order, GeoHash, and range covering."""
+
+from repro.sfc.geohash import (
+    GEOHASH_BASE32,
+    GeoHashGrid,
+    geohash_cell_bounds,
+    geohash_decode,
+    geohash_decode_int,
+    geohash_encode,
+    geohash_encode_int,
+)
+from repro.sfc.hilbert import HilbertCurve2D, hilbert_d_to_xy, hilbert_xy_to_d
+from repro.sfc.morton3 import (
+    Morton3D,
+    covering_ranges_3d,
+    morton3_deinterleave,
+    morton3_interleave,
+)
+from repro.sfc.ranges import (
+    CurveRange,
+    RangeSet,
+    covering_range_set,
+    covering_ranges,
+)
+from repro.sfc.zorder import (
+    ZOrderCurve2D,
+    morton_deinterleave,
+    morton_interleave,
+)
+
+__all__ = [
+    "GEOHASH_BASE32",
+    "GeoHashGrid",
+    "geohash_cell_bounds",
+    "geohash_decode",
+    "geohash_decode_int",
+    "geohash_encode",
+    "geohash_encode_int",
+    "HilbertCurve2D",
+    "hilbert_d_to_xy",
+    "hilbert_xy_to_d",
+    "CurveRange",
+    "RangeSet",
+    "covering_range_set",
+    "covering_ranges",
+    "ZOrderCurve2D",
+    "morton_deinterleave",
+    "morton_interleave",
+    "Morton3D",
+    "covering_ranges_3d",
+    "morton3_deinterleave",
+    "morton3_interleave",
+]

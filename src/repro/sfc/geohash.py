@@ -1,0 +1,224 @@
+"""GeoHash encoding — bit-level and base32 string forms.
+
+MongoDB's 2dsphere/2d indexing stores GeoHash values of 26 bits by
+default (Section 3.2 of the paper).  A GeoHash is a Z-order interleaving
+of successive longitude/latitude bisections: the first bit splits the
+longitude range, the second the latitude range, and so on.  The familiar
+string form groups the bits five at a time into a base32 alphabet.
+
+Both forms are provided: the integer form backs the simulated 2dsphere
+index (where keys must sort like MongoDB's), and the string form backs
+the documentation examples (Athens → ``swbb5ftzes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "GEOHASH_BASE32",
+    "geohash_encode_int",
+    "geohash_decode_int",
+    "geohash_cell_bounds",
+    "geohash_encode",
+    "geohash_decode",
+    "GeoHashGrid",
+]
+
+#: The GeoHash alphabet: digits and lowercase letters minus a, i, l, o.
+GEOHASH_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+_BASE32_INDEX = {ch: i for i, ch in enumerate(GEOHASH_BASE32)}
+
+_LON_RANGE = (-180.0, 180.0)
+_LAT_RANGE = (-90.0, 90.0)
+
+
+def geohash_encode_int(lon: float, lat: float, bits: int = 26) -> int:
+    """Encode a point to an integer GeoHash of ``bits`` total bits.
+
+    Bits alternate longitude-first, matching the classic GeoHash layout
+    and MongoDB's documented behaviour.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive, got %r" % bits)
+    if not (_LON_RANGE[0] <= lon <= _LON_RANGE[1]):
+        raise ValueError("longitude %r out of range [-180, 180]" % lon)
+    if not (_LAT_RANGE[0] <= lat <= _LAT_RANGE[1]):
+        raise ValueError("latitude %r out of range [-90, 90]" % lat)
+    lon_lo, lon_hi = _LON_RANGE
+    lat_lo, lat_hi = _LAT_RANGE
+    value = 0
+    for i in range(bits):
+        if i % 2 == 0:  # even bit: longitude
+            mid = (lon_lo + lon_hi) / 2
+            if lon >= mid:
+                value = (value << 1) | 1
+                lon_lo = mid
+            else:
+                value <<= 1
+                lon_hi = mid
+        else:  # odd bit: latitude
+            mid = (lat_lo + lat_hi) / 2
+            if lat >= mid:
+                value = (value << 1) | 1
+                lat_lo = mid
+            else:
+                value <<= 1
+                lat_hi = mid
+    return value
+
+
+def geohash_cell_bounds(
+    value: int, bits: int = 26
+) -> Tuple[float, float, float, float]:
+    """Bounds ``(min_lon, min_lat, max_lon, max_lat)`` of a GeoHash cell."""
+    if bits <= 0:
+        raise ValueError("bits must be positive, got %r" % bits)
+    if not (0 <= value < (1 << bits)):
+        raise ValueError("value %r does not fit in %d bits" % (value, bits))
+    lon_lo, lon_hi = _LON_RANGE
+    lat_lo, lat_hi = _LAT_RANGE
+    for i in range(bits):
+        bit = (value >> (bits - 1 - i)) & 1
+        if i % 2 == 0:
+            mid = (lon_lo + lon_hi) / 2
+            if bit:
+                lon_lo = mid
+            else:
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2
+            if bit:
+                lat_lo = mid
+            else:
+                lat_hi = mid
+    return lon_lo, lat_lo, lon_hi, lat_hi
+
+
+def geohash_decode_int(value: int, bits: int = 26) -> Tuple[float, float]:
+    """Centre point ``(lon, lat)`` of an integer GeoHash cell."""
+    lon_lo, lat_lo, lon_hi, lat_hi = geohash_cell_bounds(value, bits)
+    return (lon_lo + lon_hi) / 2, (lat_lo + lat_hi) / 2
+
+
+def geohash_encode(lon: float, lat: float, precision: int = 10) -> str:
+    """Encode a point to a base32 GeoHash string.
+
+    ``precision`` counts characters; each carries 5 bits.  The paper's
+    example: Athens (lat 37.983810, lon 23.727539) → ``swbb5ftzes``.
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive, got %r" % precision)
+    value = geohash_encode_int(lon, lat, bits=5 * precision)
+    chars = []
+    for i in range(precision):
+        shift = 5 * (precision - 1 - i)
+        chars.append(GEOHASH_BASE32[(value >> shift) & 0x1F])
+    return "".join(chars)
+
+
+def geohash_decode(text: str) -> Tuple[float, float]:
+    """Centre point ``(lon, lat)`` of a base32 GeoHash string."""
+    if not text:
+        raise ValueError("empty geohash")
+    value = 0
+    for ch in text:
+        try:
+            value = (value << 5) | _BASE32_INDEX[ch]
+        except KeyError:
+            raise ValueError("invalid geohash character %r" % ch) from None
+    return geohash_decode_int(value, bits=5 * len(text))
+
+
+@dataclass(frozen=True)
+class GeoHashGrid:
+    """Fixed-precision GeoHash grid used by the simulated 2dsphere index.
+
+    The grid exposes the same cell-addressing interface as the curve
+    classes so the range decomposer can produce index-scan intervals for
+    ``$geoWithin`` queries.  GeoHash *is* a Z-order curve over the
+    lon/lat bisection grid, so ``encode`` orders cells in Z-order.
+    """
+
+    bits: int = 26
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.bits % 2 != 0:
+            raise ValueError(
+                "bits must be a positive even number, got %r" % self.bits
+            )
+        if self.bits > 64:
+            raise ValueError("bits above 64 unsupported")
+
+    @property
+    def order(self) -> int:
+        """Bits per dimension."""
+        return self.bits // 2
+
+    @property
+    def cells_per_side(self) -> int:
+        """Number of grid cells along each dimension."""
+        return 1 << self.order
+
+    @property
+    def max_distance(self) -> int:
+        """Largest valid integer GeoHash (inclusive)."""
+        return (1 << self.bits) - 1
+
+    def cell_of(self, lon: float, lat: float) -> Tuple[int, int]:
+        """Grid cell ``(cx, cy)`` of a point (clamped to the globe)."""
+        n = self.cells_per_side
+        fx = (lon - _LON_RANGE[0]) / (_LON_RANGE[1] - _LON_RANGE[0])
+        fy = (lat - _LAT_RANGE[0]) / (_LAT_RANGE[1] - _LAT_RANGE[0])
+        cx = min(n - 1, max(0, int(fx * n)))
+        cy = min(n - 1, max(0, int(fy * n)))
+        return cx, cy
+
+    def encode(self, lon: float, lat: float) -> int:
+        """Integer GeoHash of the cell containing the point."""
+        lon = min(max(lon, _LON_RANGE[0]), _LON_RANGE[1])
+        lat = min(max(lat, _LAT_RANGE[0]), _LAT_RANGE[1])
+        return geohash_encode_int(lon, lat, bits=self.bits)
+
+    def decode_cell(self, d: int) -> Tuple[int, int]:
+        """Grid cell of an integer GeoHash.
+
+        GeoHash interleaves longitude first (even string-order bits), so
+        the x coordinate comes from the *high* bit of each pair.
+        """
+        if not (0 <= d <= self.max_distance):
+            raise ValueError(
+                "value %d outside the grid [0, %d]" % (d, self.max_distance)
+            )
+        cx = cy = 0
+        for i in range(self.order):
+            pair = (d >> (2 * (self.order - 1 - i))) & 0b11
+            cx = (cx << 1) | (pair >> 1)
+            cy = (cy << 1) | (pair & 1)
+        return cx, cy
+
+    def encode_cell(self, cx: int, cy: int) -> int:
+        """Integer GeoHash of grid cell ``(cx, cy)``."""
+        n = self.cells_per_side
+        if not (0 <= cx < n and 0 <= cy < n):
+            raise ValueError(
+                "cell (%d, %d) outside the %dx%d grid" % (cx, cy, n, n)
+            )
+        d = 0
+        for i in range(self.order - 1, -1, -1):
+            d = (d << 2) | (((cx >> i) & 1) << 1) | ((cy >> i) & 1)
+        return d
+
+    def cell_bounds(self, d: int) -> Tuple[float, float, float, float]:
+        """Bounds ``(min_lon, min_lat, max_lon, max_lat)`` of a cell."""
+        return geohash_cell_bounds(d, bits=self.bits)
+
+    def cell_range_for_box(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> Tuple[int, int, int, int]:
+        """Inclusive cell rectangle covering a box."""
+        cx0, cy0 = self.cell_of(min_x, min_y)
+        cx1, cy1 = self.cell_of(max_x, max_y)
+        return cx0, cy0, cx1, cy1

@@ -1,0 +1,201 @@
+"""Query-rectangle → covering-range decomposition for quadtree curves.
+
+This is the algorithm the paper times in Table 8: given the spatial
+extent of a query, find which 1D curve values (Hilbert distances,
+GeoHash cells, ...) must be searched in the index.  Consecutive values
+are merged into closed ranges; the query builder later turns length-1
+ranges into ``$in`` members and longer ones into ``$gte``/``$lte``
+clauses, exactly as Section 4.2.1 describes.
+
+The decomposition never enumerates individual cells over the whole
+rectangle.  All three curves in :mod:`repro.sfc` are quadtree-aligned —
+the sub-curve covering distances ``[d0, d0 + 4**m)`` (with ``d0`` a
+multiple of ``4**m``) always occupies an axis-aligned square of side
+``2**m`` — so a quadrant that falls fully inside the query emits one
+range and recursion only continues along the query boundary.  Cost is
+proportional to the rectangle perimeter, not its area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple
+
+__all__ = ["CurveRange", "Quadtree2DCurve", "covering_ranges", "RangeSet"]
+
+
+class Quadtree2DCurve(Protocol):
+    """Interface shared by Hilbert, Z-order, and GeoHash grids."""
+
+    @property
+    def order(self) -> int:  # bits per dimension
+        """Bits per dimension."""
+        ...
+
+    def decode_cell(self, d: int) -> Tuple[int, int]:
+        """Grid cell of a curve distance."""
+        ...
+
+    def encode_cell(self, cx: int, cy: int) -> int:
+        """Curve distance of a grid cell."""
+        ...
+
+    def cell_range_for_box(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> Tuple[int, int, int, int]:
+        """Inclusive cell rectangle covering a box."""
+        ...
+
+
+@dataclass(frozen=True, order=True)
+class CurveRange:
+    """A closed range ``[lo, hi]`` of curve distances."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError("range lo %d > hi %d" % (self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values covered."""
+        return self.hi - self.lo + 1
+
+    @property
+    def is_single(self) -> bool:
+        """True when the range covers a single value."""
+        return self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` lies inside the closed range."""
+        return self.lo <= value <= self.hi
+
+
+@dataclass(frozen=True)
+class RangeSet:
+    """The outcome of a decomposition, in the paper's query vocabulary.
+
+    ``ranges`` holds the multi-value intervals (rendered as
+    ``{$gte, $lte}`` clauses) and ``singles`` the isolated cell values
+    (rendered as one ``$in`` clause).
+    """
+
+    ranges: Tuple[CurveRange, ...]
+    singles: Tuple[int, ...]
+
+    @classmethod
+    def from_ranges(cls, merged: Sequence[CurveRange]) -> "RangeSet":
+        """Split merged ranges into multi-value intervals and singles."""
+        multi = tuple(r for r in merged if not r.is_single)
+        single = tuple(r.lo for r in merged if r.is_single)
+        return cls(ranges=multi, singles=single)
+
+    @property
+    def all_ranges(self) -> Tuple[CurveRange, ...]:
+        """Every interval, singles included, sorted by ``lo``."""
+        out = list(self.ranges) + [CurveRange(s, s) for s in self.singles]
+        out.sort()
+        return tuple(out)
+
+    @property
+    def total_cells(self) -> int:
+        """Number of distinct curve values covered."""
+        return sum(r.size for r in self.ranges) + len(self.singles)
+
+    def contains(self, value: int) -> bool:
+        """Whether a curve value falls inside any range or single."""
+        if value in self.singles:
+            return True
+        return any(r.contains(value) for r in self.ranges)
+
+
+def covering_ranges(
+    curve: Quadtree2DCurve,
+    min_x: float,
+    min_y: float,
+    max_x: float,
+    max_y: float,
+    max_ranges: int | None = None,
+) -> List[CurveRange]:
+    """Curve ranges covering every cell intersecting the rectangle.
+
+    The result is sorted, non-overlapping, and maximal (adjacent ranges
+    are merged).  When ``max_ranges`` is given, the smallest inter-range
+    gaps are swallowed until the count fits, trading false positives for
+    fewer query clauses (the refinement step removes them later).
+    """
+    if min_x > max_x or min_y > max_y:
+        raise ValueError("empty query rectangle")
+    qx0, qy0, qx1, qy1 = curve.cell_range_for_box(min_x, min_y, max_x, max_y)
+    order = curve.order
+    found: List[Tuple[int, int]] = []
+
+    # Iterative DFS over the quadtree of curve sub-ranges.  Each stack
+    # entry is (d0, m): the sub-curve [d0, d0 + 4**m) occupying an
+    # axis-aligned square of side 2**m.
+    stack: List[Tuple[int, int]] = [(0, order)]
+    while stack:
+        d0, m = stack.pop()
+        side = 1 << m
+        cx, cy = curve.decode_cell(d0)
+        sx0 = cx & ~(side - 1)
+        sy0 = cy & ~(side - 1)
+        sx1 = sx0 + side - 1
+        sy1 = sy0 + side - 1
+        if sx1 < qx0 or sx0 > qx1 or sy1 < qy0 or sy0 > qy1:
+            continue  # disjoint
+        inside = qx0 <= sx0 and sx1 <= qx1 and qy0 <= sy0 and sy1 <= qy1
+        if inside or m == 0:
+            found.append((d0, d0 + (1 << (2 * m)) - 1))
+            continue
+        step = 1 << (2 * (m - 1))
+        for i in range(4):
+            stack.append((d0 + i * step, m - 1))
+
+    found.sort()
+    merged: List[CurveRange] = []
+    for lo, hi in found:
+        if merged and lo <= merged[-1].hi + 1:
+            last = merged[-1]
+            merged[-1] = CurveRange(last.lo, max(last.hi, hi))
+        else:
+            merged.append(CurveRange(lo, hi))
+
+    if max_ranges is not None and max_ranges >= 1 and len(merged) > max_ranges:
+        merged = _coarsen(merged, max_ranges)
+    return merged
+
+
+def _coarsen(ranges: List[CurveRange], limit: int) -> List[CurveRange]:
+    """Merge the smallest gaps between ranges until ``limit`` remain."""
+    gaps = sorted(
+        range(len(ranges) - 1),
+        key=lambda i: ranges[i + 1].lo - ranges[i].hi,
+    )
+    to_merge = set(gaps[: len(ranges) - limit])
+    out: List[CurveRange] = []
+    for i, r in enumerate(ranges):
+        if out and (i - 1) in to_merge:
+            out[-1] = CurveRange(out[-1].lo, r.hi)
+        else:
+            out.append(r)
+    return out
+
+
+def covering_range_set(
+    curve: Quadtree2DCurve,
+    min_x: float,
+    min_y: float,
+    max_x: float,
+    max_y: float,
+    max_ranges: int | None = None,
+) -> RangeSet:
+    """Convenience wrapper returning a :class:`RangeSet`."""
+    return RangeSet.from_ranges(
+        covering_ranges(curve, min_x, min_y, max_x, max_y, max_ranges)
+    )
+
+
+__all__.append("covering_range_set")

@@ -1,0 +1,95 @@
+"""The paper's query workloads (Section 5.1, "Queries").
+
+Two categories of spatio-temporal range queries:
+
+* **Q^s (small)** — rectangle
+  ``[(23.757495, 37.987295), (23.766958, 37.992997)]`` (central
+  Athens);
+* **Q^b (big)** — rectangle
+  ``[(23.606039, 38.023982), (24.032754, 38.353926)]``, about 2 603
+  times larger.
+
+Each category has four queries with growing, *non-overlapping* time
+spans: 1 hour, 1 day, 1 week, 1 month.  The anchors chosen here keep
+every window inside both the R (Jul-Nov 2018) and S (Jul 1-Sep 15
+2018) time spans, so the same workload runs against both data sets,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List
+
+from repro.core.query import SpatioTemporalQuery
+from repro.geo.geometry import BoundingBox
+
+__all__ = [
+    "SMALL_BBOX",
+    "BIG_BBOX",
+    "QUERY_WINDOWS",
+    "small_queries",
+    "big_queries",
+    "all_queries",
+]
+
+#: Q^s spatial constraint (the paper's exact coordinates).
+SMALL_BBOX = BoundingBox(23.757495, 37.987295, 23.766958, 37.992997)
+
+#: Q^b spatial constraint (the paper's exact coordinates).
+BIG_BBOX = BoundingBox(23.606039, 38.023982, 24.032754, 38.353926)
+
+_UTC = _dt.timezone.utc
+
+#: Non-overlapping windows: 1 hour, 1 day, 1 week, 1 month.
+QUERY_WINDOWS: List[tuple] = [
+    (
+        "1h",
+        _dt.datetime(2018, 7, 10, 8, 0, tzinfo=_UTC),
+        _dt.datetime(2018, 7, 10, 9, 0, tzinfo=_UTC),
+    ),
+    (
+        "1d",
+        _dt.datetime(2018, 7, 20, 0, 0, tzinfo=_UTC),
+        _dt.datetime(2018, 7, 21, 0, 0, tzinfo=_UTC),
+    ),
+    (
+        "1w",
+        _dt.datetime(2018, 8, 1, 0, 0, tzinfo=_UTC),
+        _dt.datetime(2018, 8, 8, 0, 0, tzinfo=_UTC),
+    ),
+    (
+        "1m",
+        _dt.datetime(2018, 8, 10, 0, 0, tzinfo=_UTC),
+        _dt.datetime(2018, 9, 9, 0, 0, tzinfo=_UTC),
+    ),
+]
+
+
+def _build(category: str, bbox: BoundingBox) -> List[SpatioTemporalQuery]:
+    queries = []
+    for i, (_tag, t_from, t_to) in enumerate(QUERY_WINDOWS, start=1):
+        queries.append(
+            SpatioTemporalQuery(
+                bbox=bbox,
+                time_from=t_from,
+                time_to=t_to,
+                label="Q%s%d" % (category, i),
+            )
+        )
+    return queries
+
+
+def small_queries() -> List[SpatioTemporalQuery]:
+    """Q^s_1 .. Q^s_4."""
+    return _build("s", SMALL_BBOX)
+
+
+def big_queries() -> List[SpatioTemporalQuery]:
+    """Q^b_1 .. Q^b_4."""
+    return _build("b", BIG_BBOX)
+
+
+def all_queries() -> Dict[str, List[SpatioTemporalQuery]]:
+    """Both query categories keyed by 'small'/'big'."""
+    return {"small": small_queries(), "big": big_queries()}

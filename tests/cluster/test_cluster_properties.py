@@ -1,0 +1,100 @@
+"""Property-based tests: cluster queries vs a brute-force oracle."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.docstore.matcher import matches
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+docs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),  # h
+        st.integers(min_value=0, max_value=2000),  # hours offset
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def build_cluster(entries, chunk_max_bytes):
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=4),
+        chunk_max_bytes=chunk_max_bytes,
+    )
+    cluster.shard_collection("t", [("h", 1), ("date", 1)])
+    cluster.insert_many(
+        "t",
+        [
+            {
+                "_id": i,
+                "h": h,
+                "date": T0 + dt.timedelta(hours=hours),
+                "pad": "x" * 40,
+            }
+            for i, (h, hours) in enumerate(entries)
+        ],
+    )
+    return cluster
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=docs_strategy,
+    h_lo=st.integers(min_value=0, max_value=500),
+    h_hi=st.integers(min_value=0, max_value=500),
+    chunk_kb=st.sampled_from([1, 4, 16]),
+)
+def test_cluster_find_matches_oracle(entries, h_lo, h_hi, chunk_kb):
+    """Routing + per-shard scans return exactly the matching set, for
+    any chunk size (i.e. any chunk map shape)."""
+    if h_lo > h_hi:
+        h_lo, h_hi = h_hi, h_lo
+    cluster = build_cluster(entries, chunk_kb * 1024)
+    q = {"h": {"$gte": h_lo, "$lte": h_hi}}
+    result = cluster.find("t", q)
+    expected = sorted(
+        i for i, (h, _hrs) in enumerate(entries) if h_lo <= h <= h_hi
+    )
+    assert sorted(d["_id"] for d in result) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(entries=docs_strategy, chunk_kb=st.sampled_from([1, 4]))
+def test_chunk_map_invariants_after_load(entries, chunk_kb):
+    """Whatever the insert order/volume, the chunk map tiles the key
+    space and the catalog counts match shard contents."""
+    cluster = build_cluster(entries, chunk_kb * 1024)
+    cluster.run_balancer("t")
+    cluster.validate("t")
+    total = sum(len(s.collection("t")) for s in cluster.shards.values())
+    assert total == len(entries)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    entries=docs_strategy,
+    boundary=st.integers(min_value=1, max_value=499),
+)
+def test_zones_preserve_results(entries, boundary):
+    """Zone installation (splits + migrations) never changes queries."""
+    from repro.cluster.zones import Zone
+    from repro.docstore import bson
+
+    cluster = build_cluster(entries, 2 * 1024)
+    q = {"h": {"$gte": 0, "$lte": 500}}
+    before = sorted(d["_id"] for d in cluster.find("t", q))
+    pattern = cluster.catalog.get("t").pattern
+    mid = (bson.sort_key(boundary), bson.sort_key(bson.MINKEY))
+    zones = [
+        Zone("low", pattern.global_min(), mid, "shard00"),
+        Zone("high", mid, pattern.global_max(), "shard01"),
+    ]
+    cluster.update_zones("t", zones)
+    after = sorted(d["_id"] for d in cluster.find("t", q))
+    assert before == after
+    cluster.validate("t")

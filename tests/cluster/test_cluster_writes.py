@@ -1,0 +1,88 @@
+"""Tests for cluster-level delete_many / update_many."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.errors import ShardingError
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+def loaded_cluster(n=300):
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=3), chunk_max_bytes=4 * 1024
+    )
+    cluster.shard_collection("t", [("h", 1)])
+    rng = random.Random(2)
+    cluster.insert_many(
+        "t",
+        [
+            {
+                "_id": i,
+                "h": rng.randrange(0, 500),
+                "flag": i % 2 == 0,
+                "n": i,
+                "pad": "x" * 40,
+            }
+            for i in range(n)
+        ],
+    )
+    cluster.run_balancer("t")
+    return cluster
+
+
+class TestDeleteMany:
+    def test_targeted_delete(self):
+        cluster = loaded_cluster()
+        before = cluster.collection_totals("t")["count"]
+        deleted = cluster.delete_many("t", {"h": {"$gte": 0, "$lte": 100}})
+        assert deleted > 0
+        assert cluster.collection_totals("t")["count"] == before - deleted
+        assert len(cluster.find("t", {"h": {"$gte": 0, "$lte": 100}})) == 0
+        cluster.validate("t")
+
+    def test_broadcast_delete(self):
+        cluster = loaded_cluster()
+        deleted = cluster.delete_many("t", {"flag": True})
+        assert deleted == 150
+        assert len(cluster.find("t", {"flag": True})) == 0
+        cluster.validate("t")
+
+    def test_delete_nothing(self):
+        cluster = loaded_cluster()
+        assert cluster.delete_many("t", {"h": {"$gte": 10_000}}) == 0
+
+
+class TestUpdateMany:
+    def test_broadcast_update(self):
+        cluster = loaded_cluster()
+        updated = cluster.update_many(
+            "t", {"flag": True}, {"$set": {"reviewed": True}}
+        )
+        assert updated == 150
+        assert len(cluster.find("t", {"reviewed": True})) == 150
+
+    def test_targeted_update(self):
+        cluster = loaded_cluster()
+        updated = cluster.update_many(
+            "t", {"h": {"$gte": 0, "$lte": 50}}, {"$inc": {"n": 1000}}
+        )
+        assert updated == len(cluster.find("t", {"n": {"$gte": 1000}}))
+
+    def test_shard_key_mutation_rejected(self):
+        cluster = loaded_cluster()
+        with pytest.raises(ShardingError):
+            cluster.update_many("t", {}, {"$set": {"h": 1}})
+        with pytest.raises(ShardingError):
+            cluster.update_many("t", {}, {"$inc": {"h": 5}})
+
+    def test_queries_correct_after_update(self):
+        cluster = loaded_cluster()
+        cluster.update_many("t", {}, {"$set": {"seen": 1}})
+        result = cluster.find("t", {"h": {"$gte": 100, "$lte": 400}})
+        assert all(d["seen"] == 1 for d in result)
+        cluster.validate("t")

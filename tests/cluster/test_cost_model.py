@@ -1,0 +1,61 @@
+"""Tests for the deterministic execution-time model."""
+
+from repro.cluster.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.docstore.executor import ExecutionStats
+
+
+def stats(keys=0, docs=0, returned=0, seeks=0):
+    s = ExecutionStats()
+    s.keys_examined = keys
+    s.docs_examined = docs
+    s.n_returned = returned
+    s.seeks = seeks
+    return s
+
+
+class TestShardTime:
+    def test_zero_work_zero_time(self):
+        assert DEFAULT_COST_MODEL.shard_time_ms(stats()) == 0.0
+
+    def test_monotone_in_each_counter(self):
+        model = DEFAULT_COST_MODEL
+        base = model.shard_time_ms(stats(keys=100, docs=10))
+        assert model.shard_time_ms(stats(keys=200, docs=10)) > base
+        assert model.shard_time_ms(stats(keys=100, docs=20)) > base
+
+    def test_docs_cost_more_than_keys(self):
+        # Fetching a document is an order of magnitude dearer than a
+        # B-tree key comparison — the premise behind the paper's
+        # "documents examined" metric mattering most.
+        model = DEFAULT_COST_MODEL
+        assert model.per_doc_ms > model.per_key_ms
+
+
+class TestQueryTime:
+    def test_empty_is_base(self):
+        assert DEFAULT_COST_MODEL.query_time_ms({}) == DEFAULT_COST_MODEL.base_ms
+
+    def test_straggler_dominates(self):
+        model = CostModel()
+        light = stats(keys=10, docs=1)
+        heavy = stats(keys=10_000, docs=1_000)
+        one_heavy = model.query_time_ms({"a": heavy})
+        balanced = model.query_time_ms({"a": heavy, "b": light})
+        # Adding a light shard adds only the roundtrip overhead.
+        import pytest
+
+        assert balanced - one_heavy == pytest.approx(
+            model.per_shard_roundtrip_ms
+            + model.per_merged_result_ms * light.n_returned
+        )
+
+    def test_more_nodes_more_overhead(self):
+        model = CostModel()
+        s = stats(keys=100, docs=10, returned=5)
+        few = model.query_time_ms({"a": s})
+        many = model.query_time_ms({"a": s, "b": s, "c": s, "d": s})
+        assert many > few
+
+    def test_custom_coefficients(self):
+        model = CostModel(per_doc_ms=1.0)
+        assert model.shard_time_ms(stats(docs=10)) == 10.0

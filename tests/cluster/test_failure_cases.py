@@ -1,0 +1,114 @@
+"""Failure-path tests: misuse and corrupted-state detection."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cluster.chunk import Chunk
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.errors import ShardingError
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+def make_cluster():
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=2), chunk_max_bytes=4 * 1024
+    )
+    cluster.shard_collection("t", [("h", 1)])
+    return cluster
+
+
+class TestMisuse:
+    def test_query_unsharded_collection(self):
+        cluster = make_cluster()
+        with pytest.raises(ShardingError):
+            cluster.find("nope", {"h": 1})
+
+    def test_insert_unsharded_collection(self):
+        cluster = make_cluster()
+        with pytest.raises(ShardingError):
+            cluster.insert_many("nope", [{"h": 1}])
+
+    def test_migrate_to_unknown_shard(self):
+        cluster = make_cluster()
+        cluster.insert_many("t", [{"_id": 1, "h": 1}])
+        meta = cluster.catalog.get("t")
+        with pytest.raises(ShardingError):
+            cluster._migrate_chunk(meta, meta.chunks[0], "shard99")
+
+    def test_migrate_to_self_is_noop(self):
+        cluster = make_cluster()
+        cluster.insert_many("t", [{"_id": 1, "h": 1}])
+        meta = cluster.catalog.get("t")
+        owner = meta.chunks[0].shard_id
+        cluster._migrate_chunk(meta, meta.chunks[0], owner)
+        assert meta.chunks[0].shard_id == owner
+        cluster.validate("t")
+
+    def test_document_missing_shard_key_field_routes_as_null(self):
+        # MongoDB routes missing shard-key values under null.
+        cluster = make_cluster()
+        cluster.insert_many("t", [{"_id": 1}])
+        assert cluster.collection_totals("t")["count"] == 1
+
+
+class TestCorruptionDetection:
+    def test_validate_detects_count_drift(self):
+        cluster = make_cluster()
+        cluster.insert_many(
+            "t", [{"_id": i, "h": i, "pad": "x" * 40} for i in range(50)]
+        )
+        meta = cluster.catalog.get("t")
+        meta.chunks[0].doc_count += 5  # simulate bookkeeping corruption
+        with pytest.raises(ShardingError):
+            cluster.validate("t")
+
+    def test_validate_detects_chunk_gap(self):
+        cluster = make_cluster()
+        cluster.insert_many(
+            "t", [{"_id": i, "h": i, "pad": "x" * 40} for i in range(200)]
+        )
+        meta = cluster.catalog.get("t")
+        if len(meta.chunks) > 1:
+            del meta.chunks[0]
+            with pytest.raises(ShardingError):
+                cluster.validate("t")
+
+    def test_chunk_rejects_inverted_range(self):
+        from repro.docstore import bson
+
+        with pytest.raises(ShardingError):
+            Chunk(
+                min_key=(bson.sort_key(5),),
+                max_key=(bson.sort_key(5),),
+                shard_id="s",
+            )
+
+
+class TestBalancerResilience:
+    def test_balancer_idempotent(self):
+        cluster = make_cluster()
+        cluster.insert_many(
+            "t", [{"_id": i, "h": i, "pad": "x" * 50} for i in range(300)]
+        )
+        first = cluster.run_balancer("t")
+        second = cluster.run_balancer("t")
+        assert second == 0 or second < first
+        cluster.validate("t")
+
+    def test_rebalancing_after_manual_migration(self):
+        cluster = make_cluster()
+        cluster.insert_many(
+            "t", [{"_id": i, "h": i, "pad": "x" * 50} for i in range(300)]
+        )
+        cluster.run_balancer("t")
+        meta = cluster.catalog.get("t")
+        # Pile everything onto shard00, then rebalance.
+        for chunk in list(meta.chunks):
+            cluster._migrate_chunk(meta, chunk, "shard00")
+        cluster.run_balancer("t")
+        counts = cluster.chunk_distribution("t")
+        assert max(counts.values()) - min(counts.values()) <= 1
+        cluster.validate("t")

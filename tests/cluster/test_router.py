@@ -1,0 +1,183 @@
+"""Tests for query → shard targeting, incl. the lex-range/box check."""
+
+import datetime as dt
+import itertools
+
+import pytest
+
+from repro.cluster.catalog import CollectionMetadata
+from repro.cluster.chunk import Chunk, ShardKeyPattern
+from repro.cluster.router import (
+    lex_range_intersects_box,
+    shard_key_intervals,
+    target_chunks,
+)
+from repro.docstore import bson
+from repro.docstore.planner import Interval, analyze_query
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+def iv(lo, hi):
+    return Interval(bson.sort_key(lo), bson.sort_key(hi))
+
+
+def key1(v):
+    return (bson.sort_key(v),)
+
+
+def key2(a, b):
+    return (bson.sort_key(a), bson.sort_key(b))
+
+
+class TestLexIntersect1D:
+    def test_inside(self):
+        assert lex_range_intersects_box([[iv(5, 7)]], key1(0), key1(10))
+
+    def test_disjoint_below(self):
+        assert not lex_range_intersects_box([[iv(5, 7)]], key1(8), key1(10))
+
+    def test_disjoint_above(self):
+        assert not lex_range_intersects_box([[iv(5, 7)]], key1(0), key1(5))
+
+    def test_touching_lower_bound_inclusive(self):
+        # Chunk [5, 10): value 5 is inside.
+        assert lex_range_intersects_box([[iv(5, 5)]], key1(5), key1(10))
+
+    def test_touching_upper_bound_exclusive(self):
+        # Chunk [0, 5): value 5 is NOT inside.
+        assert not lex_range_intersects_box([[iv(5, 5)]], key1(0), key1(5))
+
+    def test_multiple_intervals(self):
+        box = [[iv(1, 2), iv(8, 9)]]
+        assert lex_range_intersects_box(box, key1(7), key1(10))
+        assert not lex_range_intersects_box(box, key1(3), key1(7))
+
+
+class TestLexIntersect2D:
+    def test_interior_first_field_frees_second(self):
+        # Chunk [(5, T0), (7, T0)): any key with first field 6 is inside
+        # regardless of the second.
+        lo = key2(5, T0)
+        hi = key2(7, T0)
+        box = [[iv(6, 6)], [iv(T0 + dt.timedelta(days=50), T0 + dt.timedelta(days=60))]]
+        assert lex_range_intersects_box(box, lo, hi)
+
+    def test_boundary_first_field_consults_second(self):
+        # Chunk [(5, T0+10d), (6, MINKEY)): first field pinned to 5, so
+        # the date bound matters.
+        lo = key2(5, T0 + dt.timedelta(days=10))
+        hi = (bson.sort_key(6), bson.sort_key(bson.MINKEY))
+        inside = [[iv(5, 5)], [iv(T0 + dt.timedelta(days=20), T0 + dt.timedelta(days=30))]]
+        outside = [[iv(5, 5)], [iv(T0, T0 + dt.timedelta(days=5))]]
+        assert lex_range_intersects_box(inside, lo, hi)
+        assert not lex_range_intersects_box(outside, lo, hi)
+
+    def test_exhaustive_against_oracle(self):
+        # Small discrete universe: keys (a, b) with a, b in 0..3.
+        # Compare the checker against brute-force enumeration.
+        universe = [key2(a, b) for a in range(4) for b in range(4)]
+        bounds = [key2(a, b) for a in range(4) for b in range(4)]
+        intervals_choices = [
+            [[iv(1, 2)], [iv(0, 3)]],
+            [[iv(0, 0)], [iv(2, 3)]],
+            [[iv(2, 3), iv(0, 0)], [iv(1, 1)]],
+            [[iv(0, 3)], [iv(0, 0)]],
+        ]
+        for lo, hi in itertools.combinations(bounds, 2):
+            for intervals in intervals_choices:
+                truth = any(
+                    lo <= k < hi
+                    and any(
+                        i.lo <= k[0] <= i.hi for i in intervals[0]
+                    )
+                    and any(i.lo <= k[1] <= i.hi for i in intervals[1])
+                    for k in universe
+                )
+                got = lex_range_intersects_box(intervals, lo, hi)
+                # The checker is exact-or-conservative: it may say True
+                # for an empty discrete gap, never False for a hit.
+                if truth:
+                    assert got, (lo, hi, intervals)
+
+
+def build_metadata():
+    pattern = ShardKeyPattern.from_spec([("h", 1), ("date", 1)])
+    meta = CollectionMetadata(
+        name="t", pattern=pattern, strategy="range", chunk_max_bytes=1024
+    )
+    boundaries = [
+        (bson.sort_key(h), bson.sort_key(bson.MINKEY)) for h in (10, 20, 30)
+    ]
+    edges = [pattern.global_min()] + boundaries + [pattern.global_max()]
+    for i, (lo, hi) in enumerate(zip(edges, edges[1:])):
+        meta.chunks.append(
+            Chunk(min_key=lo, max_key=hi, shard_id="shard%02d" % i)
+        )
+    return meta
+
+
+class TestShardKeyIntervals:
+    def test_range_on_first_field(self):
+        meta = build_metadata()
+        shape = analyze_query({"h": {"$gte": 5, "$lte": 15}})
+        intervals = shard_key_intervals(meta.pattern, shape)
+        assert intervals is not None
+        assert len(intervals) == 2
+        assert intervals[1][0].is_full  # date unconstrained → full
+
+    def test_unconstrained_first_field_broadcasts(self):
+        meta = build_metadata()
+        shape = analyze_query({"date": {"$gte": T0}})
+        assert shard_key_intervals(meta.pattern, shape) is None
+
+    def test_or_intervals_carried(self):
+        meta = build_metadata()
+        shape = analyze_query(
+            {"$or": [{"h": {"$gte": 1, "$lte": 2}}, {"h": {"$gte": 25, "$lte": 26}}]}
+        )
+        intervals = shard_key_intervals(meta.pattern, shape)
+        assert len(intervals[0]) == 2
+
+    def test_hashed_eq_targetable(self):
+        pattern = ShardKeyPattern.from_spec([("v", "hashed")])
+        shape = analyze_query({"v": 7})
+        intervals = shard_key_intervals(pattern, shape)
+        assert intervals is not None
+        assert intervals[0][0].is_point
+
+    def test_hashed_range_broadcasts(self):
+        pattern = ShardKeyPattern.from_spec([("v", "hashed")])
+        shape = analyze_query({"v": {"$gte": 1, "$lte": 5}})
+        assert shard_key_intervals(pattern, shape) is None
+
+
+class TestTargetChunks:
+    def test_targeted(self):
+        meta = build_metadata()
+        shape = analyze_query({"h": {"$gte": 12, "$lte": 13}})
+        t = target_chunks(meta, shape)
+        assert not t.broadcast
+        assert t.shard_ids == ["shard01"]
+
+    def test_spanning_ranges(self):
+        meta = build_metadata()
+        shape = analyze_query({"h": {"$gte": 5, "$lte": 25}})
+        t = target_chunks(meta, shape)
+        assert t.shard_ids == ["shard00", "shard01", "shard02"]
+
+    def test_broadcast(self):
+        meta = build_metadata()
+        shape = analyze_query({"other": 1})
+        t = target_chunks(meta, shape)
+        assert t.broadcast
+        assert len(t.chunks) == 4
+
+    def test_or_targets_union(self):
+        meta = build_metadata()
+        shape = analyze_query(
+            {"$or": [{"h": {"$gte": 1, "$lte": 2}}, {"h": {"$gte": 35, "$lte": 36}}]}
+        )
+        t = target_chunks(meta, shape)
+        assert t.shard_ids == ["shard00", "shard03"]

@@ -1,0 +1,176 @@
+"""Tests for collection and cluster snapshots."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.cluster.snapshot import (
+    cluster_from_snapshot,
+    cluster_to_snapshot,
+    dump_cluster,
+    load_cluster,
+)
+from repro.docstore.bson import MAXKEY, MINKEY, ObjectId
+from repro.docstore.collection import Collection
+from repro.docstore.snapshot import (
+    collection_from_snapshot,
+    collection_to_snapshot,
+    dump_collection,
+    load_collection,
+    value_from_jsonable,
+    value_to_jsonable,
+)
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            42,
+            3.14,
+            "text",
+            True,
+            None,
+            [1, 2, [3]],
+            {"a": {"b": 1}},
+            ObjectId(timestamp=1000, random_bytes=b"abcde", counter=5),
+            dt.datetime(2018, 8, 1, 12, 30, tzinfo=UTC),
+            b"\x00\x01\xff",
+            MINKEY,
+            MAXKEY,
+            (1, "two", 3.0),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert value_from_jsonable(value_to_jsonable(value)) == value
+
+    def test_json_serializable(self):
+        import json
+
+        doc = {
+            "_id": ObjectId(timestamp=0, random_bytes=b"abcde", counter=1),
+            "date": T0,
+            "nested": {"blob": b"xy"},
+        }
+        text = json.dumps(value_to_jsonable(doc))
+        assert value_from_jsonable(json.loads(text)) == doc
+
+
+class TestCollectionSnapshot:
+    def _collection(self):
+        col = Collection("traces")
+        col.create_index([("location", "2dsphere"), ("date", 1)], name="ld")
+        col.create_index([("v", 1)], name="v_1")
+        rng = random.Random(4)
+        col.insert_many(
+            {
+                "v": i,
+                "location": {
+                    "type": "Point",
+                    "coordinates": [rng.uniform(23, 24), rng.uniform(37, 38)],
+                },
+                "date": T0 + dt.timedelta(hours=i),
+            }
+            for i in range(50)
+        )
+        return col
+
+    def test_roundtrip_documents_and_indexes(self):
+        col = self._collection()
+        restored = collection_from_snapshot(collection_to_snapshot(col))
+        assert len(restored) == 50
+        assert set(restored.list_indexes()) == set(col.list_indexes())
+
+    def test_restored_queries_identical(self):
+        col = self._collection()
+        restored = collection_from_snapshot(collection_to_snapshot(col))
+        q = {"v": {"$gte": 10, "$lte": 20}}
+        a = col.find_with_stats(q, hint="v_1")
+        b = restored.find_with_stats(q, hint="v_1")
+        assert len(a) == len(b)
+        assert a.stats.keys_examined == b.stats.keys_examined
+
+    def test_file_roundtrip(self, tmp_path):
+        col = self._collection()
+        path = str(tmp_path / "col.json")
+        dump_collection(col, path)
+        restored = load_collection(path)
+        assert len(restored) == 50
+
+
+class TestClusterSnapshot:
+    def _cluster(self, with_zones=False):
+        cluster = ShardedCluster(
+            topology=ClusterTopology(n_shards=3), chunk_max_bytes=4 * 1024
+        )
+        cluster.shard_collection("t", [("h", 1), ("date", 1)])
+        rng = random.Random(9)
+        cluster.insert_many(
+            "t",
+            [
+                {
+                    "_id": i,
+                    "h": rng.randrange(0, 500),
+                    "date": T0 + dt.timedelta(hours=i),
+                    "pad": "x" * 40,
+                }
+                for i in range(300)
+            ],
+        )
+        cluster.run_balancer("t")
+        if with_zones:
+            from repro.core.zoning import configure_zones
+
+            configure_zones(cluster, "t", "h")
+        return cluster
+
+    def test_roundtrip_preserves_metrics(self):
+        cluster = self._cluster()
+        restored = cluster_from_snapshot(cluster_to_snapshot(cluster))
+        q = {"h": {"$gte": 100, "$lte": 300}}
+        a = cluster.find("t", q)
+        b = restored.find("t", q)
+        assert len(a) == len(b)
+        assert a.stats.nodes == b.stats.nodes
+        assert a.stats.max_keys_examined == b.stats.max_keys_examined
+        assert sorted(a.stats.per_shard) == sorted(b.stats.per_shard)
+
+    def test_roundtrip_chunk_map(self):
+        cluster = self._cluster()
+        restored = cluster_from_snapshot(cluster_to_snapshot(cluster))
+        original = cluster.catalog.get("t")
+        rebuilt = restored.catalog.get("t")
+        assert len(original.chunks) == len(rebuilt.chunks)
+        assert original.chunk_counts() == rebuilt.chunk_counts()
+        restored.validate("t")
+
+    def test_roundtrip_zones(self):
+        cluster = self._cluster(with_zones=True)
+        restored = cluster_from_snapshot(cluster_to_snapshot(cluster))
+        assert restored.catalog.get("t").zone_set is not None
+        assert len(restored.catalog.get("t").zone_set) == len(
+            cluster.catalog.get("t").zone_set
+        )
+        restored.validate("t")
+
+    def test_restored_cluster_accepts_writes(self):
+        cluster = self._cluster()
+        restored = cluster_from_snapshot(cluster_to_snapshot(cluster))
+        restored.insert_many(
+            "t",
+            [{"_id": 9999, "h": 123, "date": T0, "pad": "x" * 40}],
+        )
+        assert len(restored.find("t", {"h": 123})) >= 1
+        restored.validate("t")
+
+    def test_file_roundtrip(self, tmp_path):
+        cluster = self._cluster()
+        path = str(tmp_path / "cluster.json")
+        dump_cluster(cluster, path)
+        restored = load_cluster(path)
+        assert restored.collection_totals("t")["count"] == 300

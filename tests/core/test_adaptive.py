@@ -1,0 +1,141 @@
+"""Tests for workload-aware zoning."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.adaptive import (
+    WeightedQuery,
+    configure_workload_aware_zones,
+    workload_aware_boundaries,
+)
+from repro.core.approaches import deploy_approach, make_approach
+from repro.core.benchmark import measure_query
+from repro.core.query import SpatioTemporalQuery
+from repro.core.zoning import configure_zones
+from repro.errors import ZoneError
+from repro.geo.geometry import BoundingBox
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+#: A hot region holding a minority of documents.
+HOT_BOX = BoundingBox(23.6, 38.0, 23.9, 38.3)
+
+
+def make_docs(n=1200, seed=11):
+    """70% background over a wide box, 30% inside the hot region."""
+    rng = random.Random(seed)
+    docs = []
+    for i in range(n):
+        if i % 10 < 3:
+            lon = rng.uniform(HOT_BOX.min_lon, HOT_BOX.max_lon)
+            lat = rng.uniform(HOT_BOX.min_lat, HOT_BOX.max_lat)
+        else:
+            lon = rng.uniform(20.0, 28.0)
+            lat = rng.uniform(35.0, 41.5)
+        docs.append(
+            {
+                "location": {"type": "Point", "coordinates": [lon, lat]},
+                "date": T0 + dt.timedelta(minutes=rng.uniform(0, 60 * 24 * 90)),
+            }
+        )
+    return docs
+
+
+def hot_query(label="hot"):
+    return SpatioTemporalQuery(
+        bbox=HOT_BOX,
+        time_from=T0,
+        time_to=T0 + dt.timedelta(days=90),
+        label=label,
+    )
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    docs = make_docs()
+    plain = deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=6),
+        chunk_max_bytes=8 * 1024,
+        use_zones=True,
+    )
+    adaptive = deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=6),
+        chunk_max_bytes=8 * 1024,
+    )
+    workload = [WeightedQuery(hot_query(), weight=10.0)]
+    configure_workload_aware_zones(
+        adaptive.cluster,
+        adaptive.collection,
+        workload,
+        adaptive.approach.encoder,
+    )
+    adaptive.zones_enabled = True
+    return {"plain": plain, "adaptive": adaptive}
+
+
+class TestBoundaries:
+    def test_boundary_count(self, deployments):
+        dep = deployments["plain"]
+        workload = [WeightedQuery(hot_query())]
+        bounds = workload_aware_boundaries(
+            dep.cluster,
+            dep.collection,
+            "hilbertIndex",
+            workload,
+            dep.approach.encoder,
+            n_zones=6,
+        )
+        assert len(bounds) <= 5
+        assert bounds == sorted(bounds)
+
+    def test_empty_workload_rejected(self, deployments):
+        dep = deployments["plain"]
+        with pytest.raises(ZoneError):
+            workload_aware_boundaries(
+                dep.cluster,
+                dep.collection,
+                "hilbertIndex",
+                [],
+                dep.approach.encoder,
+                n_zones=4,
+            )
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ZoneError):
+            WeightedQuery(hot_query(), weight=0.0)
+
+
+class TestEffect:
+    def test_results_identical(self, deployments):
+        q = hot_query()
+        plain, _ = deployments["plain"].execute(q)
+        adaptive, _ = deployments["adaptive"].execute(q)
+        assert len(plain) == len(adaptive)
+        assert len(plain) > 0
+
+    def test_hot_region_spreads_over_more_shards(self, deployments):
+        q = hot_query()
+        plain = measure_query(deployments["plain"], q, runs=1, average_last=1)
+        adaptive = measure_query(
+            deployments["adaptive"], q, runs=1, average_last=1
+        )
+        assert adaptive.nodes >= plain.nodes
+
+    def test_straggler_work_not_worse(self, deployments):
+        q = hot_query()
+        plain = measure_query(deployments["plain"], q, runs=1, average_last=1)
+        adaptive = measure_query(
+            deployments["adaptive"], q, runs=1, average_last=1
+        )
+        assert adaptive.max_docs_examined <= plain.max_docs_examined
+
+    def test_chunk_map_valid_after_adaptive_zones(self, deployments):
+        deployments["adaptive"].cluster.validate("traces")

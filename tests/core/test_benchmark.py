@@ -1,0 +1,115 @@
+"""Tests for the measurement methodology."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import deploy_approach, make_approach
+from repro.core.benchmark import (
+    MeasurementRun,
+    measure_query,
+    run_workload,
+)
+from repro.core.loader import BulkLoader
+from repro.core.query import SpatioTemporalQuery
+from repro.geo.geometry import BoundingBox
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = random.Random(7)
+    docs = [
+        {
+            "location": {
+                "type": "Point",
+                "coordinates": [rng.uniform(23.0, 24.5), rng.uniform(37.5, 38.6)],
+            },
+            "date": T0 + dt.timedelta(minutes=rng.uniform(0, 60 * 24 * 60)),
+        }
+        for _ in range(400)
+    ]
+    return deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=3),
+        chunk_max_bytes=8 * 1024,
+        loader=BulkLoader(batch_size=200),
+    )
+
+
+def make_query(label="Qx"):
+    return SpatioTemporalQuery(
+        bbox=BoundingBox(23.5, 37.9, 24.1, 38.4),
+        time_from=T0,
+        time_to=T0 + dt.timedelta(days=10),
+        label=label,
+    )
+
+
+class TestMeasureQuery:
+    def test_fields_populated(self, deployment):
+        m = measure_query(deployment, make_query(), runs=3, average_last=2)
+        assert m.approach == "hil"
+        assert m.query_label == "Qx"
+        assert m.n_returned > 0
+        assert m.nodes >= 1
+        assert m.execution_time_ms > 0
+        assert m.wall_time_ms > 0
+        assert m.max_keys_examined > 0
+
+    def test_index_usage_recorded(self, deployment):
+        m = measure_query(deployment, make_query(), runs=2, average_last=1)
+        assert m.index_used_by_shard
+        assert all(
+            name == "shardkey_hilbertIndex_date"
+            for name in m.index_used_by_shard.values()
+        )
+
+    def test_model_time_deterministic(self, deployment):
+        a = measure_query(deployment, make_query(), runs=2, average_last=1)
+        b = measure_query(deployment, make_query(), runs=2, average_last=1)
+        assert a.execution_time_ms == b.execution_time_ms
+        assert a.max_keys_examined == b.max_keys_examined
+
+    def test_run_validation(self, deployment):
+        with pytest.raises(ValueError):
+            measure_query(deployment, make_query(), runs=0)
+        with pytest.raises(ValueError):
+            measure_query(deployment, make_query(), runs=2, average_last=5)
+
+    def test_as_row(self, deployment):
+        row = measure_query(
+            deployment, make_query(), runs=2, average_last=1
+        ).as_row()
+        assert set(row) >= {
+            "approach",
+            "query",
+            "nodes",
+            "maxKeysExamined",
+            "maxDocsExamined",
+            "executionTimeMs",
+        }
+
+
+class TestRunWorkload:
+    def test_measures_every_query(self, deployment):
+        queries = [make_query("Q1"), make_query("Q2")]
+        run = run_workload(
+            deployment, queries, dataset="test", runs=2, average_last=1
+        )
+        assert [m.query_label for m in run.measurements] == ["Q1", "Q2"]
+        assert run.dataset == "test"
+
+    def test_grouping(self, deployment):
+        run = MeasurementRun(dataset="d")
+        run.measurements.append(
+            measure_query(deployment, make_query("Qa"), runs=1, average_last=1)
+        )
+        grouped = run.by_query()
+        assert set(grouped) == {"Qa"}
+        assert run.rows()[0]["query"] == "Qa"

@@ -1,0 +1,53 @@
+"""Tests for MeasurementRun export formats."""
+
+from repro.core.benchmark import MeasurementRun, QueryMeasurement
+
+
+def make_run():
+    run = MeasurementRun(dataset="R")
+    for i, approach in enumerate(("bslST", "hil")):
+        run.measurements.append(
+            QueryMeasurement(
+                approach=approach,
+                query_label="Qb1",
+                zones=False,
+                n_returned=10 * (i + 1),
+                nodes=3,
+                max_keys_examined=100,
+                max_docs_examined=50,
+                execution_time_ms=1.5,
+                wall_time_ms=2.0,
+                decomposition_ms=0.1,
+            )
+        )
+    return run
+
+
+class TestExports:
+    def test_csv(self):
+        text = make_run().to_csv()
+        lines = text.strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert lines[0].startswith("approach,query")
+        assert "bslST" in lines[1]
+        assert "hil" in lines[2]
+
+    def test_csv_parses_back(self):
+        import csv
+        import io
+
+        rows = list(csv.DictReader(io.StringIO(make_run().to_csv())))
+        assert rows[0]["approach"] == "bslST"
+        assert rows[1]["nReturned"] == "20"
+
+    def test_markdown(self):
+        text = make_run().to_markdown()
+        lines = text.splitlines()
+        assert lines[0].startswith("| approach |")
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+        assert len(lines) == 4
+
+    def test_empty_run(self):
+        empty = MeasurementRun(dataset="R")
+        assert empty.to_csv() == ""
+        assert empty.to_markdown() == ""

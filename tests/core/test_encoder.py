@@ -1,0 +1,81 @@
+"""Tests for the spatio-temporal encoder."""
+
+import pytest
+
+from repro.core.encoder import DEFAULT_HILBERT_ORDER, SpatioTemporalEncoder
+from repro.geo.geometry import BoundingBox
+from repro.sfc.hilbert import HilbertCurve2D
+from repro.sfc.zorder import ZOrderCurve2D
+
+
+def point_doc(lon, lat):
+    return {"location": {"type": "Point", "coordinates": [lon, lat]}}
+
+
+class TestConstruction:
+    def test_default_order_matches_paper(self):
+        assert DEFAULT_HILBERT_ORDER == 13
+
+    def test_global_encoder(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        assert isinstance(enc.curve, HilbertCurve2D)
+        assert enc.curve.min_x == -180.0
+
+    def test_bbox_encoder(self):
+        bbox = BoundingBox(23.0, 37.0, 24.0, 38.0)
+        enc = SpatioTemporalEncoder.hilbert_for_bbox(bbox)
+        assert enc.curve.min_x == 23.0
+        assert enc.curve.max_y == 38.0
+
+    def test_zorder_encoder(self):
+        enc = SpatioTemporalEncoder.zorder_global()
+        assert isinstance(enc.curve, ZOrderCurve2D)
+
+
+class TestEncoding:
+    def test_encode_document(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        value = enc.encode_document(point_doc(23.7275, 37.9838))
+        assert value == enc.curve.encode(23.7275, 37.9838)
+
+    def test_enrich_adds_field(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        doc = point_doc(23.7, 37.9)
+        enriched = enc.enrich(doc)
+        assert "hilbertIndex" in enriched
+        assert isinstance(enriched["hilbertIndex"], int)
+        assert "hilbertIndex" not in doc  # original untouched
+
+    def test_custom_field_names(self):
+        enc = SpatioTemporalEncoder.hilbert_global(
+            location_field="pos", index_field="sfc"
+        )
+        enriched = enc.enrich({"pos": [10.0, 20.0]})
+        assert "sfc" in enriched
+
+    def test_legacy_coordinate_pair_accepted(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        assert enc.enrich({"location": [23.7, 37.9]})["hilbertIndex"] >= 0
+
+    def test_missing_location_raises(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        with pytest.raises(KeyError):
+            enc.encode_document({"other": 1})
+
+    def test_restricted_domain_distinguishes_close_points(self):
+        bbox = BoundingBox(23.0, 37.5, 24.5, 38.6)
+        global_enc = SpatioTemporalEncoder.hilbert_global()
+        local_enc = SpatioTemporalEncoder.hilbert_for_bbox(bbox)
+        a, b = point_doc(23.700, 37.980), point_doc(23.716, 37.988)
+        assert global_enc.encode_document(a) == global_enc.encode_document(b)
+        assert local_enc.encode_document(a) != local_enc.encode_document(b)
+
+    def test_locality(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        near = abs(
+            enc.encode_lonlat(23.70, 37.98) - enc.encode_lonlat(23.75, 37.99)
+        )
+        far = abs(
+            enc.encode_lonlat(23.70, 37.98) - enc.encode_lonlat(-70.0, -33.0)
+        )
+        assert near < far

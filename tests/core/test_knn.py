@@ -1,0 +1,92 @@
+"""Tests for k-NN search over the Hilbert deployment."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import deploy_approach, make_approach
+from repro.core.knn import knn
+from repro.geo.geometry import Point, haversine_km
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+T1 = dt.datetime(2018, 12, 1, tzinfo=UTC)
+CENTER = Point(23.7275, 37.9838)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = random.Random(12)
+    docs = [
+        {
+            "location": {
+                "type": "Point",
+                "coordinates": [rng.uniform(22.5, 25.0), rng.uniform(37.0, 39.0)],
+            },
+            "date": T0 + dt.timedelta(hours=rng.uniform(0, 24 * 120)),
+            "v": i,
+        }
+        for i in range(500)
+    ]
+    return deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=4),
+        chunk_max_bytes=8 * 1024,
+    )
+
+
+def brute_force(deployment, k):
+    docs = []
+    for shard in deployment.cluster.shards.values():
+        docs.extend(shard.collection("traces").all_documents())
+    ranked = sorted(
+        docs,
+        key=lambda d: haversine_km(
+            CENTER,
+            Point(
+                d["location"]["coordinates"][0],
+                d["location"]["coordinates"][1],
+            ),
+        ),
+    )
+    return [d["v"] for d in ranked[:k]]
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_brute_force(self, deployment, k):
+        results = knn(deployment, CENTER, k, T0, T1)
+        assert len(results) == k
+        assert [r.document["v"] for r in results] == brute_force(
+            deployment, k
+        )
+
+    def test_distances_sorted(self, deployment):
+        results = knn(deployment, CENTER, 10, T0, T1)
+        distances = [r.distance_km for r in results]
+        assert distances == sorted(distances)
+
+    def test_time_window_respected(self, deployment):
+        narrow_from = T0
+        narrow_to = T0 + dt.timedelta(days=7)
+        results = knn(deployment, CENTER, 5, narrow_from, narrow_to)
+        for r in results:
+            assert narrow_from <= r.document["date"] <= narrow_to
+
+    def test_k_larger_than_dataset(self, deployment):
+        results = knn(
+            deployment,
+            CENTER,
+            10_000,
+            T0,
+            T1,
+            max_radius_deg=16.0,
+        )
+        assert len(results) <= 500
+
+    def test_rejects_bad_k(self, deployment):
+        with pytest.raises(ValueError):
+            knn(deployment, CENTER, 0, T0, T1)

@@ -1,0 +1,142 @@
+"""Tests for spatio-temporal query rendering."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.encoder import SpatioTemporalEncoder
+from repro.core.query import SpatioTemporalQuery
+from repro.docstore.matcher import matches
+from repro.geo.geometry import BoundingBox
+
+UTC = dt.timezone.utc
+T1 = dt.datetime(2018, 8, 1, tzinfo=UTC)
+T2 = dt.datetime(2018, 8, 8, tzinfo=UTC)
+BOX = BoundingBox(23.606039, 38.023982, 24.032754, 38.353926)
+
+
+def make_query(label="Qb3"):
+    return SpatioTemporalQuery(bbox=BOX, time_from=T1, time_to=T2, label=label)
+
+
+class TestConstruction:
+    def test_rejects_inverted_time(self):
+        with pytest.raises(ValueError):
+            SpatioTemporalQuery(bbox=BOX, time_from=T2, time_to=T1)
+
+    def test_duration(self):
+        assert make_query().duration == dt.timedelta(days=7)
+
+
+class TestBaselineRendering:
+    def test_shape(self):
+        q = make_query().to_baseline_query()
+        assert "$geoWithin" in q["location"]
+        assert q["date"] == {"$gte": T1, "$lte": T2}
+
+    def test_matches_inside_point(self):
+        q = make_query().to_baseline_query()
+        doc = {
+            "location": {"type": "Point", "coordinates": [23.8, 38.2]},
+            "date": T1 + dt.timedelta(days=1),
+        }
+        assert matches(q, doc)
+
+    def test_rejects_outside_space_or_time(self):
+        q = make_query().to_baseline_query()
+        wrong_place = {
+            "location": {"type": "Point", "coordinates": [20.0, 38.2]},
+            "date": T1 + dt.timedelta(days=1),
+        }
+        wrong_time = {
+            "location": {"type": "Point", "coordinates": [23.8, 38.2]},
+            "date": T2 + dt.timedelta(days=1),
+        }
+        assert not matches(q, wrong_place)
+        assert not matches(q, wrong_time)
+
+    def test_custom_field_names(self):
+        q = SpatioTemporalQuery(
+            bbox=BOX,
+            time_from=T1,
+            time_to=T2,
+            location_field="pos",
+            date_field="ts",
+        ).to_baseline_query()
+        assert set(q) == {"pos", "ts"}
+
+
+class TestHilbertRendering:
+    def test_structure_matches_paper_example(self):
+        # Section 4.2.2: $geoWithin + date range + $or of hilbertIndex
+        # {$gte,$lte} ranges and one $in of individual cells.
+        enc = SpatioTemporalEncoder.hilbert_global()
+        rendering = make_query().to_hilbert_query(enc)
+        q = rendering.query
+        assert "$geoWithin" in q["location"]
+        assert "$or" in q
+        ops = set()
+        for clause in q["$or"]:
+            ((field, value),) = clause.items()
+            assert field == "hilbertIndex"
+            ops.update(value.keys())
+        assert "$gte" in ops and "$lte" in ops
+        if rendering.range_set.singles:
+            assert "$in" in ops
+
+    def test_covering_contains_inside_points(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        rendering = make_query().to_hilbert_query(enc)
+        import random
+
+        rng = random.Random(9)
+        for _ in range(100):
+            lon = rng.uniform(BOX.min_lon, BOX.max_lon)
+            lat = rng.uniform(BOX.min_lat, BOX.max_lat)
+            doc = {
+                "location": {"type": "Point", "coordinates": [lon, lat]},
+                "date": T1 + dt.timedelta(days=2),
+                "hilbertIndex": enc.encode_lonlat(lon, lat),
+            }
+            assert matches(rendering.query, doc)
+
+    def test_enriched_docs_match_equivalently(self):
+        # For points, hilbert-form and baseline-form queries agree.
+        enc = SpatioTemporalEncoder.hilbert_global()
+        stq = make_query()
+        hq = stq.to_hilbert_query(enc).query
+        bq = stq.to_baseline_query()
+        import random
+
+        rng = random.Random(4)
+        for _ in range(200):
+            lon = rng.uniform(23.0, 24.5)
+            lat = rng.uniform(37.5, 38.6)
+            doc = enc.enrich(
+                {
+                    "location": {"type": "Point", "coordinates": [lon, lat]},
+                    "date": T1 + dt.timedelta(hours=rng.uniform(0, 400)),
+                }
+            )
+            assert matches(hq, doc) == matches(bq, doc)
+
+    def test_decomposition_time_measured(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        rendering = make_query().to_hilbert_query(enc)
+        assert rendering.decomposition_ms >= 0.0
+
+    def test_max_ranges_cap(self):
+        enc = SpatioTemporalEncoder.hilbert_global()
+        rendering = make_query().to_hilbert_query(enc, max_ranges=3)
+        assert len(rendering.range_set.all_ranges) <= 3
+
+    def test_restricted_curve_has_more_cells(self):
+        # hil* effectively has higher precision → more covering cells.
+        global_enc = SpatioTemporalEncoder.hilbert_global()
+        local_enc = SpatioTemporalEncoder.hilbert_for_bbox(
+            BoundingBox(23.0, 37.5, 24.5, 38.6)
+        )
+        stq = make_query()
+        g = stq.to_hilbert_query(global_enc).range_set.total_cells
+        l = stq.to_hilbert_query(local_enc).range_set.total_cells
+        assert l > g

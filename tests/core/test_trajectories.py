@@ -1,0 +1,188 @@
+"""Tests for the trajectory extension (polylines end to end)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.encoder import SpatioTemporalEncoder
+from repro.core.query import SpatioTemporalQuery
+from repro.core.trajectories import (
+    TrajectoryEncoder,
+    build_trajectory_document,
+    trajectories_from_traces,
+)
+from repro.docstore.collection import Collection
+from repro.geo.geometry import BoundingBox, LineString, Point
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 8, 1, tzinfo=UTC)
+
+
+@pytest.fixture()
+def encoder():
+    return TrajectoryEncoder(encoder=SpatioTemporalEncoder.hilbert_global())
+
+
+class TestTrajectoryEncoder:
+    def test_cells_sorted_distinct(self, encoder):
+        line = LineString((Point(23.0, 38.0), Point(24.0, 38.3)))
+        cells = encoder.cells_of(line)
+        assert cells == sorted(set(cells))
+        assert len(cells) >= 2
+
+    def test_longer_lines_cover_more_cells(self, encoder):
+        short = LineString((Point(23.0, 38.0), Point(23.05, 38.0)))
+        long = LineString((Point(23.0, 38.0), Point(25.0, 38.0)))
+        assert len(encoder.cells_of(long)) > len(encoder.cells_of(short))
+
+    def test_enrich(self, encoder):
+        doc = build_trajectory_document(
+            "v1",
+            [Point(23.0, 38.0), Point(23.5, 38.1)],
+            start=T0,
+            end=T0 + dt.timedelta(minutes=30),
+        )
+        enriched = encoder.enrich(doc)
+        assert "hilbertCells" in enriched
+        assert enriched["hilbertCells"]
+
+    def test_point_cells_fall_inside_route_cells(self, encoder):
+        # Every vertex of the route encodes to one of the route's cells.
+        points = [Point(23.0, 38.0), Point(23.4, 38.2), Point(23.8, 38.1)]
+        line = LineString(tuple(points))
+        cells = set(encoder.cells_of(line))
+        for p in points:
+            assert encoder.encoder.encode_lonlat(p.lon, p.lat) in cells
+
+
+class TestBuildDocument:
+    def test_fields(self):
+        doc = build_trajectory_document(
+            "v9",
+            [Point(23.0, 38.0), Point(23.1, 38.0)],
+            start=T0,
+            end=T0 + dt.timedelta(minutes=5),
+            extra={"driver": "d1"},
+        )
+        assert doc["vehicle_id"] == "v9"
+        assert doc["route"]["type"] == "LineString"
+        assert doc["n_points"] == 2
+        assert doc["length_km"] > 0
+        assert doc["driver"] == "d1"
+
+    def test_rejects_inverted_time(self):
+        with pytest.raises(ValueError):
+            build_trajectory_document(
+                "v", [Point(0, 0), Point(1, 1)], start=T0, end=T0 - dt.timedelta(1)
+            )
+
+
+class TestTrajectoriesFromTraces:
+    def _trace(self, vehicle, lon, lat, minutes):
+        return {
+            "vehicle_id": vehicle,
+            "location": {"type": "Point", "coordinates": [lon, lat]},
+            "date": T0 + dt.timedelta(minutes=minutes),
+        }
+
+    def test_groups_by_vehicle(self):
+        traces = [
+            self._trace("a", 23.0, 38.0, 0),
+            self._trace("a", 23.1, 38.0, 1),
+            self._trace("b", 24.0, 38.0, 0),
+            self._trace("b", 24.1, 38.0, 1),
+        ]
+        out = trajectories_from_traces(traces)
+        assert len(out) == 2
+        assert {d["vehicle_id"] for d in out} == {"a", "b"}
+
+    def test_splits_on_time_gap(self):
+        traces = [
+            self._trace("a", 23.0, 38.0, 0),
+            self._trace("a", 23.1, 38.0, 1),
+            self._trace("a", 23.5, 38.0, 100),  # > 10 min gap
+            self._trace("a", 23.6, 38.0, 101),
+        ]
+        out = trajectories_from_traces(traces)
+        assert len(out) == 2
+
+    def test_single_point_segments_dropped(self):
+        traces = [
+            self._trace("a", 23.0, 38.0, 0),
+            self._trace("a", 23.5, 38.0, 100),
+            self._trace("a", 23.6, 38.0, 101),
+        ]
+        out = trajectories_from_traces(traces)
+        assert len(out) == 1
+
+    def test_from_fleet_generator(self):
+        from repro.datagen import FleetConfig, FleetGenerator
+
+        traces = FleetGenerator(FleetConfig(n_vehicles=10)).generate_list(500)
+        out = trajectories_from_traces(traces)
+        assert out
+        assert all(d["n_points"] >= 2 for d in out)
+
+
+class TestTrajectoryQueries:
+    def test_end_to_end_query(self, encoder):
+        col = Collection("trips")
+        col.create_index(
+            [("hilbertCells", 1), ("startDate", 1)], name="cells_date"
+        )
+        inside = build_trajectory_document(
+            "in",
+            [Point(23.7, 38.1), Point(23.9, 38.2)],
+            start=T0,
+            end=T0 + dt.timedelta(minutes=20),
+            encoder=encoder,
+        )
+        outside = build_trajectory_document(
+            "out",
+            [Point(10.0, 50.0), Point(10.5, 50.1)],
+            start=T0,
+            end=T0 + dt.timedelta(minutes=20),
+            encoder=encoder,
+        )
+        wrong_time = build_trajectory_document(
+            "late",
+            [Point(23.7, 38.1), Point(23.9, 38.2)],
+            start=T0 + dt.timedelta(days=60),
+            end=T0 + dt.timedelta(days=60, minutes=20),
+            encoder=encoder,
+        )
+        col.insert_many([inside, outside, wrong_time])
+
+        query = SpatioTemporalQuery(
+            bbox=BoundingBox(23.606039, 38.023982, 24.032754, 38.353926),
+            time_from=T0 - dt.timedelta(days=1),
+            time_to=T0 + dt.timedelta(days=1),
+        )
+        rendered, decomposition_ms = encoder.render_query(query)
+        result = col.find_with_stats(rendered)
+        assert [d["vehicle_id"] for d in result] == ["in"]
+        assert decomposition_ms >= 0
+        assert result.plan.kind == "IXSCAN"
+
+    def test_crossing_trajectory_found_by_geointersects(self, encoder):
+        # A route that merely crosses the box (no vertex inside).
+        col = Collection("trips")
+        col.create_index(
+            [("hilbertCells", 1), ("startDate", 1)], name="cells_date"
+        )
+        crossing = build_trajectory_document(
+            "cross",
+            [Point(23.5, 38.19), Point(24.2, 38.19)],
+            start=T0,
+            end=T0 + dt.timedelta(hours=1),
+            encoder=encoder,
+        )
+        col.insert_one(crossing)
+        query = SpatioTemporalQuery(
+            bbox=BoundingBox(23.606039, 38.023982, 24.032754, 38.353926),
+            time_from=T0 - dt.timedelta(days=1),
+            time_to=T0 + dt.timedelta(days=1),
+        )
+        rendered, _ = encoder.render_query(query)
+        result = col.find_with_stats(rendered)
+        assert len(result) == 1

@@ -1,0 +1,117 @@
+"""Tests for $bucketAuto-driven zone configuration."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cluster.chunk import ShardKeyPattern
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.core.zoning import (
+    build_zones,
+    compute_zone_boundaries,
+    configure_zones,
+)
+from repro.errors import ZoneError
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+def loaded_cluster(n_shards=4, n_docs=400):
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=n_shards),
+        chunk_max_bytes=8 * 1024,
+    )
+    cluster.shard_collection("t", [("h", 1), ("date", 1)])
+    rng = random.Random(2)
+    cluster.insert_many(
+        "t",
+        [
+            {
+                "_id": i,
+                "h": rng.randrange(0, 10_000),
+                "date": T0 + dt.timedelta(hours=rng.uniform(0, 1000)),
+                "pad": "x" * 40,
+            }
+            for i in range(n_docs)
+        ],
+    )
+    return cluster
+
+
+class TestBoundaries:
+    def test_interior_boundaries_count(self):
+        cluster = loaded_cluster()
+        bounds = compute_zone_boundaries(cluster, "t", "h", 4)
+        assert len(bounds) == 3
+        assert bounds == sorted(bounds)
+
+    def test_even_splitting(self):
+        cluster = loaded_cluster()
+        bounds = compute_zone_boundaries(cluster, "t", "h", 4)
+        docs = cluster.find("t", {"h": {"$gte": 0, "$lte": bounds[0] - 1}})
+        # First zone holds roughly a quarter of the documents.
+        assert 60 <= len(docs) <= 140
+
+    def test_empty_collection_rejected(self):
+        cluster = ShardedCluster(topology=ClusterTopology(n_shards=2))
+        cluster.shard_collection("t", [("h", 1)])
+        with pytest.raises(ZoneError):
+            compute_zone_boundaries(cluster, "t", "h", 2)
+
+
+class TestBuildZones:
+    def test_tiles_key_space(self):
+        pattern = ShardKeyPattern.from_spec([("h", 1), ("date", 1)])
+        zones = build_zones(pattern, [100, 200], ["s0", "s1", "s2"], "h")
+        assert len(zones) == 3
+        assert zones[0].min_key == pattern.global_min()
+        assert zones[-1].max_key == pattern.global_max()
+        for a, b in zip(zones, zones[1:]):
+            assert a.max_key == b.min_key
+
+    def test_prefix_zones_span_all_dates(self):
+        pattern = ShardKeyPattern.from_spec([("h", 1), ("date", 1)])
+        zones = build_zones(pattern, [100], ["s0", "s1"], "h")
+        early = pattern.extract_canonical({"h": 50, "date": T0})
+        late = pattern.extract_canonical(
+            {"h": 50, "date": T0 + dt.timedelta(days=3650)}
+        )
+        assert zones[0].contains(early)
+        assert zones[0].contains(late)
+
+    def test_field_must_lead_shard_key(self):
+        pattern = ShardKeyPattern.from_spec([("h", 1), ("date", 1)])
+        with pytest.raises(ZoneError):
+            build_zones(pattern, [T0], ["s0", "s1"], "date")
+
+    def test_too_many_zones_rejected(self):
+        pattern = ShardKeyPattern.from_spec([("h", 1)])
+        with pytest.raises(ZoneError):
+            build_zones(pattern, [1, 2, 3], ["s0", "s1"], "h")
+
+
+class TestConfigureZones:
+    def test_one_zone_per_shard(self):
+        cluster = loaded_cluster()
+        zones = configure_zones(cluster, "t", "h")
+        assert len(zones) == 4
+        assert sorted({z.shard_id for z in zones}) == sorted(cluster.shards)
+
+    def test_data_respects_zones(self):
+        cluster = loaded_cluster()
+        configure_zones(cluster, "t", "h")
+        meta = cluster.catalog.get("t")
+        for chunk in meta.chunks:
+            zone = meta.zone_set.zone_for_range(chunk.min_key, chunk.max_key)
+            assert zone is not None and zone.shard_id == chunk.shard_id
+        cluster.validate("t")
+
+    def test_contiguous_ranges_per_shard(self):
+        # The paper's point: with zones each shard holds one contiguous
+        # h-range, so a narrow h-query touches exactly one node.
+        cluster = loaded_cluster()
+        configure_zones(cluster, "t", "h")
+        result = cluster.find("t", {"h": {"$gte": 100, "$lte": 120}})
+        assert result.stats.nodes == 1

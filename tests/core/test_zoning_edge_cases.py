@@ -1,0 +1,75 @@
+"""Edge cases for zoning: skew, few distinct values, tiny clusters."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.core.zoning import configure_zones
+from repro.errors import ZoneError
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+def cluster_with(values, n_shards=4):
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=n_shards),
+        chunk_max_bytes=4 * 1024,
+    )
+    cluster.shard_collection("t", [("h", 1), ("date", 1)])
+    cluster.insert_many(
+        "t",
+        [
+            {
+                "_id": i,
+                "h": v,
+                "date": T0 + dt.timedelta(hours=i),
+                "pad": "x" * 30,
+            }
+            for i, v in enumerate(values)
+        ],
+    )
+    return cluster
+
+
+class TestSkewedZones:
+    def test_single_distinct_value_yields_one_zone(self):
+        # Extreme skew: every document shares one Hilbert value.
+        # $bucketAuto cannot split it, so fewer zones than shards
+        # result — exactly MongoDB's behaviour.
+        cluster = cluster_with([7] * 120)
+        zones = configure_zones(cluster, "t", "h")
+        assert len(zones) == 1
+        cluster.validate("t")
+
+    def test_two_distinct_values(self):
+        cluster = cluster_with([1] * 60 + [2] * 60)
+        zones = configure_zones(cluster, "t", "h")
+        assert 1 <= len(zones) <= 2
+        # Queries still correct afterwards.
+        assert len(cluster.find("t", {"h": {"$gte": 0, "$lte": 9}})) == 120
+
+    def test_heavy_head_skew(self):
+        # 80% of documents share the smallest value.
+        values = [0] * 160 + list(range(1, 41))
+        cluster = cluster_with(values)
+        zones = configure_zones(cluster, "t", "h")
+        assert zones
+        cluster.validate("t")
+        total = sum(
+            len(s.collection("t")) for s in cluster.shards.values()
+        )
+        assert total == len(values)
+
+    def test_zones_on_empty_collection_rejected(self):
+        cluster = ShardedCluster(topology=ClusterTopology(n_shards=2))
+        cluster.shard_collection("t", [("h", 1)])
+        with pytest.raises(ZoneError):
+            configure_zones(cluster, "t", "h")
+
+    def test_single_shard_cluster(self):
+        cluster = cluster_with(list(range(100)), n_shards=1)
+        zones = configure_zones(cluster, "t", "h")
+        assert len(zones) == 1
+        assert zones[0].shard_id == "shard00"

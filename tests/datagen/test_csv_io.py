@@ -1,0 +1,75 @@
+"""Tests for the CSV export/ingest pipeline (Appendix A.1)."""
+
+import datetime as dt
+
+from repro.datagen.csv_io import (
+    csv_to_documents,
+    documents_to_csv,
+    read_csv_file,
+    write_csv_file,
+)
+from repro.datagen.uniform import UniformGenerator
+from repro.datagen.vehicles import FleetConfig, FleetGenerator
+
+UTC = dt.timezone.utc
+
+
+class TestRoundtrip:
+    def test_s_documents_roundtrip(self):
+        docs = UniformGenerator().generate_list(20)
+        text = documents_to_csv(docs)
+        back = list(csv_to_documents(text))
+        assert len(back) == 20
+        for original, restored in zip(docs, back):
+            assert restored["location"]["type"] == "Point"
+            assert restored["location"]["coordinates"] == list(
+                original["location"]["coordinates"]
+            ) or tuple(restored["location"]["coordinates"]) == tuple(
+                original["location"]["coordinates"]
+            )
+            assert restored["date"] == original["date"]
+            assert restored["id"] == original["id"]
+
+    def test_r_documents_roundtrip_keeps_structure(self):
+        docs = FleetGenerator(FleetConfig(n_vehicles=5)).generate_list(10)
+        back = list(csv_to_documents(documents_to_csv(docs)))
+        assert len(back) == 10
+        first = back[0]
+        assert first["location"]["type"] == "Point"
+        assert isinstance(first["date"], dt.datetime)
+        # Dotted columns rebuild nested documents.
+        assert isinstance(first["weather"], dict)
+        assert "humidity_pct" in first["weather"]
+        assert first["vehicle_id"] == docs[0]["vehicle_id"]
+
+    def test_empty(self):
+        assert documents_to_csv([]) == ""
+        assert list(csv_to_documents("")) == []
+
+    def test_type_coercion(self):
+        text = "a,b,c,flag\n1,2.5,hello,True\n"
+        (doc,) = csv_to_documents(text)
+        assert doc == {"a": 1, "b": 2.5, "c": "hello", "flag": True}
+
+    def test_file_io(self, tmp_path):
+        docs = UniformGenerator().generate_list(5)
+        path = str(tmp_path / "s.csv")
+        write_csv_file(path, docs)
+        back = read_csv_file(path)
+        assert len(back) == 5
+
+    def test_ingested_documents_queryable(self):
+        # The full Appendix A.1 path: CSV → documents → store → query.
+        from repro.docstore.collection import Collection
+
+        docs = UniformGenerator().generate_list(50)
+        restored = list(csv_to_documents(documents_to_csv(docs)))
+        col = Collection("t")
+        col.create_index([("location", "2dsphere"), ("date", 1)])
+        col.insert_many(restored)
+        q = {
+            "location": {
+                "$geoWithin": {"$box": [[23.3, 37.6], [24.3, 38.5]]}
+            }
+        }
+        assert len(col.find_with_stats(q)) == 50

@@ -1,0 +1,61 @@
+"""Tests for the dataset registry (R1-R4, S)."""
+
+import pytest
+
+from repro.datagen.datasets import ReproScale, load_r_dataset, load_s_dataset
+
+
+class TestReproScale:
+    def test_default(self):
+        assert ReproScale().r1_records == 30_000
+
+    def test_scale_factors_match_table4(self):
+        scale = ReproScale(r1_records=1000)
+        assert [scale.r_records(f) for f in (1, 2, 3, 4)] == [
+            1000,
+            2000,
+            3000,
+            4000,
+        ]
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ReproScale().r_records(5)
+
+    def test_s_is_twice_r1(self):
+        assert ReproScale(r1_records=500).s_records == 1000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_R_RECORDS", "1234")
+        assert ReproScale.from_env().r1_records == 1234
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_R_RECORDS", raising=False)
+        assert ReproScale.from_env().r1_records == 30_000
+
+
+class TestLoaders:
+    def test_load_r(self):
+        info, docs = load_r_dataset(ReproScale(r1_records=500))
+        assert info.name == "R1"
+        assert info.kind == "fleet"
+        assert len(docs) == 500
+
+    def test_load_r_scaled(self):
+        info, docs = load_r_dataset(ReproScale(r1_records=300), scale_factor=2)
+        assert info.name == "R2"
+        assert len(docs) == 600
+
+    def test_scaling_adds_vehicles_same_bbox(self):
+        # Table 4: larger instances add vehicles, same MBR.
+        _, r1 = load_r_dataset(ReproScale(r1_records=400), scale_factor=1)
+        _, r2 = load_r_dataset(ReproScale(r1_records=400), scale_factor=2)
+        v1 = {d["vehicle_id"] for d in r1}
+        v2 = {d["vehicle_id"] for d in r2}
+        assert len(v2) > len(v1)
+
+    def test_load_s(self):
+        info, docs = load_s_dataset(ReproScale(r1_records=300))
+        assert info.name == "S"
+        assert len(docs) == 600
+        assert info.kind == "uniform"

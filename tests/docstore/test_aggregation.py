@@ -1,0 +1,224 @@
+"""Tests for the aggregation pipeline (incl. $bucketAuto semantics)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.docstore.aggregation import evaluate_expression, run_pipeline
+from repro.docstore.collection import Collection
+from repro.errors import AggregationError
+
+UTC = dt.timezone.utc
+
+DOCS = [
+    {"i": i, "group": "even" if i % 2 == 0 else "odd", "score": i * 1.5}
+    for i in range(10)
+]
+
+
+class TestExpressions:
+    def test_field_path(self):
+        assert evaluate_expression("$i", {"i": 7}) == 7
+
+    def test_nested_field_path(self):
+        assert evaluate_expression("$a.b", {"a": {"b": 3}}) == 3
+
+    def test_missing_field_is_none(self):
+        assert evaluate_expression("$zzz", {}) is None
+
+    def test_literal(self):
+        assert evaluate_expression(5, {}) == 5
+        assert evaluate_expression({"$literal": "$i"}, {"i": 1}) == "$i"
+
+    def test_arithmetic(self):
+        doc = {"a": 10, "b": 3}
+        assert evaluate_expression({"$add": ["$a", "$b", 1]}, doc) == 14
+        assert evaluate_expression({"$subtract": ["$a", "$b"]}, doc) == 7
+        assert evaluate_expression({"$multiply": ["$a", "$b"]}, doc) == 30
+        assert evaluate_expression({"$divide": ["$a", 2]}, doc) == 5
+        assert evaluate_expression({"$floor": 3.9}, doc) == 3
+
+    def test_concat(self):
+        assert evaluate_expression({"$concat": ["a", "$x"]}, {"x": "b"}) == "ab"
+
+    def test_unknown_operator(self):
+        with pytest.raises(AggregationError):
+            evaluate_expression({"$pow": [2, 3]}, {})
+
+
+class TestStages:
+    def test_match(self):
+        out = run_pipeline(DOCS, [{"$match": {"group": "even"}}])
+        assert len(out) == 5
+
+    def test_sort(self):
+        out = run_pipeline(DOCS, [{"$sort": {"i": -1}}])
+        assert [d["i"] for d in out[:3]] == [9, 8, 7]
+
+    def test_sort_multi_key(self):
+        out = run_pipeline(DOCS, [{"$sort": {"group": 1, "i": -1}}])
+        assert out[0]["group"] == "even" and out[0]["i"] == 8
+
+    def test_limit_skip(self):
+        out = run_pipeline(DOCS, [{"$sort": {"i": 1}}, {"$skip": 2}, {"$limit": 3}])
+        assert [d["i"] for d in out] == [2, 3, 4]
+
+    def test_count(self):
+        out = run_pipeline(DOCS, [{"$match": {"group": "odd"}}, {"$count": "n"}])
+        assert out == [{"n": 5}]
+
+    def test_project_inclusion(self):
+        out = run_pipeline([{"_id": 1, "a": 1, "b": 2}], [{"$project": {"a": 1}}])
+        assert out == [{"_id": 1, "a": 1}]
+
+    def test_project_exclusion(self):
+        out = run_pipeline(
+            [{"_id": 1, "a": 1, "b": 2}], [{"$project": {"b": 0}}]
+        )
+        assert out == [{"_id": 1, "a": 1}]
+
+    def test_project_computed(self):
+        out = run_pipeline(
+            [{"_id": 1, "a": 2}],
+            [{"$project": {"double": {"$multiply": ["$a", 2]}}}],
+        )
+        assert out[0]["double"] == 4
+
+    def test_group_accumulators(self):
+        out = run_pipeline(
+            DOCS,
+            [
+                {
+                    "$group": {
+                        "_id": "$group",
+                        "n": {"$sum": 1},
+                        "total": {"$sum": "$i"},
+                        "avg": {"$avg": "$i"},
+                        "lo": {"$min": "$i"},
+                        "hi": {"$max": "$i"},
+                        "first": {"$first": "$i"},
+                        "last": {"$last": "$i"},
+                        "all": {"$push": "$i"},
+                    }
+                },
+                {"$sort": {"_id": 1}},
+            ],
+        )
+        even = out[0]
+        assert even["_id"] == "even"
+        assert even["n"] == 5
+        assert even["total"] == 20
+        assert even["avg"] == 4
+        assert (even["lo"], even["hi"]) == (0, 8)
+        assert even["all"] == [0, 2, 4, 6, 8]
+
+    def test_group_add_to_set(self):
+        out = run_pipeline(
+            [{"v": 1}, {"v": 1}, {"v": 2}],
+            [{"$group": {"_id": None, "s": {"$addToSet": "$v"}}}],
+        )
+        assert sorted(out[0]["s"]) == [1, 2]
+
+    def test_group_requires_id(self):
+        with pytest.raises(AggregationError):
+            run_pipeline(DOCS, [{"$group": {"n": {"$sum": 1}}}])
+
+    def test_unknown_stage(self):
+        with pytest.raises(AggregationError):
+            run_pipeline(DOCS, [{"$lookup": {}}])
+
+    def test_stage_must_be_single_key(self):
+        with pytest.raises(AggregationError):
+            run_pipeline(DOCS, [{"$match": {}, "$limit": 1}])
+
+
+class TestBucketAuto:
+    def test_even_counts(self):
+        docs = [{"v": i} for i in range(100)]
+        out = run_pipeline(
+            docs, [{"$bucketAuto": {"groupBy": "$v", "buckets": 4}}]
+        )
+        assert len(out) == 4
+        assert [b["count"] for b in out] == [25, 25, 25, 25]
+
+    def test_boundaries_tile(self):
+        docs = [{"v": i} for i in range(100)]
+        out = run_pipeline(
+            docs, [{"$bucketAuto": {"groupBy": "$v", "buckets": 4}}]
+        )
+        for a, b in zip(out, out[1:]):
+            assert a["_id"]["max"] == b["_id"]["min"]
+        assert out[0]["_id"]["min"] == 0
+        assert out[-1]["_id"]["max"] == 99  # last max inclusive
+
+    def test_never_splits_equal_values(self):
+        # 50 copies of one value cannot be divided: MongoDB keeps them
+        # in one bucket, possibly producing fewer buckets than asked.
+        docs = [{"v": 1}] * 50 + [{"v": 2}] * 2
+        out = run_pipeline(
+            docs, [{"$bucketAuto": {"groupBy": "$v", "buckets": 4}}]
+        )
+        assert len(out) == 2
+        assert out[0]["count"] == 50
+
+    def test_skewed_counts_uneven_but_complete(self):
+        docs = [{"v": 1}] * 30 + [{"v": i} for i in range(2, 32)]
+        out = run_pipeline(
+            docs, [{"$bucketAuto": {"groupBy": "$v", "buckets": 4}}]
+        )
+        assert sum(b["count"] for b in out) == 60
+
+    def test_custom_output(self):
+        docs = [{"v": i, "w": i * 2} for i in range(10)]
+        out = run_pipeline(
+            docs,
+            [
+                {
+                    "$bucketAuto": {
+                        "groupBy": "$v",
+                        "buckets": 2,
+                        "output": {"total_w": {"$sum": "$w"}},
+                    }
+                }
+            ],
+        )
+        assert [b["total_w"] for b in out] == [20, 70]
+
+    def test_dates_group_correctly(self):
+        docs = [
+            {"d": dt.datetime(2018, 7, 1, tzinfo=UTC) + dt.timedelta(days=i)}
+            for i in range(30)
+        ]
+        out = run_pipeline(
+            docs, [{"$bucketAuto": {"groupBy": "$d", "buckets": 3}}]
+        )
+        assert len(out) == 3
+        assert out[0]["_id"]["min"] < out[1]["_id"]["min"]
+
+    def test_null_group_by_rejected(self):
+        with pytest.raises(AggregationError):
+            run_pipeline([{"v": None}], [{"$bucketAuto": {"groupBy": "$v", "buckets": 2}}])
+
+    def test_requires_positive_buckets(self):
+        with pytest.raises(AggregationError):
+            run_pipeline(DOCS, [{"$bucketAuto": {"groupBy": "$i", "buckets": 0}}])
+
+    def test_empty_input(self):
+        assert run_pipeline([], [{"$bucketAuto": {"groupBy": "$v", "buckets": 3}}]) == []
+
+
+class TestCollectionAggregate:
+    def test_collection_entry_point(self):
+        col = Collection("t")
+        col.insert_many(DOCS)
+        out = col.aggregate(
+            [{"$match": {"group": "even"}}, {"$count": "n"}]
+        )
+        assert out == [{"n": 5}]
+
+    def test_does_not_mutate_documents(self):
+        col = Collection("t")
+        col.insert_one({"a": {"b": 1}})
+        out = col.aggregate([{"$match": {}}])
+        out[0]["a"]["b"] = 999
+        assert col.find_one({})["a"]["b"] == 1

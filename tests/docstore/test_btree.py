@@ -1,0 +1,193 @@
+"""Tests for the B+tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.btree import BPlusTree
+
+
+def build(entries, order=8):
+    tree = BPlusTree(order=order)
+    for k, v in entries:
+        tree.insert(k, v)
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+        assert list(tree.scan_all()) == []
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_insert_and_scan_sorted(self):
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        tree = build([(k, k * 10) for k in keys])
+        scanned = list(tree.scan_all())
+        assert [k for k, _ in scanned] == sorted(keys)
+        assert all(v == k * 10 for k, v in scanned)
+
+    def test_min_max(self):
+        tree = build([(k, None) for k in (5, 1, 9, 3)])
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_duplicates_preserved(self):
+        tree = build([(1, "a"), (1, "b"), (1, "c"), (2, "d")])
+        assert len(tree) == 4
+        payloads = [v for k, v in tree.scan_all() if k == 1]
+        assert sorted(payloads) == ["a", "b", "c"]
+
+    def test_height_grows(self):
+        tree = build([(k, None) for k in range(1000)], order=4)
+        assert tree.height > 2
+        tree.validate()
+
+
+class TestSeek:
+    def test_seek_exact(self):
+        tree = build([(k, None) for k in range(0, 100, 2)])
+        entries = list(tree.seek(40))
+        assert entries[0][0] == 40
+
+    def test_seek_between_keys(self):
+        tree = build([(k, None) for k in range(0, 100, 2)])
+        entries = list(tree.seek(41))
+        assert entries[0][0] == 42
+
+    def test_seek_past_end(self):
+        tree = build([(k, None) for k in range(10)])
+        assert list(tree.seek(100)) == []
+
+    def test_seek_before_start(self):
+        tree = build([(k, None) for k in range(5, 10)])
+        assert [k for k, _ in tree.seek(0)] == [5, 6, 7, 8, 9]
+
+    def test_seek_finds_all_duplicates(self):
+        # Duplicates may straddle leaf splits; seek must find the first.
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(7, i)
+        for i in range(50):
+            tree.insert(3, i)
+        dupes = [v for k, v in tree.seek(7) if k == 7]
+        assert len(dupes) == 50
+
+    def test_seek_tuple_keys_prefix(self):
+        # Tuple keys: a shorter seek tuple lands before all extensions.
+        tree = build([((1, i), i) for i in range(10)] + [((2, 0), 99)])
+        entries = list(tree.seek((2,)))
+        assert entries[0] == ((2, 0), 99)
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        tree = build([(k, k) for k in range(20)])
+        assert tree.remove(5, 5)
+        assert len(tree) == 19
+        assert 5 not in [k for k, _ in tree.scan_all()]
+
+    def test_remove_missing_returns_false(self):
+        tree = build([(1, 1)])
+        assert not tree.remove(2, 2)
+        assert not tree.remove(1, 999)  # wrong payload
+        assert len(tree) == 1
+
+    def test_remove_specific_duplicate(self):
+        tree = build([(1, "a"), (1, "b")])
+        assert tree.remove(1, "a")
+        remaining = [v for _, v in tree.scan_all()]
+        assert remaining == ["b"]
+
+    def test_remove_all_then_reinsert(self):
+        tree = build([(k, k) for k in range(50)], order=4)
+        for k in range(50):
+            assert tree.remove(k, k)
+        assert len(tree) == 0
+        tree.insert(7, 7)
+        assert list(tree.scan_all()) == [(7, 7)]
+        tree.validate()
+
+    def test_scan_correct_after_removals(self):
+        tree = build([(k, k) for k in range(100)], order=4)
+        for k in range(0, 100, 3):
+            tree.remove(k, k)
+        expected = [k for k in range(100) if k % 3 != 0]
+        assert [k for k, _ in tree.scan_all()] == expected
+        tree.validate()
+
+
+class TestCountRange:
+    def test_inclusive(self):
+        tree = build([(k, None) for k in range(10)])
+        assert tree.count_range(3, 6) == 4
+
+    def test_exclusive_bounds(self):
+        tree = build([(k, None) for k in range(10)])
+        assert tree.count_range(3, 6, lo_inclusive=False) == 3
+        assert tree.count_range(3, 6, hi_inclusive=False) == 3
+        assert (
+            tree.count_range(3, 6, lo_inclusive=False, hi_inclusive=False)
+            == 2
+        )
+
+    def test_empty_range(self):
+        tree = build([(k, None) for k in range(10)])
+        assert tree.count_range(100, 200) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=200), min_size=0, max_size=200
+    ),
+    order=st.integers(min_value=4, max_value=16),
+)
+def test_property_matches_sorted_list(keys, order):
+    """The tree is observationally a sorted multiset."""
+    tree = BPlusTree(order=order)
+    for i, k in enumerate(keys):
+        tree.insert(k, i)
+    assert len(tree) == len(keys)
+    assert [k for k, _ in tree.scan_all()] == sorted(keys)
+    tree.validate()
+    if keys:
+        probe = keys[len(keys) // 2]
+        expected_tail = sorted(k for k in keys if k >= probe)
+        assert [k for k, _ in tree.seek(probe)] == expected_tail
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=50)),
+        min_size=1,
+        max_size=150,
+    )
+)
+def test_property_insert_remove_interleaved(ops):
+    """Random insert/remove sequences keep the tree consistent."""
+    tree = BPlusTree(order=4)
+    reference = []
+    for is_insert, key in ops:
+        if is_insert:
+            tree.insert(key, key)
+            reference.append(key)
+        else:
+            removed = tree.remove(key, key)
+            if key in reference:
+                assert removed
+                reference.remove(key)
+            else:
+                assert not removed
+    assert [k for k, _ in tree.scan_all()] == sorted(reference)
+    tree.validate()

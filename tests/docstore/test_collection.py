@@ -1,0 +1,200 @@
+"""Tests for the Collection facade."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.bson import ObjectId
+from repro.docstore.collection import Collection
+from repro.docstore.matcher import matches
+from repro.errors import DuplicateKeyError, IndexError_
+
+UTC = dt.timezone.utc
+
+
+class TestInsert:
+    def test_assigns_objectid(self):
+        col = Collection("t")
+        _id = col.insert_one({"a": 1})
+        assert isinstance(_id, ObjectId)
+        assert len(col) == 1
+
+    def test_preserves_explicit_id(self):
+        col = Collection("t")
+        assert col.insert_one({"_id": 42, "a": 1}) == 42
+
+    def test_duplicate_id_rejected(self):
+        col = Collection("t")
+        col.insert_one({"_id": 1})
+        with pytest.raises(DuplicateKeyError):
+            col.insert_one({"_id": 1})
+
+    def test_insert_many(self):
+        col = Collection("t")
+        ids = col.insert_many({"i": i} for i in range(10))
+        assert len(ids) == 10
+        assert len(col) == 10
+
+    def test_insert_does_not_alias_caller_document(self):
+        col = Collection("t")
+        doc = {"a": 1}
+        col.insert_one(doc)
+        assert "_id" not in doc  # caller's dict untouched
+
+
+class TestFind:
+    def test_find_returns_copies(self):
+        col = Collection("t")
+        col.insert_one({"_id": 1, "a": {"b": 1}})
+        found = col.find_one({"_id": 1})
+        found["a"]["b"] = 999
+        assert col.find_one({"_id": 1})["a"]["b"] == 1
+
+    def test_find_by_id_uses_id_index(self):
+        col = Collection("t")
+        for i in range(100):
+            col.insert_one({"_id": i})
+        result = col.find_with_stats({"_id": 50})
+        assert result.plan.kind == "IXSCAN"
+        assert result.plan.index_name == "_id_"
+        assert result.stats.keys_examined <= 2
+
+    def test_find_empty_query_returns_all(self):
+        col = Collection("t")
+        col.insert_many({"i": i} for i in range(5))
+        assert len(col.find().to_list()) == 5
+
+    def test_cursor_modifiers(self):
+        col = Collection("t")
+        col.insert_many({"i": i} for i in range(10))
+        out = col.find().sort({"i": -1}).skip(2).limit(3).to_list()
+        assert [d["i"] for d in out] == [7, 6, 5]
+
+    def test_count_documents(self):
+        col = Collection("t")
+        col.insert_many({"i": i} for i in range(10))
+        assert col.count_documents() == 10
+        assert col.count_documents({"i": {"$gte": 5}}) == 5
+
+    def test_find_one_none_when_empty(self):
+        col = Collection("t")
+        assert col.find_one({"a": 1}) is None
+
+
+class TestDeleteUpdate:
+    def test_delete_many(self):
+        col = Collection("t")
+        col.create_index([("i", 1)])
+        col.insert_many({"i": i} for i in range(10))
+        assert col.delete_many({"i": {"$lt": 4}}) == 4
+        assert len(col) == 6
+        # Index is maintained: a find via the index agrees.
+        assert len(col.find_with_stats({"i": {"$gte": 0, "$lte": 9}})) == 6
+
+    def test_update_many_set(self):
+        col = Collection("t")
+        col.create_index([("i", 1)])
+        col.insert_many({"i": i} for i in range(5))
+        assert col.update_many({"i": {"$lte": 1}}, {"$set": {"flag": True}}) == 2
+        assert col.count_documents({"flag": True}) == 2
+
+    def test_update_reindexes(self):
+        col = Collection("t")
+        col.create_index([("i", 1)], name="i_1")
+        col.insert_one({"i": 1})
+        col.update_many({"i": 1}, {"$set": {"i": 99}})
+        result = col.find_with_stats({"i": {"$gte": 90, "$lte": 100}}, hint="i_1")
+        assert len(result) == 1
+
+    def test_update_unset(self):
+        col = Collection("t")
+        col.insert_one({"i": 1, "junk": "x"})
+        col.update_many({}, {"$unset": {"junk": ""}})
+        assert "junk" not in col.find_one({})
+
+    def test_unknown_update_operator_rejected(self):
+        col = Collection("t")
+        col.insert_one({"i": 1})
+        from repro.errors import DocumentStoreError
+
+        with pytest.raises(DocumentStoreError):
+            col.update_many({}, {"$rename": {"i": "j"}})
+
+
+class TestIndexManagement:
+    def test_create_and_list(self):
+        col = Collection("t")
+        col.create_index([("a", 1)], name="a_1")
+        assert set(col.list_indexes()) == {"_id_", "a_1"}
+
+    def test_backfills_existing_documents(self):
+        col = Collection("t")
+        col.insert_many({"i": i} for i in range(20))
+        col.create_index([("i", 1)], name="i_1")
+        result = col.find_with_stats({"i": {"$gte": 5, "$lte": 9}}, hint="i_1")
+        assert len(result) == 5
+
+    def test_duplicate_name_rejected(self):
+        col = Collection("t")
+        col.create_index([("a", 1)], name="x")
+        with pytest.raises(IndexError_):
+            col.create_index([("b", 1)], name="x")
+
+    def test_drop_index(self):
+        col = Collection("t")
+        col.create_index([("a", 1)], name="x")
+        col.drop_index("x")
+        assert "x" not in col.list_indexes()
+
+    def test_cannot_drop_id_index(self):
+        col = Collection("t")
+        with pytest.raises(IndexError_):
+            col.drop_index("_id_")
+
+    def test_drop_missing_rejected(self):
+        col = Collection("t")
+        with pytest.raises(IndexError_):
+            col.drop_index("nope")
+
+
+class TestExplainAndStats:
+    def test_explain_structure(self):
+        col = Collection("t")
+        col.create_index([("a", 1)], name="a_1")
+        col.insert_many({"a": i} for i in range(10))
+        explain = col.explain({"a": {"$gte": 3}})
+        assert explain["queryPlanner"]["winningPlan"]["stage"] == "IXSCAN"
+        assert explain["executionStats"]["nReturned"] == 7
+
+    def test_stats_keys(self):
+        col = Collection("t")
+        col.insert_one({"a": 1})
+        stats = col.stats()
+        assert stats["count"] == 1
+        assert stats["size"] > 0
+        assert stats["nindexes"] == 1
+        assert "_id_" in stats["indexSizes"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=1, max_size=80
+    ),
+    lo=st.integers(min_value=0, max_value=30),
+    hi=st.integers(min_value=0, max_value=30),
+)
+def test_property_index_find_matches_brute_force(values, lo, hi):
+    """Range finds through the index equal naive filtering."""
+    if lo > hi:
+        lo, hi = hi, lo
+    col = Collection("t")
+    col.create_index([("v", 1)], name="v_1")
+    col.insert_many({"v": v} for v in values)
+    q = {"v": {"$gte": lo, "$lte": hi}}
+    via_index = col.find_with_stats(q, hint="v_1")
+    assert via_index.plan.kind == "IXSCAN"
+    expected = [v for v in values if lo <= v <= hi]
+    assert sorted(d["v"] for d in via_index) == sorted(expected)

@@ -1,0 +1,108 @@
+"""Tests for dotted-path document helpers."""
+
+from repro.docstore.document import (
+    MISSING,
+    deep_copy_document,
+    get_path,
+    has_path,
+    iter_paths,
+    set_path,
+)
+
+DOC = {
+    "a": 1,
+    "b": {"c": 2, "d": {"e": 3}},
+    "arr": [10, {"x": 20}],
+    "nul": None,
+}
+
+
+class TestGetPath:
+    def test_top_level(self):
+        assert get_path(DOC, "a") == 1
+
+    def test_nested(self):
+        assert get_path(DOC, "b.c") == 2
+        assert get_path(DOC, "b.d.e") == 3
+
+    def test_missing_returns_sentinel(self):
+        assert get_path(DOC, "zzz") is MISSING
+        assert get_path(DOC, "b.zzz") is MISSING
+        assert get_path(DOC, "a.b") is MISSING  # scalar has no children
+
+    def test_none_is_not_missing(self):
+        assert get_path(DOC, "nul") is None
+        assert get_path(DOC, "nul") is not MISSING
+
+    def test_array_index(self):
+        assert get_path(DOC, "arr.0") == 10
+        assert get_path(DOC, "arr.1.x") == 20
+        assert get_path(DOC, "arr.5") is MISSING
+        assert get_path(DOC, "arr.notanum") is MISSING
+
+    def test_geojson_coordinates(self):
+        doc = {"location": {"type": "Point", "coordinates": [23.7, 37.9]}}
+        assert get_path(doc, "location.coordinates.0") == 23.7
+        assert get_path(doc, "location.coordinates.1") == 37.9
+
+
+class TestHasPath:
+    def test_present(self):
+        assert has_path(DOC, "b.d.e")
+        assert has_path(DOC, "nul")
+
+    def test_absent(self):
+        assert not has_path(DOC, "b.d.zzz")
+
+
+class TestSetPath:
+    def test_simple(self):
+        doc = {}
+        set_path(doc, "a", 1)
+        assert doc == {"a": 1}
+
+    def test_creates_intermediates(self):
+        doc = {}
+        set_path(doc, "a.b.c", 1)
+        assert doc == {"a": {"b": {"c": 1}}}
+
+    def test_overwrites_scalar_intermediate(self):
+        doc = {"a": 5}
+        set_path(doc, "a.b", 1)
+        assert doc == {"a": {"b": 1}}
+
+    def test_preserves_siblings(self):
+        doc = {"a": {"x": 1}}
+        set_path(doc, "a.y", 2)
+        assert doc == {"a": {"x": 1, "y": 2}}
+
+
+class TestIterPaths:
+    def test_leaves_only(self):
+        paths = dict(iter_paths(DOC))
+        assert paths["a"] == 1
+        assert paths["b.c"] == 2
+        assert paths["b.d.e"] == 3
+        assert "b" not in paths
+
+    def test_arrays_are_leaves(self):
+        paths = dict(iter_paths({"arr": [1, 2]}))
+        assert paths == {"arr": [1, 2]}
+
+    def test_empty_dict_is_leaf(self):
+        paths = dict(iter_paths({"a": {}}))
+        assert paths == {"a": {}}
+
+
+class TestDeepCopy:
+    def test_no_aliasing(self):
+        original = {"a": {"b": [1, 2]}}
+        copy = deep_copy_document(original)
+        copy["a"]["b"].append(3)
+        assert original["a"]["b"] == [1, 2]
+
+    def test_missing_sentinel_is_falsy_singleton(self):
+        assert not MISSING
+        from repro.docstore.document import _Missing
+
+        assert _Missing() is MISSING

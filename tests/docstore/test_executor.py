@@ -1,0 +1,137 @@
+"""Tests for plan execution and its statistics."""
+
+import datetime as dt
+
+from repro.docstore.collection import Collection
+from repro.docstore.matcher import Matcher, matches
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+def build_collection(n=300):
+    import random
+
+    rng = random.Random(11)
+    col = Collection("t")
+    col.create_index([("h", 1), ("date", 1)], name="h_date")
+    col.create_index([("date", 1)], name="date_1")
+    for i in range(n):
+        col.insert_one(
+            {
+                "h": rng.randrange(0, 40),
+                "date": T0 + dt.timedelta(hours=rng.uniform(0, 24 * 60)),
+                "v": i,
+            }
+        )
+    return col
+
+
+class TestIndexScanCorrectness:
+    def test_agrees_with_brute_force(self):
+        col = build_collection()
+        q = {
+            "h": {"$gte": 5, "$lte": 15},
+            "date": {"$gte": T0, "$lte": T0 + dt.timedelta(days=20)},
+        }
+        result = col.find_with_stats(q)
+        brute = [d for d in col.all_documents() if matches(q, d)]
+        assert len(result) == len(brute)
+        assert result.plan.kind == "IXSCAN"
+
+    def test_or_ranges_agree_with_brute_force(self):
+        col = build_collection()
+        q = {
+            "$or": [
+                {"h": {"$gte": 0, "$lte": 3}},
+                {"h": {"$gte": 30, "$lte": 35}},
+                {"h": {"$in": [17]}},
+            ],
+            "date": {"$gte": T0, "$lte": T0 + dt.timedelta(days=30)},
+        }
+        result = col.find_with_stats(q)
+        brute = [d for d in col.all_documents() if matches(q, d)]
+        assert len(result) == len(brute)
+
+    def test_no_duplicate_results_from_overlapping_intervals(self):
+        col = Collection("t")
+        col.create_index([("h", 1)], name="h_1")
+        col.insert_one({"h": 5})
+        q = {"$or": [{"h": {"$gte": 0, "$lte": 10}}, {"h": {"$in": [5]}}]}
+        result = col.find_with_stats(q)
+        assert len(result) == 1
+
+    def test_exclusive_bounds(self):
+        col = Collection("t")
+        col.create_index([("v", 1)], name="v_1")
+        for v in range(10):
+            col.insert_one({"v": v})
+        assert len(col.find_with_stats({"v": {"$gt": 3, "$lt": 7}})) == 3
+        assert len(col.find_with_stats({"v": {"$gte": 3, "$lte": 7}})) == 5
+
+
+class TestExecutionStats:
+    def test_keys_examined_bounded_by_tree(self):
+        col = build_collection(100)
+        q = {"h": {"$gte": 0, "$lte": 39}}
+        result = col.find_with_stats(q, hint="h_date")
+        assert result.stats.keys_examined <= 100 + result.stats.seeks
+
+    def test_narrow_scan_examines_few_keys(self):
+        col = build_collection(500)
+        q = {
+            "h": 5,
+            "date": {"$gte": T0, "$lte": T0 + dt.timedelta(days=1)},
+        }
+        result = col.find_with_stats(q, hint="h_date")
+        # ~500/40 docs share h=5; only ~1/60 of dates match.
+        assert result.stats.keys_examined < 30
+
+    def test_docs_examined_counts_fetches(self):
+        col = build_collection(200)
+        q = {
+            "h": {"$gte": 0, "$lte": 39},
+            "v": {"$gte": 0},  # residual-only predicate
+        }
+        result = col.find_with_stats(q, hint="h_date")
+        assert result.stats.docs_examined >= result.stats.n_returned
+
+    def test_n_returned_matches_len(self):
+        col = build_collection(100)
+        result = col.find_with_stats({"h": {"$gte": 10, "$lte": 20}})
+        assert result.stats.n_returned == len(result)
+
+    def test_collscan_stats(self):
+        col = build_collection(50)
+        result = col.find_with_stats({"v": {"$gte": 25}})
+        assert result.stats.stage == "COLLSCAN"
+        assert result.stats.docs_examined == 50
+        assert result.stats.keys_examined == 0
+
+    def test_second_field_filtering_via_bounds(self):
+        # With a compound (h, date) index, a narrow date bound must
+        # reduce keys examined versus no date bound, for the same h.
+        col = build_collection(500)
+        broad = col.find_with_stats(
+            {"h": {"$gte": 5, "$lte": 15}}, hint="h_date"
+        )
+        narrow = col.find_with_stats(
+            {
+                "h": {"$gte": 5, "$lte": 15},
+                "date": {"$gte": T0, "$lte": T0 + dt.timedelta(days=2)},
+            },
+            hint="h_date",
+        )
+        assert narrow.stats.keys_examined < broad.stats.keys_examined
+
+    def test_as_dict(self):
+        col = build_collection(10)
+        result = col.find_with_stats({"h": {"$gte": 0, "$lte": 39}})
+        d = result.stats.as_dict()
+        assert set(d) >= {
+            "stage",
+            "indexName",
+            "keysExamined",
+            "docsExamined",
+            "nReturned",
+        }

@@ -1,0 +1,96 @@
+"""Tests for polygon-valued documents (completing the future work)."""
+
+import pytest
+
+from repro.docstore.collection import Collection
+from repro.docstore.index import Index, IndexDefinition
+from repro.docstore.matcher import matches
+from repro.geo.geometry import BoundingBox, Point, Polygon
+
+
+def square(min_lon, min_lat, max_lon, max_lat):
+    return BoundingBox(min_lon, min_lat, max_lon, max_lat).to_polygon()
+
+
+def polygon_geojson(poly):
+    from repro.geo.geojson import polygon_to_geojson
+
+    return polygon_to_geojson(poly)
+
+
+class TestPolygonGeometry:
+    def test_boundary_is_linestring(self):
+        poly = square(0, 0, 10, 10)
+        boundary = poly.boundary()
+        assert boundary.points[0] == boundary.points[-1]
+
+    def test_intersects_box_overlap(self):
+        poly = square(0, 0, 10, 10)
+        assert poly.intersects_box(BoundingBox(5, 5, 15, 15))
+
+    def test_intersects_box_polygon_inside(self):
+        poly = square(2, 2, 3, 3)
+        assert poly.intersects_box(BoundingBox(0, 0, 10, 10))
+
+    def test_intersects_box_box_inside(self):
+        poly = square(0, 0, 10, 10)
+        assert poly.intersects_box(BoundingBox(4, 4, 5, 5))
+
+    def test_disjoint(self):
+        poly = square(0, 0, 2, 2)
+        assert not poly.intersects_box(BoundingBox(5, 5, 8, 8))
+
+    def test_sample_covers_interior(self):
+        poly = square(0, 0, 4, 4)
+        points = poly.sample(1.0)
+        assert any(
+            0.5 < p.lon < 3.5 and 0.5 < p.lat < 3.5 for p in points
+        )
+
+
+class TestPolygonIndexing:
+    def test_polygon_indexes_many_cells(self):
+        idx = Index(IndexDefinition.from_spec([("area", "2dsphere")]))
+        idx.insert_document(
+            1, {"area": polygon_geojson(square(23.0, 38.0, 23.6, 38.4))}
+        )
+        assert len(idx.tree) > 10
+        assert idx.is_multikey()
+
+    def test_geointersects_finds_overlapping_polygon(self):
+        col = Collection("zones")
+        col.create_index([("area", "2dsphere")], name="area_2d")
+        col.insert_one(
+            {"_id": "athens", "area": polygon_geojson(square(23.5, 37.8, 24.0, 38.2))}
+        )
+        col.insert_one(
+            {"_id": "crete", "area": polygon_geojson(square(24.5, 35.0, 26.0, 35.6))}
+        )
+        q = {
+            "area": {
+                "$geoIntersects": {
+                    "$geometry": polygon_geojson(square(23.8, 38.0, 24.2, 38.5))
+                }
+            }
+        }
+        result = col.find_with_stats(q)
+        assert [d["_id"] for d in result] == ["athens"]
+
+    def test_geowithin_polygon_value(self):
+        inside = {"area": polygon_geojson(square(23.1, 38.0, 23.2, 38.1))}
+        crossing = {"area": polygon_geojson(square(23.1, 38.0, 30.0, 40.0))}
+        q = {"area": {"$geoWithin": {"$box": [[23.0, 37.9], [23.5, 38.2]]}}}
+        assert matches(q, inside)
+        assert not matches(q, crossing)
+
+    def test_box_enclosed_by_polygon_intersects(self):
+        # The query box lies strictly inside the stored polygon.
+        doc = {"area": polygon_geojson(square(20.0, 35.0, 28.0, 41.0))}
+        q = {
+            "area": {
+                "$geoIntersects": {
+                    "$geometry": polygon_geojson(square(23.0, 38.0, 23.1, 38.1))
+                }
+            }
+        }
+        assert matches(q, doc)

@@ -1,0 +1,101 @@
+"""Tests for storage sizing: BSON bytes and prefix-compressed indexes."""
+
+import datetime as dt
+
+from repro.docstore.bson import ObjectId
+from repro.docstore.index import Index, IndexDefinition
+from repro.docstore.storage import (
+    StorageModel,
+    collection_data_size,
+    index_size_bytes,
+)
+
+UTC = dt.timezone.utc
+
+
+def build_id_index(ids):
+    idx = Index(IndexDefinition.from_spec([("_id", 1)], name="_id_"))
+    for rid, _id in enumerate(ids):
+        idx.insert_document(rid, {"_id": _id})
+    return idx
+
+
+class TestCollectionSize:
+    def test_sum_of_document_sizes(self):
+        docs = [{"a": 1}, {"a": 2}]
+        from repro.docstore.bson import bson_document_size
+
+        assert collection_data_size(docs) == sum(
+            bson_document_size(d) for d in docs
+        )
+
+    def test_storage_size_compressed(self):
+        model = StorageModel(block_compression=0.5)
+        docs = [{"a": "x" * 100} for _ in range(10)]
+        assert model.storage_size(docs) == model.data_size(docs) // 2
+
+    def test_wider_documents_cost_more(self):
+        narrow = [{"a": 1}] * 10
+        wide = [{"a": 1, "extra": "y" * 50}] * 10
+        assert collection_data_size(wide) > collection_data_size(narrow)
+
+    def test_hilbert_field_adds_bytes(self):
+        # The Table 6 effect: hil documents carry one extra long field.
+        base = {"location": {"type": "Point", "coordinates": [1.0, 2.0]}}
+        with_h = dict(base, hilbertIndex=36854767)
+        assert collection_data_size([with_h]) > collection_data_size([base])
+
+
+class TestIndexSize:
+    def test_empty_index_is_zero(self):
+        idx = build_id_index([])
+        assert index_size_bytes(idx) == 0
+
+    def test_grows_with_entries(self):
+        small = build_id_index(range(100))
+        large = build_id_index(range(1000))
+        assert index_size_bytes(large) > index_size_bytes(small)
+
+    def test_prefix_compression_helps_sequential_objectids(self):
+        # ObjectIds minted close in time share long prefixes; shuffled
+        # ids from distant times do not — Fig. 14's mechanism.
+        sequential = [
+            ObjectId(timestamp=1_000_000 + i // 100, random_bytes=b"abcde", counter=i)
+            for i in range(2000)
+        ]
+        import random
+
+        spread = [
+            ObjectId(
+                timestamp=random.Random(i).randrange(0, 2**31),
+                random_bytes=random.Random(i * 7).randbytes(5),
+                counter=i,
+            )
+            for i in range(2000)
+        ]
+        seq_size = index_size_bytes(build_id_index(sequential))
+        spread_size = index_size_bytes(build_id_index(spread))
+        assert seq_size < spread_size
+
+    def test_page_boundary_resets_compression(self):
+        ids = [
+            ObjectId(timestamp=1000, random_bytes=b"abcde", counter=i)
+            for i in range(256)
+        ]
+        idx = build_id_index(ids)
+        small_pages = index_size_bytes(idx, page_entries=8)
+        big_pages = index_size_bytes(idx, page_entries=256)
+        assert small_pages > big_pages
+
+    def test_compound_index_bigger_than_single(self):
+        single = Index(IndexDefinition.from_spec([("a", 1)]))
+        compound = Index(IndexDefinition.from_spec([("a", 1), ("b", 1)]))
+        for rid in range(500):
+            single.insert_document(rid, {"a": rid, "b": "payload-%d" % rid})
+            compound.insert_document(rid, {"a": rid, "b": "payload-%d" % rid})
+        assert index_size_bytes(compound) > index_size_bytes(single)
+
+    def test_model_wrapper(self):
+        model = StorageModel(page_entries=16)
+        idx = build_id_index(range(100))
+        assert model.index_size(idx) == index_size_bytes(idx, page_entries=16)

@@ -1,0 +1,131 @@
+"""Tests for trial-based plan ranking."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.docstore.collection import Collection
+from repro.docstore.matcher import Matcher
+from repro.docstore.planner import analyze_query, plan_candidates
+from repro.docstore.trial import plan_query_by_trial, run_trial
+from repro.errors import DocumentStoreError
+
+UTC = dt.timezone.utc
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+
+
+def build_collection(n=400, seed=6):
+    rng = random.Random(seed)
+    col = Collection("t")
+    col.create_index([("a", 1), ("b", 1)], name="a_b")
+    col.create_index([("b", 1)], name="b_1")
+    for _ in range(n):
+        col.insert_one({"a": rng.randrange(0, 50), "b": rng.randrange(0, 50)})
+    return col
+
+
+class TestRunTrial:
+    def test_reports_work_and_results(self):
+        col = build_collection()
+        shape = analyze_query({"a": {"$gte": 0, "$lte": 49}})
+        (plan,) = [
+            p
+            for p in plan_candidates(
+                shape, [col.get_index("a_b"), col.get_index("b_1")]
+            )
+        ]
+        result = run_trial(plan, col._records, Matcher({}), work_budget=50)
+        assert result.keys_examined <= 50
+        assert result.results_found > 0
+        assert not result.completed  # 400 docs > 50-key budget
+
+    def test_completes_small_scans(self):
+        col = build_collection()
+        shape = analyze_query({"a": 3, "b": 3})
+        plans = plan_candidates(
+            shape, [col.get_index("a_b"), col.get_index("b_1")]
+        )
+        compound = [p for p in plans if p.index_name == "a_b"][0]
+        result = run_trial(
+            compound, col._records, Matcher({"a": 3, "b": 3}), work_budget=100
+        )
+        assert result.completed
+
+
+class TestTrialPlanning:
+    def test_picks_more_selective_plan(self):
+        # Query selective on (a AND b): the compound beats the b-only
+        # index, and the trial discovers it by productivity.
+        col = build_collection()
+        q = {"a": {"$gte": 10, "$lte": 12}, "b": {"$gte": 10, "$lte": 12}}
+        shape = analyze_query(q)
+        plan = plan_query_by_trial(
+            shape,
+            [col.get_index("a_b"), col.get_index("b_1")],
+            col._records,
+            Matcher(q),
+            collection_size=len(col),
+        )
+        assert plan.index_name == "a_b"
+
+    def test_trial_mode_same_results_as_estimate(self):
+        col = build_collection()
+        q = {"a": {"$gte": 5, "$lte": 30}, "b": {"$gte": 0, "$lte": 20}}
+        estimate = col.find_with_stats(q, planning="estimate")
+        trial = col.find_with_stats(q, planning="trial")
+        assert len(estimate) == len(trial)
+
+    def test_collscan_when_no_candidates(self):
+        col = Collection("t")
+        col.insert_many({"x": i} for i in range(10))
+        result = col.find_with_stats({"x": {"$gte": 3}}, planning="trial")
+        assert result.plan.kind == "COLLSCAN"
+        assert len(result) == 7
+
+    def test_unknown_mode_rejected(self):
+        col = build_collection(10)
+        with pytest.raises(DocumentStoreError):
+            col.find_with_stats({"a": 1}, planning="psychic")
+
+    def test_trial_agrees_with_table7_pattern(self):
+        # The bslST scenario: compound (geo, date) vs date index.  For
+        # a big box and a 1-hour window, both the estimator and the
+        # trial must keep the date index; for a tiny box over months,
+        # both must pick the compound.
+        rng = random.Random(4)
+        col = Collection("t")
+        col.create_index(
+            [("location", "2dsphere"), ("date", 1)], name="loc_date"
+        )
+        col.create_index([("date", 1)], name="date_1")
+        for i in range(600):
+            col.insert_one(
+                {
+                    "location": {
+                        "type": "Point",
+                        "coordinates": [
+                            rng.uniform(20.0, 28.0),
+                            rng.uniform(35.0, 41.0),
+                        ],
+                    },
+                    "date": T0 + dt.timedelta(minutes=rng.uniform(0, 60 * 24 * 150)),
+                }
+            )
+        big_short = {
+            "location": {"$geoWithin": {"$box": [[20.5, 35.5], [27.5, 40.5]]}},
+            "date": {"$gte": T0, "$lte": T0 + dt.timedelta(hours=1)},
+        }
+        tiny_long = {
+            "location": {"$geoWithin": {"$box": [[23.70, 37.90], [23.72, 37.92]]}},
+            "date": {"$gte": T0, "$lte": T0 + dt.timedelta(days=150)},
+        }
+        for planning in ("estimate", "trial"):
+            assert (
+                col.find_with_stats(big_short, planning=planning).plan.index_name
+                == "date_1"
+            ), planning
+            assert (
+                col.find_with_stats(tiny_long, planning=planning).plan.index_name
+                == "loc_date"
+            ), planning

@@ -1,0 +1,103 @@
+"""Tests for the extended update operators."""
+
+import pytest
+
+from repro.docstore.collection import Collection
+from repro.errors import DocumentStoreError
+
+
+def col_with(doc):
+    col = Collection("t")
+    col.insert_one(doc)
+    return col
+
+
+class TestIncMul:
+    def test_inc(self):
+        col = col_with({"_id": 1, "n": 10})
+        col.update_many({}, {"$inc": {"n": 5}})
+        assert col.find_one({})["n"] == 15
+
+    def test_inc_negative(self):
+        col = col_with({"_id": 1, "n": 10})
+        col.update_many({}, {"$inc": {"n": -3}})
+        assert col.find_one({})["n"] == 7
+
+    def test_inc_missing_starts_at_zero(self):
+        col = col_with({"_id": 1})
+        col.update_many({}, {"$inc": {"n": 4}})
+        assert col.find_one({})["n"] == 4
+
+    def test_mul(self):
+        col = col_with({"_id": 1, "n": 6})
+        col.update_many({}, {"$mul": {"n": 2}})
+        assert col.find_one({})["n"] == 12
+
+    def test_inc_nested_path(self):
+        col = col_with({"_id": 1, "stats": {"hits": 1}})
+        col.update_many({}, {"$inc": {"stats.hits": 1}})
+        assert col.find_one({})["stats"]["hits"] == 2
+
+
+class TestMinMax:
+    def test_min_lowers(self):
+        col = col_with({"_id": 1, "n": 10})
+        col.update_many({}, {"$min": {"n": 5}})
+        assert col.find_one({})["n"] == 5
+
+    def test_min_keeps_lower(self):
+        col = col_with({"_id": 1, "n": 3})
+        col.update_many({}, {"$min": {"n": 5}})
+        assert col.find_one({})["n"] == 3
+
+    def test_max_raises(self):
+        col = col_with({"_id": 1, "n": 10})
+        col.update_many({}, {"$max": {"n": 20}})
+        assert col.find_one({})["n"] == 20
+
+    def test_min_on_missing_sets(self):
+        col = col_with({"_id": 1})
+        col.update_many({}, {"$min": {"n": 5}})
+        assert col.find_one({})["n"] == 5
+
+
+class TestPush:
+    def test_appends(self):
+        col = col_with({"_id": 1, "tags": ["a"]})
+        col.update_many({}, {"$push": {"tags": "b"}})
+        assert col.find_one({})["tags"] == ["a", "b"]
+
+    def test_creates_array(self):
+        col = col_with({"_id": 1})
+        col.update_many({}, {"$push": {"tags": "a"}})
+        assert col.find_one({})["tags"] == ["a"]
+
+
+class TestIndexMaintenance:
+    def test_inc_reindexes(self):
+        col = Collection("t")
+        col.create_index([("n", 1)], name="n_1")
+        col.insert_one({"_id": 1, "n": 10})
+        col.update_many({}, {"$inc": {"n": 90}})
+        assert len(col.find_with_stats({"n": {"$gte": 99}}, hint="n_1")) == 1
+        assert len(col.find_with_stats({"n": {"$lte": 50}}, hint="n_1")) == 0
+
+    def test_combined_operators(self):
+        col = col_with({"_id": 1, "a": 1, "b": 5, "junk": True})
+        col.update_many(
+            {},
+            {
+                "$set": {"c": "x"},
+                "$inc": {"a": 1},
+                "$max": {"b": 9},
+                "$unset": {"junk": ""},
+            },
+        )
+        doc = col.find_one({})
+        assert doc["a"] == 2 and doc["b"] == 9 and doc["c"] == "x"
+        assert "junk" not in doc
+
+    def test_unknown_operator_rejected(self):
+        col = col_with({"_id": 1})
+        with pytest.raises(DocumentStoreError):
+            col.update_many({}, {"$rename": {"a": "b"}})

@@ -1,0 +1,95 @@
+"""Tests for GeoJSON parsing/rendering."""
+
+import pytest
+
+from repro.geo.geojson import (
+    GeoJSONError,
+    parse_geometry,
+    parse_point,
+    parse_polygon,
+    point_to_geojson,
+    polygon_to_geojson,
+)
+from repro.geo.geometry import BoundingBox, Point, Polygon
+
+
+class TestParsePoint:
+    def test_geojson_mapping(self):
+        p = parse_point({"type": "Point", "coordinates": [23.7, 37.9]})
+        assert p == Point(23.7, 37.9)
+
+    def test_legacy_array(self):
+        assert parse_point([23.7, 37.9]) == Point(23.7, 37.9)
+        assert parse_point((23.7, 37.9)) == Point(23.7, 37.9)
+
+    def test_legacy_embedded_document(self):
+        assert parse_point({"lon": 23.7, "lat": 37.9}) == Point(23.7, 37.9)
+        assert parse_point({"lng": 1.0, "lat": 2.0}) == Point(1.0, 2.0)
+        assert parse_point(
+            {"longitude": 1.0, "latitude": 2.0}
+        ) == Point(1.0, 2.0)
+
+    def test_passthrough(self):
+        p = Point(1.0, 2.0)
+        assert parse_point(p) is p
+
+    def test_rejects_malformed(self):
+        with pytest.raises(GeoJSONError):
+            parse_point({"type": "Point", "coordinates": [1.0]})
+        with pytest.raises(GeoJSONError):
+            parse_point("23.7,37.9")
+        with pytest.raises(GeoJSONError):
+            parse_point({"foo": 1})
+        with pytest.raises(GeoJSONError):
+            parse_point([1.0, 2.0, 3.0])
+
+    def test_roundtrip(self):
+        p = Point(23.727539, 37.983810)
+        assert parse_point(point_to_geojson(p)) == p
+
+
+class TestParsePolygon:
+    def test_geojson_polygon(self):
+        geo = {
+            "type": "Polygon",
+            "coordinates": [
+                [[0, 0], [10, 0], [10, 10], [0, 10], [0, 0]]
+            ],
+        }
+        poly = parse_polygon(geo)
+        assert poly.contains(Point(5, 5))
+
+    def test_bbox_accepted(self):
+        poly = parse_polygon(BoundingBox(0, 0, 1, 1))
+        assert isinstance(poly, Polygon)
+
+    def test_roundtrip(self):
+        poly = BoundingBox(0, 0, 5, 5).to_polygon()
+        assert parse_polygon(polygon_to_geojson(poly)) == poly
+
+    def test_rejects_malformed(self):
+        with pytest.raises(GeoJSONError):
+            parse_polygon({"type": "Polygon"})
+        with pytest.raises(GeoJSONError):
+            parse_polygon({"type": "Point", "coordinates": [1, 2]})
+        with pytest.raises(GeoJSONError):
+            parse_polygon({"type": "Polygon", "coordinates": [[[1], [2]]]})
+
+
+class TestParseGeometry:
+    def test_dispatch(self):
+        assert isinstance(
+            parse_geometry({"type": "Point", "coordinates": [1, 2]}), Point
+        )
+        poly = {
+            "type": "Polygon",
+            "coordinates": [[[0, 0], [1, 0], [1, 1], [0, 0]]],
+        }
+        assert isinstance(parse_geometry(poly), Polygon)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(GeoJSONError):
+            parse_geometry({"type": "MultiPolygon", "coordinates": []})
+
+    def test_legacy_pair_falls_back_to_point(self):
+        assert parse_geometry([1.0, 2.0]) == Point(1.0, 2.0)

@@ -1,0 +1,141 @@
+"""Tests for geometry primitives."""
+
+import pytest
+
+from repro.geo.geometry import BoundingBox, Point, Polygon, haversine_km
+
+
+class TestPoint:
+    def test_valid(self):
+        p = Point(23.7, 37.9)
+        assert p.as_tuple() == (23.7, 37.9)
+
+    def test_rejects_bad_lon(self):
+        with pytest.raises(ValueError):
+            Point(181.0, 0.0)
+
+    def test_rejects_bad_lat(self):
+        with pytest.raises(ValueError):
+            Point(0.0, -91.0)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1.0, 2.0) < Point(1.0, 3.0) < Point(2.0, 0.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = Point(23.7, 37.9)
+        assert haversine_km(p, p) == 0.0
+
+    def test_athens_thessaloniki(self):
+        # Real-world distance is ~300 km.
+        d = haversine_km(Point(23.7275, 37.9838), Point(22.9444, 40.6401))
+        assert 290 < d < 310
+
+    def test_symmetry(self):
+        a, b = Point(0.0, 0.0), Point(10.0, 10.0)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+
+class TestBoundingBox:
+    def test_from_corners_paper_notation(self):
+        box = BoundingBox.from_corners(
+            (19.632533, 34.929233), (28.245285, 41.757797)
+        )
+        assert box.min_lon == 19.632533
+        assert box.max_lat == 41.757797
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5.0, 0.0, 4.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 5.0, 1.0, 4.0)
+
+    def test_contains(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.contains(Point(5.0, 5.0))
+        assert box.contains(Point(0.0, 0.0))  # boundary inclusive
+        assert not box.contains(Point(10.1, 5.0))
+
+    def test_contains_lonlat(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.contains_lonlat(10.0, 10.0)
+        assert not box.contains_lonlat(-0.1, 5.0)
+
+    def test_intersects_and_intersection(self):
+        a = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        b = BoundingBox(5.0, 5.0, 15.0, 15.0)
+        c = BoundingBox(11.0, 11.0, 12.0, 12.0)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        inter = a.intersection(b)
+        assert inter == BoundingBox(5.0, 5.0, 10.0, 10.0)
+        assert a.intersection(c) is None
+
+    def test_touching_boxes_intersect(self):
+        a = BoundingBox(0.0, 0.0, 5.0, 5.0)
+        b = BoundingBox(5.0, 0.0, 10.0, 5.0)
+        assert a.intersects(b)
+
+    def test_paper_small_vs_big_area_ratio(self):
+        # Section 5.1: the big rectangle is ~2,603x the small one.
+        small = BoundingBox(23.757495, 37.987295, 23.766958, 37.992997)
+        big = BoundingBox(23.606039, 38.023982, 24.032754, 38.353926)
+        ratio = big.area_deg2() / small.area_deg2()
+        assert 2400 < ratio < 2800
+
+    def test_expanded_clamps_to_globe(self):
+        box = BoundingBox(-179.5, -89.5, 179.5, 89.5).expanded(5.0)
+        assert box == BoundingBox(-180.0, -90.0, 180.0, 90.0)
+
+    def test_center(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 20.0)
+        assert box.center == Point(5.0, 10.0)
+
+    def test_world(self):
+        w = BoundingBox.world()
+        assert w.width == 360.0
+        assert w.height == 180.0
+
+    def test_area_km2_positive(self):
+        box = BoundingBox(23.0, 37.0, 24.0, 38.0)
+        assert box.area_km2() > 0
+
+    def test_to_polygon_closed_ring(self):
+        poly = BoundingBox(0.0, 0.0, 1.0, 1.0).to_polygon()
+        assert poly.ring[0] == poly.ring[-1]
+        assert len(poly.ring) == 5
+
+
+class TestPolygon:
+    def test_requires_closed_ring(self):
+        with pytest.raises(ValueError):
+            Polygon((Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)))
+
+    def test_requires_minimum_points(self):
+        with pytest.raises(ValueError):
+            Polygon((Point(0, 0), Point(1, 1), Point(0, 0)))
+
+    def test_contains_interior(self):
+        poly = BoundingBox(0.0, 0.0, 10.0, 10.0).to_polygon()
+        assert poly.contains(Point(5.0, 5.0))
+        assert not poly.contains(Point(15.0, 5.0))
+
+    def test_contains_boundary(self):
+        poly = BoundingBox(0.0, 0.0, 10.0, 10.0).to_polygon()
+        assert poly.contains(Point(0.0, 5.0))
+        assert poly.contains(Point(10.0, 10.0))
+
+    def test_non_rectangular(self):
+        # A triangle: (0,0), (10,0), (0,10).
+        tri = Polygon(
+            (Point(0, 0), Point(10, 0), Point(0, 10), Point(0, 0))
+        )
+        assert tri.contains(Point(2.0, 2.0))
+        assert not tri.contains(Point(9.0, 9.0))
+
+    def test_bbox(self):
+        tri = Polygon(
+            (Point(0, 0), Point(10, 0), Point(0, 10), Point(0, 0))
+        )
+        assert tri.bbox == BoundingBox(0.0, 0.0, 10.0, 10.0)

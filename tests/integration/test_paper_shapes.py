@@ -1,0 +1,191 @@
+"""End-to-end assertions of the paper's qualitative findings.
+
+These tests deploy all approaches on scaled-down R and S data sets and
+check the *shape* of the paper's results — who wins, what grows, which
+metric explains it — rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import deploy_approach, make_approach
+from repro.core.benchmark import measure_query
+from repro.core.zoning import configure_zones
+from repro.datagen.datasets import ReproScale, load_r_dataset, load_s_dataset
+from repro.workloads.queries import big_queries, small_queries
+
+TOPOLOGY = ClusterTopology(n_shards=12)
+CHUNK_BYTES = 48 * 1024
+RUNS = 2
+
+
+@pytest.fixture(scope="module")
+def r_docs():
+    _info, docs = load_r_dataset(ReproScale(r1_records=6000))
+    return docs
+
+
+@pytest.fixture(scope="module")
+def r_info():
+    info, _docs = load_r_dataset(ReproScale(r1_records=200))
+    return info
+
+
+@pytest.fixture(scope="module")
+def deployments(r_docs, r_info):
+    out = {}
+    for name in ("bslST", "bslTS", "hil"):
+        approach = make_approach(name, dataset_bbox=r_info.bbox)
+        out[name] = deploy_approach(
+            approach, r_docs, topology=TOPOLOGY, chunk_max_bytes=CHUNK_BYTES
+        )
+    return out
+
+
+def measure_all(deployments, query):
+    return {
+        name: measure_query(dep, query, runs=RUNS, average_last=1)
+        for name, dep in deployments.items()
+    }
+
+
+class TestResultCorrectness:
+    def test_all_approaches_return_identical_counts(self, deployments):
+        for query in small_queries() + big_queries():
+            counts = {
+                name: len(dep.execute(query)[0])
+                for name, dep in deployments.items()
+            }
+            assert len(set(counts.values())) == 1, (query.label, counts)
+
+    def test_big_queries_return_more_than_small(self, deployments):
+        dep = deployments["hil"]
+        for qs, qb in zip(small_queries(), big_queries()):
+            ns = len(dep.execute(qs)[0])
+            nb = len(dep.execute(qb)[0])
+            assert nb >= ns
+
+    def test_result_counts_grow_with_temporal_span(self, deployments):
+        dep = deployments["hil"]
+        counts = [len(dep.execute(q)[0]) for q in big_queries()]
+        assert counts == sorted(counts)
+        assert counts[-1] > 0
+
+
+class TestBaselineNodeGrowth:
+    def test_bsl_nodes_grow_with_temporal_constraint(self, deployments):
+        # Section 5.2: for both baselines, nodes grow with the temporal
+        # window regardless of spatial extent (Figs. 5c-8c).
+        for name in ("bslST", "bslTS"):
+            nodes = [
+                measure_all(deployments, q)[name].nodes
+                for q in big_queries()
+            ]
+            assert nodes[0] <= nodes[1] <= nodes[3]
+            assert nodes[3] >= 8  # a month touches most of the cluster
+
+    def test_hil_nodes_driven_by_space_not_time(self, deployments):
+        # hil's node count is set by the spatial extent; growing the
+        # time window does not blow it up the way it does for bsl.
+        nodes = [
+            measure_all(deployments, q)["hil"].nodes for q in big_queries()
+        ]
+        assert max(nodes) - min(nodes) <= 4
+
+    def test_hil_small_queries_use_few_nodes(self, deployments):
+        # Spatially tiny queries touch few Hilbert cells → fewer nodes
+        # than the baselines need for the same long windows (the
+        # locality argument of Section 5.2's discussion).
+        q4 = small_queries()[3]
+        results = measure_all(deployments, q4)
+        assert results["hil"].nodes <= 4
+        assert results["hil"].nodes <= results["bslST"].nodes
+
+
+class TestBigQueryPerformance:
+    def test_hil_examines_fewer_docs_on_short_big_queries(self, deployments):
+        # Fig. 6: for Qb1/Qb2, baselines burden few nodes with many
+        # examined keys/docs; hil spreads and prunes better.
+        results = measure_all(deployments, big_queries()[1])
+        assert (
+            results["hil"].max_docs_examined
+            <= results["bslST"].max_docs_examined
+        )
+
+    def test_hil_wins_execution_time_on_big_queries(self, deployments):
+        # Summary of Section 5.2: hil outperforms bsl for big queries.
+        # At test scale Qb1 does ~no work on the time-targeted baseline
+        # (it retrieves ~0 docs; the paper's retrieves 580), so the
+        # comparison runs over Qb2-Qb4 and expects hil to beat the
+        # spatial-first baseline on most, never falling far behind the
+        # best baseline.
+        wins = 0
+        for q in big_queries()[1:]:
+            results = measure_all(deployments, q)
+            if (
+                results["hil"].execution_time_ms
+                <= results["bslST"].execution_time_ms
+            ):
+                wins += 1
+            best_bsl = min(
+                results["bslST"].execution_time_ms,
+                results["bslTS"].execution_time_ms,
+            )
+            assert results["hil"].execution_time_ms <= best_bsl * 2.0
+        assert wins >= 2
+
+
+class TestZones:
+    def test_zones_reduce_or_keep_nodes(self, r_docs):
+        # Section 5.3: with zones, queries use fewer (or equal) nodes.
+        plain = deploy_approach(
+            make_approach("hil"),
+            r_docs,
+            topology=TOPOLOGY,
+            chunk_max_bytes=CHUNK_BYTES,
+        )
+        before = {
+            q.label: measure_query(plain, q, runs=1, average_last=1)
+            for q in big_queries()
+        }
+        configure_zones(plain.cluster, plain.collection, "hilbertIndex")
+        plain.zones_enabled = True
+        after = {
+            q.label: measure_query(plain, q, runs=1, average_last=1)
+            for q in big_queries()
+        }
+        for label in before:
+            assert after[label].nodes <= before[label].nodes
+            assert after[label].n_returned == before[label].n_returned
+
+
+class TestSDataset:
+    @pytest.fixture(scope="class")
+    def s_deployments(self):
+        info, docs = load_s_dataset(ReproScale(r1_records=3000))
+        out = {}
+        for name in ("bslST", "hil"):
+            approach = make_approach(name, dataset_bbox=info.bbox)
+            out[name] = deploy_approach(
+                approach,
+                docs,
+                topology=TOPOLOGY,
+                chunk_max_bytes=8 * 1024,
+            )
+        return out
+
+    def test_counts_agree_on_uniform_data(self, s_deployments):
+        for q in big_queries():
+            counts = {
+                name: len(dep.execute(q)[0])
+                for name, dep in s_deployments.items()
+            }
+            assert len(set(counts.values())) == 1
+
+    def test_s_returns_relatively_more_for_big_queries(self, s_deployments):
+        # S is uniform over a small MBR that contains Qb: a month-long
+        # big query selects a large share of the data (Table 3).
+        dep = s_deployments["hil"]
+        total = dep.totals()["count"]
+        got = len(dep.execute(big_queries()[3])[0])
+        assert got > total * 0.05

@@ -1,0 +1,128 @@
+"""Tests for GeoHash encoding (strings and the integer grid)."""
+
+import pytest
+
+from repro.sfc.geohash import (
+    GEOHASH_BASE32,
+    GeoHashGrid,
+    geohash_cell_bounds,
+    geohash_decode,
+    geohash_decode_int,
+    geohash_encode,
+    geohash_encode_int,
+)
+
+ATHENS = (23.727539, 37.983810)  # (lon, lat), the paper's example
+
+
+class TestGeoHashString:
+    def test_athens_prefix_matches_paper(self):
+        # The paper: Athens at precision 5 is "swbb5".
+        assert geohash_encode(*ATHENS, precision=5) == "swbb5"
+
+    def test_athens_precision10_prefix(self):
+        # Longer hashes share the paper's prefix (the final character
+        # depends on sub-metre rounding of the example coordinates).
+        assert geohash_encode(*ATHENS, precision=10).startswith("swbb5ftze")
+
+    def test_prefix_property(self):
+        # Lower precision is a prefix of higher precision.
+        long_hash = geohash_encode(*ATHENS, precision=12)
+        for precision in range(1, 12):
+            assert geohash_encode(*ATHENS, precision=precision) == (
+                long_hash[:precision]
+            )
+
+    def test_decode_near_original(self):
+        lon, lat = geohash_decode(geohash_encode(*ATHENS, precision=9))
+        assert abs(lon - ATHENS[0]) < 1e-3
+        assert abs(lat - ATHENS[1]) < 1e-3
+
+    def test_alphabet_has_32_unique_chars(self):
+        assert len(GEOHASH_BASE32) == 32
+        assert len(set(GEOHASH_BASE32)) == 32
+        for missing in "ailo":
+            assert missing not in GEOHASH_BASE32
+
+    def test_decode_rejects_bad_chars(self):
+        with pytest.raises(ValueError):
+            geohash_decode("swa")  # 'a' is not in the alphabet
+        with pytest.raises(ValueError):
+            geohash_decode("")
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            geohash_encode(0.0, 0.0, precision=0)
+
+
+class TestGeoHashInt:
+    def test_26_bits_default(self):
+        value = geohash_encode_int(*ATHENS)
+        assert 0 <= value < 2**26
+
+    def test_roundtrip_center(self):
+        value = geohash_encode_int(*ATHENS, bits=40)
+        lon, lat = geohash_decode_int(value, bits=40)
+        assert abs(lon - ATHENS[0]) < 1e-4
+        assert abs(lat - ATHENS[1]) < 1e-4
+
+    def test_cell_bounds_contain_point(self):
+        value = geohash_encode_int(*ATHENS, bits=26)
+        lon0, lat0, lon1, lat1 = geohash_cell_bounds(value, bits=26)
+        assert lon0 <= ATHENS[0] <= lon1
+        assert lat0 <= ATHENS[1] <= lat1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            geohash_encode_int(190.0, 0.0)
+        with pytest.raises(ValueError):
+            geohash_encode_int(0.0, 91.0)
+        with pytest.raises(ValueError):
+            geohash_cell_bounds(2**26, bits=26)
+
+    def test_string_and_int_agree(self):
+        # 5 chars == 25 bits; the string is the base32 rendering of the
+        # integer form.
+        value = geohash_encode_int(*ATHENS, bits=25)
+        text = geohash_encode(*ATHENS, precision=5)
+        rendered = "".join(
+            GEOHASH_BASE32[(value >> (5 * (4 - i))) & 0x1F] for i in range(5)
+        )
+        assert rendered == text
+
+
+class TestGeoHashGrid:
+    def test_grid_matches_bit_encoding(self):
+        grid = GeoHashGrid(26)
+        value = grid.encode(*ATHENS)
+        assert value == geohash_encode_int(*ATHENS, bits=26)
+
+    def test_cell_roundtrip(self):
+        grid = GeoHashGrid(26)
+        value = grid.encode(*ATHENS)
+        cx, cy = grid.decode_cell(value)
+        assert grid.encode_cell(cx, cy) == value
+        assert grid.cell_of(*ATHENS) == (cx, cy)
+
+    def test_rejects_odd_bits(self):
+        with pytest.raises(ValueError):
+            GeoHashGrid(25)
+        with pytest.raises(ValueError):
+            GeoHashGrid(0)
+
+    def test_encode_clamps_out_of_range(self):
+        grid = GeoHashGrid(10)
+        assert grid.encode(-999.0, -999.0) == grid.encode(-180.0, -90.0)
+
+    def test_order_is_half_bits(self):
+        assert GeoHashGrid(26).order == 13
+        assert GeoHashGrid(26).cells_per_side == 8192
+
+    def test_cell_bounds_tile(self):
+        grid = GeoHashGrid(8)
+        # Adjacent x-cells share an edge.
+        a = grid.encode_cell(3, 5)
+        b = grid.encode_cell(4, 5)
+        _, _, a_max_lon, _ = grid.cell_bounds(a)
+        b_min_lon, _, _, _ = grid.cell_bounds(b)
+        assert abs(a_max_lon - b_min_lon) < 1e-9

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the curve layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.geohash import GeoHashGrid, geohash_encode, geohash_encode_int
+from repro.sfc.hilbert import HilbertCurve2D, hilbert_d_to_xy, hilbert_xy_to_d
+from repro.sfc.ranges import covering_ranges
+from repro.sfc.zorder import morton_deinterleave, morton_interleave
+
+ORDER = 6
+SIDE = 1 << ORDER
+
+coords = st.integers(min_value=0, max_value=SIDE - 1)
+lons = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+lats = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+
+
+@given(x=coords, y=coords)
+def test_hilbert_roundtrip(x, y):
+    d = hilbert_xy_to_d(ORDER, x, y)
+    assert hilbert_d_to_xy(ORDER, d) == (x, y)
+
+
+@given(d=st.integers(min_value=0, max_value=SIDE * SIDE - 1))
+def test_hilbert_inverse_roundtrip(d):
+    x, y = hilbert_d_to_xy(ORDER, d)
+    assert hilbert_xy_to_d(ORDER, x, y) == d
+
+
+@given(d=st.integers(min_value=0, max_value=SIDE * SIDE - 2))
+def test_hilbert_adjacency(d):
+    # Consecutive curve positions are always 4-neighbours.
+    x1, y1 = hilbert_d_to_xy(ORDER, d)
+    x2, y2 = hilbert_d_to_xy(ORDER, d + 1)
+    assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+@given(
+    x=st.integers(min_value=0, max_value=2**20),
+    y=st.integers(min_value=0, max_value=2**20),
+)
+def test_morton_roundtrip(x, y):
+    assert morton_deinterleave(morton_interleave(x, y)) == (x, y)
+
+
+@given(lon=lons, lat=lats)
+def test_geohash_int_within_bits(lon, lat):
+    value = geohash_encode_int(lon, lat, bits=26)
+    assert 0 <= value < 2**26
+
+
+@given(lon=lons, lat=lats)
+def test_geohash_string_prefix_stability(lon, lat):
+    long_form = geohash_encode(lon, lat, precision=8)
+    short_form = geohash_encode(lon, lat, precision=4)
+    assert long_form.startswith(short_form)
+
+
+@given(lon=lons, lat=lats)
+def test_geohash_grid_consistency(lon, lat):
+    grid = GeoHashGrid(20)
+    value = grid.encode(lon, lat)
+    cx, cy = grid.decode_cell(value)
+    assert grid.encode_cell(cx, cy) == value
+    lon0, lat0, lon1, lat1 = grid.cell_bounds(value)
+    assert lon0 - 1e-9 <= lon <= lon1 + 1e-9
+    assert lat0 - 1e-9 <= lat <= lat1 + 1e-9
+
+
+box_coords = st.floats(min_value=0.0, max_value=31.999, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x0=box_coords, y0=box_coords, x1=box_coords, y1=box_coords)
+def test_covering_matches_brute_force(x0, y0, x1, y1):
+    # The decomposition must cover exactly the intersecting cells, for
+    # arbitrary rectangles.
+    if x0 > x1:
+        x0, x1 = x1, x0
+    if y0 > y1:
+        y0, y1 = y1, y0
+    curve = HilbertCurve2D(order=5, min_x=0, min_y=0, max_x=32, max_y=32)
+    cx0, cy0, cx1, cy1 = curve.cell_range_for_box(x0, y0, x1, y1)
+    expected = {
+        curve.encode_cell(cx, cy)
+        for cx in range(cx0, cx1 + 1)
+        for cy in range(cy0, cy1 + 1)
+    }
+    got = set()
+    for r in covering_ranges(curve, x0, y0, x1, y1):
+        got.update(range(r.lo, r.hi + 1))
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x0=box_coords,
+    y0=box_coords,
+    x1=box_coords,
+    y1=box_coords,
+    limit=st.integers(min_value=1, max_value=6),
+)
+def test_coarsened_covering_is_superset(x0, y0, x1, y1, limit):
+    if x0 > x1:
+        x0, x1 = x1, x0
+    if y0 > y1:
+        y0, y1 = y1, y0
+    curve = HilbertCurve2D(order=5, min_x=0, min_y=0, max_x=32, max_y=32)
+    full = covering_ranges(curve, x0, y0, x1, y1)
+    coarse = covering_ranges(curve, x0, y0, x1, y1, max_ranges=limit)
+    assert len(coarse) <= max(limit, 1)
+    full_cells = set()
+    for r in full:
+        full_cells.update(range(r.lo, r.hi + 1))
+    coarse_cells = set()
+    for r in coarse:
+        coarse_cells.update(range(r.lo, r.hi + 1))
+    assert full_cells <= coarse_cells

@@ -1,0 +1,70 @@
+"""Documentation guarantees: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":
+            continue  # importing it runs the CLI
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__, "%s lacks a module docstring" % module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if obj.__module__ != module.__name__:
+            continue  # re-export; checked at its home module
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+    assert not undocumented, (
+        "%s exports undocumented items: %s" % (module.__name__, undocumented)
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_methods_documented(module):
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if not inspect.isclass(obj) or obj.__module__ != module.__name__:
+            continue
+        for attr_name, attr in vars(obj).items():
+            if attr_name.startswith("_"):
+                continue
+            if not (
+                inspect.isfunction(attr) or isinstance(attr, (classmethod, staticmethod, property))
+            ):
+                continue
+            target = (
+                attr.__func__
+                if isinstance(attr, (classmethod, staticmethod))
+                else attr.fget
+                if isinstance(attr, property)
+                else attr
+            )
+            if target is not None and not inspect.getdoc(target):
+                undocumented.append("%s.%s" % (name, attr_name))
+    assert not undocumented, (
+        "%s has undocumented public methods: %s"
+        % (module.__name__, undocumented)
+    )

@@ -1,0 +1,59 @@
+"""The public API surface: imports, __all__ hygiene, version."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sfc",
+    "repro.geo",
+    "repro.docstore",
+    "repro.cluster",
+    "repro.core",
+    "repro.datagen",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), "%s.%s missing" % (name, symbol)
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_top_level_workflow_symbols():
+    # The names the README's quickstart uses.
+    from repro import (
+        SpatioTemporalQuery,
+        deploy_approach,
+        make_approach,
+        measure_query,
+    )
+
+    assert callable(deploy_approach)
+    assert callable(make_approach)
+    assert callable(measure_query)
+    assert SpatioTemporalQuery is not None
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    assert issubclass(errors.DuplicateKeyError, errors.DocumentStoreError)
+    assert issubclass(errors.DocumentStoreError, errors.ReproError)
+    assert issubclass(errors.ZoneError, errors.ShardingError)
+    assert issubclass(errors.ShardingError, errors.ReproError)

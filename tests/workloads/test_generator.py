@@ -1,0 +1,128 @@
+"""Tests for the random workload generator."""
+
+import datetime as dt
+
+import pytest
+
+from repro.geo.geometry import BoundingBox
+from repro.workloads.generator import WorkloadConfig, WorkloadGenerator
+
+UTC = dt.timezone.utc
+REGION = BoundingBox(20.0, 35.0, 28.0, 41.5)
+HOT = BoundingBox(23.5, 37.8, 24.0, 38.3)
+T0 = dt.datetime(2018, 7, 1, tzinfo=UTC)
+T1 = dt.datetime(2018, 12, 1, tzinfo=UTC)
+
+
+def make_config(**kwargs):
+    defaults = dict(region=REGION, time_from=T0, time_to=T1, seed=3)
+    defaults.update(kwargs)
+    return WorkloadConfig(**defaults)
+
+
+class TestConfig:
+    def test_validates_time_span(self):
+        with pytest.raises(ValueError):
+            make_config(time_from=T1, time_to=T0)
+
+    def test_hot_fraction_needs_region(self):
+        with pytest.raises(ValueError):
+            make_config(hot_fraction=0.5)
+
+    def test_box_scale_validated(self):
+        with pytest.raises(ValueError):
+            make_config(box_scale=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            make_config(box_scale=(0.0, 0.1))
+
+
+class TestGeneration:
+    def test_count_and_determinism(self):
+        a = WorkloadGenerator(make_config()).generate(25)
+        b = WorkloadGenerator(make_config()).generate(25)
+        assert len(a) == 25
+        assert [(q.bbox, q.time_from) for q in a] == [
+            (q.bbox, q.time_from) for q in b
+        ]
+
+    def test_queries_inside_region_and_span(self):
+        for q in WorkloadGenerator(make_config()).generate(50):
+            assert REGION.min_lon <= q.bbox.min_lon
+            assert q.bbox.max_lon <= REGION.max_lon
+            assert T0 <= q.time_from <= q.time_to <= T1
+
+    def test_window_bounds(self):
+        config = make_config(window_hours=(2.0, 48.0))
+        for q in WorkloadGenerator(config).generate(50):
+            hours = q.duration.total_seconds() / 3600.0
+            assert 2.0 - 1e-6 <= hours <= 48.0 + 1e-6
+
+    def test_hot_region_focus(self):
+        config = make_config(hot_region=HOT, hot_fraction=1.0)
+        for q in WorkloadGenerator(config).generate(30):
+            assert HOT.intersects(q.bbox)
+            assert q.bbox.min_lon >= HOT.min_lon
+
+    def test_mixed_focus(self):
+        config = make_config(hot_region=HOT, hot_fraction=0.5)
+        queries = WorkloadGenerator(config).generate(200)
+        hot = sum(1 for q in queries if HOT.intersects(q.bbox))
+        assert 60 < hot < 200  # roughly half plus background overlap
+
+    def test_labels_unique(self):
+        queries = WorkloadGenerator(make_config()).generate(10)
+        assert len({q.label for q in queries}) == 10
+
+
+class TestWeighted:
+    def test_uniform_weights(self):
+        weighted = WorkloadGenerator(make_config()).generate_weighted(10)
+        assert all(w.weight == 1.0 for w in weighted)
+
+    def test_zipf_weights_decreasing(self):
+        config = make_config(weight_skew=1.0)
+        weighted = WorkloadGenerator(config).generate_weighted(10)
+        weights = [w.weight for w in weighted]
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+        assert weights[-1] == pytest.approx(0.1)
+
+    def test_feeds_adaptive_zoning(self):
+        # End-to-end: a generated workload drives workload-aware zones.
+        import random
+
+        from repro.cluster.cluster import ClusterTopology
+        from repro.core.adaptive import configure_workload_aware_zones
+        from repro.core.approaches import deploy_approach, make_approach
+
+        rng = random.Random(1)
+        docs = [
+            {
+                "location": {
+                    "type": "Point",
+                    "coordinates": [
+                        rng.uniform(20.0, 28.0),
+                        rng.uniform(35.0, 41.5),
+                    ],
+                },
+                "date": T0 + dt.timedelta(hours=rng.uniform(0, 3000)),
+            }
+            for _ in range(400)
+        ]
+        deployment = deploy_approach(
+            make_approach("hil"),
+            docs,
+            topology=ClusterTopology(n_shards=4),
+            chunk_max_bytes=8 * 1024,
+        )
+        workload = WorkloadGenerator(
+            make_config(hot_region=HOT, hot_fraction=0.7, weight_skew=0.5)
+        ).generate_weighted(12)
+        zones = configure_workload_aware_zones(
+            deployment.cluster,
+            deployment.collection,
+            workload,
+            deployment.approach.encoder,
+        )
+        assert zones
+        deployment.cluster.validate(deployment.collection)

@@ -1,0 +1,66 @@
+"""Tests for the paper's query workloads."""
+
+import datetime as dt
+
+from repro.datagen.uniform import S_TIMESPAN
+from repro.datagen.vehicles import R_TIMESPAN
+from repro.workloads.queries import (
+    BIG_BBOX,
+    QUERY_WINDOWS,
+    SMALL_BBOX,
+    all_queries,
+    big_queries,
+    small_queries,
+)
+
+
+class TestBoxes:
+    def test_paper_coordinates(self):
+        assert SMALL_BBOX.min_lon == 23.757495
+        assert SMALL_BBOX.max_lat == 37.992997
+        assert BIG_BBOX.min_lon == 23.606039
+        assert BIG_BBOX.max_lat == 38.353926
+
+    def test_big_is_about_2603x_small(self):
+        ratio = BIG_BBOX.area_deg2() / SMALL_BBOX.area_deg2()
+        assert 2400 < ratio < 2800
+
+
+class TestWindows:
+    def test_durations(self):
+        durations = [t2 - t1 for _, t1, t2 in QUERY_WINDOWS]
+        assert durations == [
+            dt.timedelta(hours=1),
+            dt.timedelta(days=1),
+            dt.timedelta(days=7),
+            dt.timedelta(days=30),
+        ]
+
+    def test_non_overlapping(self):
+        windows = sorted((t1, t2) for _, t1, t2 in QUERY_WINDOWS)
+        for (a1, a2), (b1, b2) in zip(windows, windows[1:]):
+            assert a2 <= b1
+
+    def test_inside_both_dataset_spans(self):
+        for _, t1, t2 in QUERY_WINDOWS:
+            assert R_TIMESPAN[0] <= t1 and t2 <= R_TIMESPAN[1]
+            assert S_TIMESPAN[0] <= t1 and t2 <= S_TIMESPAN[1]
+
+
+class TestBuilders:
+    def test_labels(self):
+        assert [q.label for q in small_queries()] == ["Qs1", "Qs2", "Qs3", "Qs4"]
+        assert [q.label for q in big_queries()] == ["Qb1", "Qb2", "Qb3", "Qb4"]
+
+    def test_boxes_assigned(self):
+        assert all(q.bbox == SMALL_BBOX for q in small_queries())
+        assert all(q.bbox == BIG_BBOX for q in big_queries())
+
+    def test_all_queries(self):
+        qs = all_queries()
+        assert set(qs) == {"small", "big"}
+        assert len(qs["small"]) == len(qs["big"]) == 4
+
+    def test_increasing_temporal_spans(self):
+        durations = [q.duration for q in small_queries()]
+        assert durations == sorted(durations)
