@@ -1,0 +1,197 @@
+"""Service throughput: q/s and latency percentiles vs worker count.
+
+Standalone script (not part of the pytest bench suite): deploys the
+paper's hil approach on a 12-shard cluster, renders the Q^b workload
+once, then drives the query service with a closed-loop load generator
+at several worker counts, with the plan cache on and off.  Per-shard
+service time is simulated from the deterministic cost model
+(``simulated_latency_scale`` restores paper-scale shard times, which
+the scaled-down in-process dataset otherwise compresses to
+microseconds), so serial execution costs the *sum* of shard times and
+parallel scatter-gather the *max* — the wall-clock shape the paper's
+mongos deployment exhibits.
+
+Writes ``BENCH_service.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --quick
+
+and asserts the acceptance criterion: 8 workers achieve at least 3x
+the serial (1 worker, sequential fan-out) throughput on identical
+result sets.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import COLLECTION, deploy_approach, make_approach
+from repro.datagen import FleetConfig, FleetGenerator
+from repro.service import (
+    LoadGenerator,
+    QueryService,
+    ServiceConfig,
+    render_workload,
+)
+from repro.workloads.queries import big_queries
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+LATENCY_SCALE = 20.0
+WORKER_COUNTS = (1, 4, 8)
+
+
+def build_deployment(n_docs: int):
+    """The paper's default: hil on 12 shards."""
+    docs = FleetGenerator(FleetConfig(n_vehicles=40)).generate_list(n_docs)
+    return deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=12),
+        chunk_max_bytes=32 * 1024,
+    )
+
+
+def run_config(
+    deployment,
+    workload,
+    workers: int,
+    plan_cache: bool,
+    total_queries: int,
+    parallel: bool = True,
+):
+    """One (workers, plan-cache) point: closed loop at `workers` clients."""
+    config = ServiceConfig(
+        max_workers=workers,
+        max_concurrent_queries=workers,
+        max_queue_depth=workers * 4,
+        parallel_scatter_gather=parallel,
+        plan_cache_enabled=plan_cache,
+        simulate_shard_latency=True,
+        simulated_latency_scale=LATENCY_SCALE,
+    )
+    with QueryService(deployment.cluster, config) as service:
+        generator = LoadGenerator(service, COLLECTION, workload)
+        report = generator.run_closed_loop(
+            clients=workers, total_queries=total_queries
+        )
+    row = report.as_dict()
+    row["workers"] = workers
+    row["planCacheEnabled"] = plan_cache
+    row["parallelScatterGather"] = parallel
+    return row
+
+
+def reference_result_ids(deployment, workload):
+    """Sorted _id sets per workload query, via the library path."""
+    return [
+        sorted(
+            d["_id"]
+            for d in deployment.cluster.find(COLLECTION, q).documents
+        )
+        for q in workload
+    ]
+
+
+def served_result_ids(deployment, workload):
+    """The same result sets through a parallel service."""
+    config = ServiceConfig(max_workers=8, max_concurrent_queries=8)
+    out = []
+    with QueryService(deployment.cluster, config) as service:
+        for q in workload:
+            result = service.find(COLLECTION, q)
+            out.append(sorted(d["_id"] for d in result.documents))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small dataset and short runs (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    n_docs = 2_000 if args.quick else 6_000
+    total_queries = 48 if args.quick else 160
+
+    print("deploying hil on 12 shards (%d docs)..." % n_docs)
+    deployment = build_deployment(n_docs)
+    workload = render_workload(deployment.approach, big_queries())
+
+    print("checking result parity (service vs library)...")
+    reference = reference_result_ids(deployment, workload)
+    served = served_result_ids(deployment, workload)
+    assert served == reference, "service returned different result sets"
+
+    rows = []
+    serial = run_config(
+        deployment,
+        workload,
+        workers=1,
+        plan_cache=True,
+        total_queries=total_queries,
+        parallel=False,
+    )
+    serial["label"] = "serial"
+    rows.append(serial)
+    print(
+        "serial: %.1f q/s  p95=%.1fms"
+        % (serial["achievedQps"], serial["p95LatencyMs"])
+    )
+
+    for workers in WORKER_COUNTS[1:]:
+        for plan_cache in (True, False):
+            row = run_config(
+                deployment,
+                workload,
+                workers=workers,
+                plan_cache=plan_cache,
+                total_queries=total_queries,
+            )
+            row["label"] = "parallel-%dw-%s" % (
+                workers,
+                "cache" if plan_cache else "nocache",
+            )
+            rows.append(row)
+            print(
+                "%s: %.1f q/s  p95=%.1fms  cache=%s"
+                % (
+                    row["label"],
+                    row["achievedQps"],
+                    row["p95LatencyMs"],
+                    row["planCache"].get("hitRate", "n/a"),
+                )
+            )
+
+    eight = next(
+        r for r in rows if r["label"] == "parallel-8w-cache"
+    )
+    speedup = eight["achievedQps"] / serial["achievedQps"]
+    print("8-worker speedup over serial: %.2fx" % speedup)
+
+    payload = {
+        "benchmark": "service_throughput",
+        "quick": args.quick,
+        "nDocs": n_docs,
+        "nShards": 12,
+        "workload": "Qb",
+        "latencyScale": LATENCY_SCALE,
+        "resultParity": True,
+        "speedup8w": round(speedup, 2),
+        "runs": rows,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("wrote %s" % OUT_PATH)
+
+    if speedup < 3.0:
+        print("FAIL: 8-worker speedup %.2fx < 3x" % speedup)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Public API layers, bottom-up:
 * :mod:`repro.docstore` — a MongoDB-like single-node document store
   (B-tree indexes, query planner, aggregation, storage sizing);
 * :mod:`repro.cluster` — sharding: chunks, balancer, zones, router;
+* :mod:`repro.service` — the concurrent query-serving frontend:
+  parallel scatter-gather, plan cache, admission control, load
+  generation;
 * :mod:`repro.core` — the paper's contribution: Hilbert-keyed
   spatio-temporal indexing/sharding, the four evaluated approaches,
   and the measurement methodology;
@@ -28,10 +31,18 @@ from repro.core import (
     measure_query,
     run_workload,
 )
+from repro.service import (
+    LoadGenerator,
+    QueryService,
+    ServiceConfig,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "LoadGenerator",
+    "QueryService",
+    "ServiceConfig",
     "BaselineST",
     "BaselineTS",
     "Deployment",

@@ -23,7 +23,17 @@ Write path mechanics reproduce MongoDB's:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.cluster.balancer import Balancer
 from repro.cluster.catalog import CollectionMetadata, ConfigCatalog
@@ -103,6 +113,15 @@ class ShardedCluster:
             shard_ids=list(self.shards),
             migrate=self._migrate_chunk,
         )
+        #: Monotonic counter bumped on any routing-relevant metadata
+        #: change (chunk split/migration, DDL, zones).  Concurrent
+        #: callers — the :mod:`repro.service` frontend — read it to
+        #: validate that targeting computed before lock acquisition is
+        #: still current.
+        self.metadata_version = 0
+
+    def _bump_metadata_version(self) -> None:
+        self.metadata_version += 1
 
     # -- DDL ------------------------------------------------------------------
 
@@ -138,6 +157,7 @@ class ShardedCluster:
             shard.collection(name).create_index(
                 index_spec, name=shard_key_index_name(pattern)
             )
+        self._bump_metadata_version()
         return metadata
 
     def create_index(
@@ -152,6 +172,13 @@ class ShardedCluster:
             shard.collection(collection).create_index(
                 spec, name=name, geohash_bits=geohash_bits
             )
+        self._bump_metadata_version()
+
+    def drop_index(self, collection: str, name: str) -> None:
+        """Drop a secondary index from every shard."""
+        for shard in self.shards.values():
+            shard.collection(collection).drop_index(name)
+        self._bump_metadata_version()
 
     # -- writes ------------------------------------------------------------------
 
@@ -245,6 +272,7 @@ class ShardedCluster:
         left, right = metadata.split_chunk(chunk, split_key)
         self._recount_chunk(metadata, left)
         self._recount_chunk(metadata, right)
+        self._bump_metadata_version()
         if self.auto_balance:
             self._post_split_balance(metadata, right)
 
@@ -312,6 +340,7 @@ class ShardedCluster:
         )
         self.shards[dest_shard_id].receive_documents(metadata.name, moving)
         chunk.shard_id = dest_shard_id
+        self._bump_metadata_version()
 
     # -- zones -----------------------------------------------------------------------
 
@@ -330,6 +359,7 @@ class ShardedCluster:
         for boundary in zone_set.boundaries():
             self._split_at(metadata, boundary)
         metadata.zone_set = zone_set
+        self._bump_metadata_version()
         self.balancer.balance(metadata)
 
     def _split_at(self, metadata: CollectionMetadata, key: KeyBound) -> None:
@@ -350,14 +380,40 @@ class ShardedCluster:
 
     # -- reads ------------------------------------------------------------------------
 
+    def targeting_for(
+        self, collection: str, query: Mapping[str, Any]
+    ) -> TargetingResult:
+        """The routing decision for a query, without executing it.
+
+        Exposes mongos targeting (which shards must participate and
+        whether the operation broadcasts) to callers that need it ahead
+        of execution — the :mod:`repro.service` frontend acquires its
+        per-shard locks from this before fanning out.
+        """
+        metadata = self.catalog.get(collection)
+        return target_chunks(metadata, analyze_query(query))
+
     def find(
         self,
         collection: str,
         query: Mapping[str, Any],
         hint: Optional[str] = None,
         max_geo_ranges: Optional[int] = None,
+        shard_mapper: Optional[Callable] = None,
     ) -> ClusterFindResult:
-        """Route, execute on targeted shards, merge, and account time."""
+        """Route, execute on targeted shards, merge, and account time.
+
+        ``shard_mapper`` is the parallel fan-out hook: a callable with
+        ``map`` semantics — ``shard_mapper(fn, shard_ids)`` returning
+        the results of ``fn`` per shard id, in any order.  The default
+        visits shards sequentially; :class:`repro.service.QueryService`
+        passes a thread-pool mapper so per-shard subqueries run
+        concurrently.  Merged documents and statistics are identical
+        either way: results are reassembled in targeting order, and the
+        modelled execution time is already *max over shards* (the cost
+        model's reading of Section 5), which a parallel fan-out now
+        matches in wall-clock shape.
+        """
         from repro.docstore.matcher import Matcher
 
         metadata = self.catalog.get(collection)
@@ -368,8 +424,8 @@ class ShardedCluster:
             targeted_shards=list(targeting.shard_ids),
             broadcast=targeting.broadcast,
         )
-        documents: List[dict] = []
-        for shard_id in targeting.shard_ids:
+
+        def run_shard(shard_id: str):
             col = self.shards[shard_id].collection(collection)
             result = col.find_with_stats(
                 query,
@@ -378,6 +434,16 @@ class ShardedCluster:
                 matcher=matcher,
                 shape=shape,
             )
+            return shard_id, result
+
+        if shard_mapper is None:
+            pairs = [run_shard(s) for s in targeting.shard_ids]
+        else:
+            pairs = list(shard_mapper(run_shard, targeting.shard_ids))
+        by_shard = dict(pairs)
+        documents: List[dict] = []
+        for shard_id in targeting.shard_ids:
+            result = by_shard[shard_id]
             stats.per_shard[shard_id] = result.stats
             documents.extend(result.documents)
         stats.execution_time_ms = self.cost_model.query_time_ms(

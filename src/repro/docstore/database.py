@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.docstore.collection import Collection
@@ -20,14 +21,22 @@ class Database:
         self.name = name
         self.storage_model = storage_model or StorageModel()
         self._collections: Dict[str, Collection] = {}
+        # Lazy creation below must be race-free: two concurrent readers
+        # naming a new collection would otherwise each build one and
+        # the loser's documents/indexes would vanish.
+        self._create_lock = threading.Lock()
 
     def collection(self, name: str) -> Collection:
         """Get or lazily create a collection (MongoDB semantics)."""
-        if name not in self._collections:
-            self._collections[name] = Collection(
-                name, storage_model=self.storage_model
-            )
-        return self._collections[name]
+        existing = self._collections.get(name)
+        if existing is not None:
+            return existing
+        with self._create_lock:
+            if name not in self._collections:
+                self._collections[name] = Collection(
+                    name, storage_model=self.storage_model
+                )
+            return self._collections[name]
 
     def __getitem__(self, name: str) -> Collection:
         return self.collection(name)

@@ -13,6 +13,9 @@ __all__ = [
     "ShardingError",
     "ZoneError",
     "RoutingError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "QueryTimeoutError",
 ]
 
 
@@ -54,3 +57,21 @@ class ZoneError(ShardingError):
 
 class RoutingError(ShardingError):
     """The router could not target or execute a query."""
+
+
+class ServiceError(ReproError):
+    """Errors raised by the concurrent query-serving frontend."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request (queue full).
+
+    This is the service's backpressure signal: instead of queueing
+    without bound, a request that finds both every worker busy and the
+    bounded wait queue full fails fast, as mongos does when its
+    connection pool saturates.
+    """
+
+
+class QueryTimeoutError(ServiceError):
+    """A query exceeded its deadline while queued or executing."""

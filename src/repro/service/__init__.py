@@ -1,0 +1,41 @@
+"""The concurrent query-serving frontend (in-process "mongos service").
+
+Everything above :mod:`repro.cluster` that turns the sharded cluster
+from a single-caller library into a query *server*:
+
+* :class:`QueryService` — parallel scatter-gather over a thread pool,
+  per-shard reader-writer locking, admission control with bounded
+  queueing and deadlines;
+* :class:`PlanCache` — MongoDB's query-shape → winning-index cache
+  with DDL and write-volume invalidation;
+* :class:`ServiceMetrics` — latency percentiles, queue wait, and
+  throughput for the serving path;
+* :class:`LoadGenerator` — closed-/open-loop replay of the paper's
+  workloads at a target offered load.
+"""
+
+from repro.service.loadgen import LoadGenerator, LoadReport, render_workload
+from repro.service.locks import ReadWriteLock
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics, percentile
+from repro.service.plan_cache import PlanCache, PlanCacheEntry, query_shape_key
+from repro.service.service import (
+    QueryService,
+    ServiceConfig,
+    ServiceFindResult,
+)
+
+__all__ = [
+    "QueryService",
+    "ServiceConfig",
+    "ServiceFindResult",
+    "PlanCache",
+    "PlanCacheEntry",
+    "query_shape_key",
+    "ServiceMetrics",
+    "MetricsSnapshot",
+    "percentile",
+    "ReadWriteLock",
+    "LoadGenerator",
+    "LoadReport",
+    "render_workload",
+]

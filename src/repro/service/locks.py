@@ -1,0 +1,90 @@
+"""Reader-writer locks for the query-serving frontend.
+
+The service's concurrency contract mirrors a database node's: any
+number of queries may read a shard simultaneously, while a write takes
+exclusive access.  Python's standard library has no reader-writer
+lock, so this module provides a small writer-preferring one — writers
+park readers once they start waiting, which keeps a write-heavy burst
+from being starved by a steady read stream.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring shared/exclusive lock.
+
+    Readers hold the lock concurrently; a writer waits for active
+    readers to drain and blocks new readers from entering while it
+    waits (writer preference).  Not reentrant in either mode.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Enter shared mode; returns False on timeout."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not self._active_writer and not self._waiting_writers,
+                timeout=timeout,
+            ) and self._enter_read()
+
+    def _enter_read(self) -> bool:
+        self._active_readers += 1
+        return True
+
+    def release_read(self) -> None:
+        """Leave shared mode."""
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Enter exclusive mode; returns False on timeout."""
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                acquired = self._cond.wait_for(
+                    lambda: not self._active_writer
+                    and self._active_readers == 0,
+                    timeout=timeout,
+                )
+                if acquired:
+                    self._active_writer = True
+                return acquired
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        """Leave exclusive mode."""
+        with self._cond:
+            self._active_writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        """Context manager for shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """Context manager for exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,153 @@
+"""Serving-side metrics: latency percentiles, queue wait, throughput.
+
+The cluster layer's :class:`~repro.cluster.metrics.ClusterQueryStats`
+describes *one* query's execution; this module describes the *service*
+— how a stream of queries behaves under concurrency: per-query latency
+distribution (p50/p95/p99), time spent waiting for an execution slot,
+completed/rejected/timed-out counts, and sustained throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ServiceMetrics", "MetricsSnapshot", "percentile"]
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a value list (0.0 when empty)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time summary of the service's behaviour."""
+
+    completed: int
+    rejected: int
+    timed_out: int
+    writes: int
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    mean_queue_wait_ms: float
+    max_queue_wait_ms: float
+    throughput_qps: float
+    plan_cache: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The snapshot as a JSON-ready mapping."""
+        return {
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "timedOut": self.timed_out,
+            "writes": self.writes,
+            "meanLatencyMs": round(self.mean_latency_ms, 3),
+            "p50LatencyMs": round(self.p50_latency_ms, 3),
+            "p95LatencyMs": round(self.p95_latency_ms, 3),
+            "p99LatencyMs": round(self.p99_latency_ms, 3),
+            "maxLatencyMs": round(self.max_latency_ms, 3),
+            "meanQueueWaitMs": round(self.mean_queue_wait_ms, 3),
+            "maxQueueWaitMs": round(self.max_queue_wait_ms, 3),
+            "throughputQps": round(self.throughput_qps, 2),
+            "planCache": self.plan_cache,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe recorder for the serving path.
+
+    Queries record their end-to-end latency and queue wait on
+    completion; admission rejections and deadline expiries bump
+    counters.  Throughput is measured over the span between the first
+    and last recorded completion.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies_ms: List[float] = []
+        self._queue_waits_ms: List[float] = []
+        self.completed = 0
+        self.rejected = 0
+        self.timed_out = 0
+        self.writes = 0
+        self._first_at: float | None = None
+        self._last_at: float | None = None
+
+    def record_query(self, latency_ms: float, queue_wait_ms: float) -> None:
+        """Record one successfully served read query."""
+        now = time.perf_counter()
+        with self._lock:
+            self._latencies_ms.append(latency_ms)
+            self._queue_waits_ms.append(queue_wait_ms)
+            self.completed += 1
+            if self._first_at is None:
+                self._first_at = now
+            self._last_at = now
+
+    def record_write(self) -> None:
+        """Record one completed write operation."""
+        with self._lock:
+            self.writes += 1
+
+    def record_rejection(self) -> None:
+        """Record an admission-control rejection (backpressure)."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_timeout(self) -> None:
+        """Record a query that exceeded its deadline."""
+        with self._lock:
+            self.timed_out += 1
+
+    def reset(self) -> None:
+        """Forget everything recorded so far."""
+        with self._lock:
+            self._latencies_ms.clear()
+            self._queue_waits_ms.clear()
+            self.completed = 0
+            self.rejected = 0
+            self.timed_out = 0
+            self.writes = 0
+            self._first_at = None
+            self._last_at = None
+
+    def snapshot(self, plan_cache_stats: Dict | None = None) -> MetricsSnapshot:
+        """Summarize everything recorded so far."""
+        with self._lock:
+            lat = list(self._latencies_ms)
+            waits = list(self._queue_waits_ms)
+            span = 0.0
+            if self._first_at is not None and self._last_at is not None:
+                span = self._last_at - self._first_at
+            qps = 0.0
+            if span > 0 and len(lat) > 1:
+                # First completion anchors the window, so it is not an
+                # arrival *within* the window.
+                qps = (len(lat) - 1) / span
+            return MetricsSnapshot(
+                completed=self.completed,
+                rejected=self.rejected,
+                timed_out=self.timed_out,
+                writes=self.writes,
+                mean_latency_ms=sum(lat) / len(lat) if lat else 0.0,
+                p50_latency_ms=percentile(lat, 0.50),
+                p95_latency_ms=percentile(lat, 0.95),
+                p99_latency_ms=percentile(lat, 0.99),
+                max_latency_ms=max(lat) if lat else 0.0,
+                mean_queue_wait_ms=sum(waits) / len(waits) if waits else 0.0,
+                max_queue_wait_ms=max(waits) if waits else 0.0,
+                throughput_qps=qps,
+                plan_cache=dict(plan_cache_stats or {}),
+            )

@@ -1,0 +1,170 @@
+"""MongoDB-style plan cache: normalized query shape → winning index.
+
+MongoDB caches the winning plan of multi-plan races keyed by the
+*query shape* — the query with constants abstracted away, so
+``{date: {$gte: <a>, $lt: <b>}}`` hits the same entry for every
+``(a, b)``.  The cache is invalidated when indexes are created or
+dropped and when enough writes accumulate that the cached choice may
+have gone stale (mongod re-plans after a write-volume threshold).
+
+This module reproduces that mechanism for the serving frontend: the
+:class:`~repro.service.service.QueryService` consults the cache before
+planning, and on a hit passes the cached index name as a *hint*, which
+short-circuits candidate enumeration on every shard.  Entries record
+the index that every shard's optimizer agreed on; shapes on which
+shards disagree (or that fall back to collection scans) are left
+uncached, so a hit can never change a query's results or statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.docstore.planner import QueryShape, analyze_query
+
+__all__ = ["PlanCache", "PlanCacheEntry", "query_shape_key"]
+
+
+def _predicate_signature(path: str, predicate) -> Tuple:
+    """Structural signature of one path's predicate (values erased)."""
+    return (
+        path,
+        bool(predicate.eq_values),
+        bool(predicate.in_values),
+        predicate.gt is not None,
+        predicate.lt is not None,
+        predicate.geo_region is not None,
+        bool(predicate.or_intervals),
+    )
+
+
+def query_shape_key(
+    collection: str, query_or_shape: Mapping[str, Any] | QueryShape
+) -> Tuple:
+    """A hashable, value-free key identifying a query's shape.
+
+    Two queries share a key when they constrain the same paths with
+    the same operator kinds — the normalization MongoDB applies before
+    consulting its plan cache.
+    """
+    if isinstance(query_or_shape, QueryShape):
+        shape = query_or_shape
+    else:
+        shape = analyze_query(query_or_shape)
+    signature = tuple(
+        sorted(
+            _predicate_signature(path, predicate)
+            for path, predicate in shape.predicates.items()
+        )
+    )
+    return (collection, shape.opaque_or, signature)
+
+
+@dataclass
+class PlanCacheEntry:
+    """One cached winning plan."""
+
+    index_name: str
+    #: Collection write counter at creation; the entry dies once the
+    #: collection absorbs ``write_invalidation_threshold`` more writes.
+    writes_at_creation: int
+    hits: int = 0
+
+
+class PlanCache:
+    """Bounded, thread-safe shape → winning-index cache with LRU eviction."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        write_invalidation_threshold: int = 1000,
+    ) -> None:
+        self.max_entries = max_entries
+        self.write_invalidation_threshold = write_invalidation_threshold
+        self._entries: "OrderedDict[Tuple, PlanCacheEntry]" = OrderedDict()
+        self._writes: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple) -> Optional[str]:
+        """The cached winning index name for a shape key, or None.
+
+        Entries whose collection has absorbed more writes than the
+        invalidation threshold since caching are dropped on access.
+        """
+        collection = key[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                written = self._writes.get(collection, 0)
+                if (
+                    written - entry.writes_at_creation
+                    >= self.write_invalidation_threshold
+                ):
+                    del self._entries[key]
+                    self.evictions += 1
+                    entry = None
+            if entry is None:
+                self.misses += 1
+                return None
+            entry.hits += 1
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry.index_name
+
+    def put(self, key: Tuple, index_name: str) -> None:
+        """Cache a winning index for a shape key."""
+        collection = key[0]
+        with self._lock:
+            self._entries[key] = PlanCacheEntry(
+                index_name=index_name,
+                writes_at_creation=self._writes.get(collection, 0),
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def note_writes(self, collection: str, n: int = 1) -> None:
+        """Record write volume against a collection."""
+        with self._lock:
+            self._writes[collection] = self._writes.get(collection, 0) + n
+
+    def invalidate_collection(self, collection: str) -> int:
+        """Drop every entry for a collection (index create/drop)."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == collection]
+            for k in doomed:
+                del self._entries[k]
+            self.evictions += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters as a readable mapping."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hitRate": round(self.hit_rate, 4),
+            }

@@ -1,0 +1,518 @@
+"""The concurrent query-serving frontend (an in-process "mongos").
+
+:class:`ShardedCluster` is a single-caller library: one thread calls
+``find`` and per-shard subqueries run one after another.  A real
+mongos is a *server* — many clients in flight at once, per-shard
+subqueries dispatched concurrently, bounded queues in front of the
+executor, and a plan cache so repeated query shapes skip optimization.
+:class:`QueryService` adds exactly that layer:
+
+* **Parallel scatter-gather** — per-shard subqueries run on a
+  :class:`~concurrent.futures.ThreadPoolExecutor`; merged documents
+  and :class:`~repro.cluster.metrics.ClusterQueryStats` are identical
+  to the sequential path (the cost model's ``max(shard_time)`` reading
+  of Section 5 now matches real wall-clock shape).
+* **Reader-writer locking** — per-shard shared/exclusive locks let any
+  number of reads proceed concurrently while inserts, updates, and
+  deletes (whose chunk splits and migrations can touch any shard) take
+  exclusive access.  Read targeting is validated against the cluster's
+  ``metadata_version`` after lock acquisition, so a migration sliding
+  between targeting and execution cannot strand a query on stale
+  routing.
+* **Plan cache** — normalized query shape → winning index
+  (:mod:`repro.service.plan_cache`), invalidated by DDL and write
+  volume.
+* **Admission control** — a bounded wait queue and a concurrency
+  limit; requests beyond both fail fast with
+  :class:`~repro.errors.ServiceOverloadedError`, and a per-query
+  deadline turns into :class:`~repro.errors.QueryTimeoutError`.
+
+Optionally the service *simulates* per-shard service time by sleeping
+each subquery for its cost-model duration
+(``simulate_shard_latency``).  The in-process store executes a shard's
+work in microseconds where a real mongod pays network and disk; with
+simulation on, wall-clock behaves like the modelled deployment —
+sequential fan-out pays the *sum* of shard times, parallel fan-out the
+*max* — which is what the throughput benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import ClusterFindResult, ShardedCluster
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.locks import ReadWriteLock
+from repro.service.metrics import ServiceMetrics
+from repro.service.plan_cache import PlanCache, query_shape_key
+
+__all__ = ["ServiceConfig", "ServiceFindResult", "QueryService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for the serving frontend."""
+
+    #: Threads in the shard fan-out pool.
+    max_workers: int = 8
+    #: Queries executing at once; defaults to ``max_workers``.
+    max_concurrent_queries: Optional[int] = None
+    #: Bounded wait queue beyond the concurrency limit; requests that
+    #: find it full are rejected with ServiceOverloadedError.
+    max_queue_depth: int = 16
+    #: Default per-query deadline; None means no deadline.
+    default_timeout_ms: Optional[float] = None
+    #: When False, shard subqueries run inline on the calling thread
+    #: (the sequential baseline the benchmarks compare against).
+    parallel_scatter_gather: bool = True
+    #: Enable the shape → winning-index plan cache.
+    plan_cache_enabled: bool = True
+    #: Plan cache capacity (LRU beyond this).
+    plan_cache_size: int = 256
+    #: Writes per collection that invalidate its cached plans.
+    plan_cache_write_threshold: int = 1000
+    #: Sleep each shard subquery for its cost-model time, so
+    #: wall-clock matches the modelled deployment's shape.
+    simulate_shard_latency: bool = False
+    #: Multiplier on the simulated per-shard milliseconds.
+    simulated_latency_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ServiceError("max_workers must be positive")
+        if self.max_queue_depth < 0:
+            raise ServiceError("max_queue_depth must be >= 0")
+        limit = self.effective_concurrency
+        if limit < 1:
+            raise ServiceError("max_concurrent_queries must be positive")
+
+    @property
+    def effective_concurrency(self) -> int:
+        """The resolved concurrent-query limit."""
+        if self.max_concurrent_queries is not None:
+            return self.max_concurrent_queries
+        return self.max_workers
+
+
+class ServiceFindResult:
+    """A merged query result plus serving-side measurements."""
+
+    def __init__(
+        self,
+        documents: List[dict],
+        stats,
+        latency_ms: float,
+        queue_wait_ms: float,
+        plan_cache_hit: bool,
+        hint_used: Optional[str],
+    ) -> None:
+        self.documents = documents
+        self.stats = stats
+        self.latency_ms = latency_ms
+        self.queue_wait_ms = queue_wait_ms
+        self.plan_cache_hit = plan_cache_hit
+        self.hint_used = hint_used
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+
+class _Deadline:
+    """Absolute per-request deadline with remaining-time arithmetic."""
+
+    def __init__(self, timeout_ms: Optional[float]) -> None:
+        self._expires = (
+            None
+            if timeout_ms is None
+            else time.perf_counter() + timeout_ms / 1000.0
+        )
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or None when unbounded; raises when expired."""
+        if self._expires is None:
+            return None
+        left = self._expires - time.perf_counter()
+        if left <= 0:
+            raise QueryTimeoutError("query exceeded its deadline")
+        return left
+
+
+class QueryService:
+    """A concurrent query server in front of a :class:`ShardedCluster`.
+
+    Use as a context manager (or call :meth:`shutdown`) to release the
+    worker pool::
+
+        with QueryService(cluster) as service:
+            result = service.find("traces", query)
+    """
+
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(
+                max_entries=self.config.plan_cache_size,
+                write_invalidation_threshold=(
+                    self.config.plan_cache_write_threshold
+                ),
+            )
+            if self.config.plan_cache_enabled
+            else None
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="repro-service",
+        )
+        limit = self.config.effective_concurrency
+        #: Total in-flight requests (executing + queued); non-blocking.
+        self._admission = threading.Semaphore(
+            limit + self.config.max_queue_depth
+        )
+        #: Requests actually executing; waiting here is "queue wait".
+        self._slots = threading.Semaphore(limit)
+        self._shard_locks: Dict[str, ReadWriteLock] = {
+            shard_id: ReadWriteLock() for shard_id in cluster.shards
+        }
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop accepting work and release the worker pool."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: shut the pool down."""
+        self.shutdown()
+
+    # -- admission -------------------------------------------------------------
+
+    def _admit(self) -> None:
+        if self._closed:
+            raise ServiceError("service is shut down")
+        if not self._admission.acquire(blocking=False):
+            self.metrics.record_rejection()
+            raise ServiceOverloadedError(
+                "request queue full (%d executing + %d queued)"
+                % (
+                    self.config.effective_concurrency,
+                    self.config.max_queue_depth,
+                )
+            )
+
+    def _acquire_slot(self, deadline: _Deadline) -> float:
+        """Wait for an execution slot; returns queue wait in ms."""
+        started = time.perf_counter()
+        while True:
+            remaining = deadline.remaining()  # raises when expired
+            timeout = 0.05 if remaining is None else min(remaining, 0.05)
+            if self._slots.acquire(timeout=timeout):
+                return (time.perf_counter() - started) * 1000.0
+
+    # -- read path -------------------------------------------------------------
+
+    def find(
+        self,
+        collection: str,
+        query: Mapping[str, Any],
+        hint: Optional[str] = None,
+        max_geo_ranges: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> ServiceFindResult:
+        """Serve one read query through the concurrent frontend.
+
+        Admission, queueing, per-shard read locks, plan-cache lookup,
+        parallel scatter-gather, and metrics recording wrap the same
+        execution :meth:`ShardedCluster.find` performs; documents and
+        cluster statistics are identical to the library path.
+        """
+        started = time.perf_counter()
+        if timeout_ms is None:
+            timeout_ms = self.config.default_timeout_ms
+        deadline = _Deadline(timeout_ms)
+        self._admit()
+        try:
+            try:
+                queue_wait_ms = self._acquire_slot(deadline)
+                try:
+                    return self._execute_read(
+                        collection,
+                        query,
+                        hint,
+                        max_geo_ranges,
+                        deadline,
+                        started,
+                        queue_wait_ms,
+                    )
+                finally:
+                    self._slots.release()
+            except QueryTimeoutError:
+                self.metrics.record_timeout()
+                raise
+        finally:
+            self._admission.release()
+
+    def _execute_read(
+        self,
+        collection: str,
+        query: Mapping[str, Any],
+        hint: Optional[str],
+        max_geo_ranges: Optional[int],
+        deadline: _Deadline,
+        started: float,
+        queue_wait_ms: float,
+    ) -> ServiceFindResult:
+        cache_key = None
+        cached_hint: Optional[str] = None
+        if hint is None and self.plan_cache is not None:
+            cache_key = query_shape_key(collection, query)
+            cached_hint = self.plan_cache.get(cache_key)
+        effective_hint = hint if hint is not None else cached_hint
+        locks = self._read_lock_targeted_shards(collection, query, deadline)
+        try:
+            result = self.cluster.find(
+                collection,
+                query,
+                hint=effective_hint,
+                max_geo_ranges=max_geo_ranges,
+                shard_mapper=self._shard_mapper(deadline),
+            )
+        finally:
+            for lock in locks:
+                lock.release_read()
+        if cache_key is not None and cached_hint is None:
+            self._maybe_cache_plan(cache_key, result)
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.record_query(latency_ms, queue_wait_ms)
+        return ServiceFindResult(
+            documents=result.documents,
+            stats=result.stats,
+            latency_ms=latency_ms,
+            queue_wait_ms=queue_wait_ms,
+            plan_cache_hit=cached_hint is not None,
+            hint_used=effective_hint,
+        )
+
+    def _read_lock_targeted_shards(
+        self,
+        collection: str,
+        query: Mapping[str, Any],
+        deadline: _Deadline,
+    ) -> List[ReadWriteLock]:
+        """Shared-lock the shards a query targets, consistently.
+
+        Targeting runs before any lock is held, so a concurrent write
+        could split or migrate chunks in between.  The loop re-checks
+        the cluster's ``metadata_version`` once the locks are held and
+        retries when routing moved underneath it.
+        """
+        for _attempt in range(16):
+            version = self.cluster.metadata_version
+            targeting = self.cluster.targeting_for(collection, query)
+            acquired: List[ReadWriteLock] = []
+            ok = True
+            for shard_id in sorted(targeting.shard_ids):
+                lock = self._shard_locks[shard_id]
+                if not lock.acquire_read(timeout=deadline.remaining()):
+                    ok = False
+                    break
+                acquired.append(lock)
+            if ok and self.cluster.metadata_version == version:
+                return acquired
+            for lock in acquired:
+                lock.release_read()
+            if not ok:
+                raise QueryTimeoutError(
+                    "timed out waiting for shard read locks"
+                )
+        raise ServiceError("routing metadata kept changing during targeting")
+
+    def _shard_mapper(self, deadline: _Deadline):
+        """The fan-out hook passed to :meth:`ShardedCluster.find`."""
+
+        def run_one(fn, shard_id):
+            pair = fn(shard_id)
+            if self.config.simulate_shard_latency:
+                _shard_id, result = pair
+                ms = self.cluster.cost_model.shard_time_ms(result.stats)
+                time.sleep(
+                    ms * self.config.simulated_latency_scale / 1000.0
+                )
+            return pair
+
+        def mapper(fn, shard_ids):
+            ids = list(shard_ids)
+            if not self.config.parallel_scatter_gather or len(ids) <= 1:
+                out = []
+                for shard_id in ids:
+                    deadline.remaining()  # raises when expired
+                    out.append(run_one(fn, shard_id))
+                return out
+            futures = [
+                self._pool.submit(run_one, fn, shard_id) for shard_id in ids
+            ]
+            try:
+                while True:
+                    remaining = deadline.remaining()
+                    done, pending = wait(
+                        futures,
+                        timeout=remaining,
+                        return_when=FIRST_EXCEPTION,
+                    )
+                    if any(f.exception() is not None for f in done):
+                        break
+                    if not pending:
+                        break
+            except QueryTimeoutError:
+                for f in futures:
+                    f.cancel()  # best effort; running shards finish
+                raise
+            return [f.result() for f in futures]
+
+        return mapper
+
+    def _maybe_cache_plan(self, cache_key, result: ClusterFindResult) -> None:
+        """Cache the winning index when every shard agreed on one."""
+        if self.plan_cache is None or not result.stats.per_shard:
+            return
+        names = {
+            stats.index_name
+            for stats in result.stats.per_shard.values()
+        }
+        if len(names) != 1:
+            return
+        winner = names.pop()
+        if not winner:  # COLLSCAN shards have no index name
+            return
+        self.plan_cache.put(cache_key, winner)
+
+    # -- convenience reads -----------------------------------------------------
+
+    def count_documents(
+        self,
+        collection: str,
+        query: Mapping[str, Any],
+        timeout_ms: Optional[float] = None,
+    ) -> int:
+        """Number of matching documents, served through the frontend."""
+        return len(self.find(collection, query, timeout_ms=timeout_ms))
+
+    # -- write path ------------------------------------------------------------
+
+    def _run_exclusive(self, fn):
+        """Run a cluster mutation holding every shard's write lock.
+
+        Writes take exclusive access to the whole cluster: an insert
+        can split a chunk and migrate it to *any* shard, and updates
+        and deletes rewrite chunk statistics, so per-shard write locks
+        are acquired on all shards (in sorted order, making the
+        acquisition deadlock-free against concurrent multi-shard
+        readers, which sort identically).
+        """
+        self._admit()
+        try:
+            acquired: List[Tuple[str, ReadWriteLock]] = []
+            for shard_id in sorted(self._shard_locks):
+                lock = self._shard_locks[shard_id]
+                lock.acquire_write()
+                acquired.append((shard_id, lock))
+            try:
+                out = fn()
+            finally:
+                for _shard_id, lock in reversed(acquired):
+                    lock.release_write()
+            self.metrics.record_write()
+            return out
+        finally:
+            self._admission.release()
+
+    def insert_one(
+        self, collection: str, document: Mapping[str, Any]
+    ) -> None:
+        """Insert one document under exclusive access."""
+        self.insert_many(collection, [document])
+
+    def insert_many(
+        self, collection: str, documents: Iterable[Mapping[str, Any]]
+    ) -> int:
+        """Insert documents under exclusive access; returns the count."""
+        docs = list(documents)
+        inserted = self._run_exclusive(
+            lambda: self.cluster.insert_many(collection, docs)
+        )
+        if self.plan_cache is not None:
+            self.plan_cache.note_writes(collection, inserted)
+        return inserted
+
+    def update_many(
+        self,
+        collection: str,
+        query: Mapping[str, Any],
+        update: Mapping[str, Any],
+    ) -> int:
+        """Update matching documents under exclusive access."""
+        updated = self._run_exclusive(
+            lambda: self.cluster.update_many(collection, query, update)
+        )
+        if self.plan_cache is not None:
+            self.plan_cache.note_writes(collection, max(updated, 1))
+        return updated
+
+    def delete_many(
+        self, collection: str, query: Mapping[str, Any]
+    ) -> int:
+        """Delete matching documents under exclusive access."""
+        deleted = self._run_exclusive(
+            lambda: self.cluster.delete_many(collection, query)
+        )
+        if self.plan_cache is not None:
+            self.plan_cache.note_writes(collection, max(deleted, 1))
+        return deleted
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_index(
+        self,
+        collection: str,
+        spec: Sequence[Tuple[str, Any]] | Mapping[str, Any],
+        name: str = "",
+        geohash_bits: int = 26,
+    ) -> None:
+        """Create an index on every shard; invalidates cached plans."""
+        self._run_exclusive(
+            lambda: self.cluster.create_index(
+                collection, spec, name=name, geohash_bits=geohash_bits
+            )
+        )
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_collection(collection)
+
+    def drop_index(self, collection: str, name: str) -> None:
+        """Drop an index from every shard; invalidates cached plans."""
+        self._run_exclusive(
+            lambda: self.cluster.drop_index(collection, name)
+        )
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_collection(collection)

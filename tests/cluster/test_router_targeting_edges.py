@@ -1,0 +1,174 @@
+"""Router targeting edge cases, end-to-end through the cluster.
+
+Exercises :meth:`ShardedCluster.targeting_for` — the hook the query
+service uses to pick read locks before fanning out — on the corners
+that matter for correctness: contradictory (empty) shard-key
+intervals, ``$or`` shapes that force a broadcast, and hashed-shard-key
+equality targeting.  Shard sets and the ``broadcast`` flag are
+asserted exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.docstore import bson
+from repro.docstore.index import hashed_value
+
+
+def _range_cluster() -> ShardedCluster:
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=4), chunk_max_bytes=2 * 1024
+    )
+    cluster.shard_collection("t", [("k", 1)])
+    rng = random.Random(3)
+    cluster.insert_many(
+        "t",
+        [
+            {"_id": i, "k": rng.randrange(0, 10_000), "pad": "x" * 64}
+            for i in range(400)
+        ],
+    )
+    return cluster
+
+
+def _hashed_cluster() -> ShardedCluster:
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=4), chunk_max_bytes=2 * 1024
+    )
+    cluster.shard_collection("v", [("vid", "hashed")])
+    cluster.insert_many(
+        "v",
+        [{"_id": i, "vid": i % 20, "pad": "x" * 64} for i in range(400)],
+    )
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def range_cluster():
+    return _range_cluster()
+
+
+@pytest.fixture(scope="module")
+def hashed_cluster():
+    return _hashed_cluster()
+
+
+class TestEmptyIntervals:
+    def test_contradictory_range_targets_no_shards(self, range_cluster):
+        # k > 5 AND k < 3 is unsatisfiable: a *targeted* operation that
+        # visits zero chunks, not a broadcast.
+        t = range_cluster.targeting_for("t", {"k": {"$gt": 5, "$lt": 3}})
+        assert t.broadcast is False
+        assert t.shard_ids == []
+        assert t.chunks == []
+
+    def test_contradictory_range_returns_nothing(self, range_cluster):
+        result = range_cluster.find("t", {"k": {"$gt": 5, "$lt": 3}})
+        assert result.documents == []
+        assert result.stats.nodes == 0
+
+    def test_empty_in_list_is_conservatively_broadcast(self, range_cluster):
+        # `$in: []` matches nothing, but the planner records it as a
+        # non-constraining predicate, so the router falls back to a
+        # broadcast — conservative (extra shards contacted) yet
+        # correct: no shard returns a document.
+        t = range_cluster.targeting_for("t", {"k": {"$in": []}})
+        assert t.broadcast is True
+        assert range_cluster.find("t", {"k": {"$in": []}}).documents == []
+
+
+class TestOrBroadcast:
+    def test_or_across_paths_broadcasts_to_all(self, range_cluster):
+        # One branch does not constrain the shard key, so every shard
+        # holding a chunk must participate.
+        metadata = range_cluster.catalog.get("t")
+        t = range_cluster.targeting_for(
+            "t", {"$or": [{"k": {"$lt": 100}}, {"pad": "y"}]}
+        )
+        assert t.broadcast is True
+        assert t.shard_ids == metadata.shards_used()
+        assert len(t.chunks) == len(metadata.chunks)
+
+    def test_non_key_query_broadcasts(self, range_cluster):
+        metadata = range_cluster.catalog.get("t")
+        t = range_cluster.targeting_for("t", {"pad": "y"})
+        assert t.broadcast is True
+        assert t.shard_ids == metadata.shards_used()
+
+    def test_or_of_shard_key_ranges_stays_targeted(self, range_cluster):
+        # Every branch constrains `k`: the union of the branch ranges
+        # routes the query, no broadcast.
+        t = range_cluster.targeting_for(
+            "t",
+            {
+                "$or": [
+                    {"k": {"$gte": 0, "$lt": 50}},
+                    {"k": {"$gte": 9000, "$lt": 9050}},
+                ]
+            },
+        )
+        metadata = range_cluster.catalog.get("t")
+        assert t.broadcast is False
+        assert 0 < len(t.shard_ids) < len(metadata.shards_used()) + 1
+        # The targeted set must be exactly the chunk owners of the
+        # two ranges.
+        expected = sorted(
+            {
+                c.shard_id
+                for c in metadata.chunks
+                for lo, hi in ((0, 50), (9000, 9050))
+                if c.min_key < (bson.sort_key(hi),)
+                and c.max_key > (bson.sort_key(lo),)
+            }
+        )
+        assert t.shard_ids == expected
+
+
+class TestHashedTargeting:
+    def test_equality_targets_single_owner_chunk(self, hashed_cluster):
+        metadata = hashed_cluster.catalog.get("v")
+        t = hashed_cluster.targeting_for("v", {"vid": 7})
+        assert t.broadcast is False
+        key = (bson.sort_key(hashed_value(7)),)
+        expected = sorted(
+            {
+                c.shard_id
+                for c in metadata.chunks
+                if c.min_key <= key < c.max_key
+            }
+        )
+        assert t.shard_ids == expected
+        assert len(t.shard_ids) == 1
+
+    def test_equality_results_match_broadcast_scan(self, hashed_cluster):
+        targeted = hashed_cluster.find("v", {"vid": 7})
+        by_scan = hashed_cluster.find("v", {"pad": "x" * 64})
+        expected = sorted(
+            d["_id"] for d in by_scan.documents if d["vid"] == 7
+        )
+        assert sorted(d["_id"] for d in targeted.documents) == expected
+
+    def test_in_list_targets_union_of_owners(self, hashed_cluster):
+        metadata = hashed_cluster.catalog.get("v")
+        t = hashed_cluster.targeting_for("v", {"vid": {"$in": [3, 9]}})
+        assert t.broadcast is False
+        expected = sorted(
+            {
+                c.shard_id
+                for c in metadata.chunks
+                for v in (3, 9)
+                if c.min_key
+                <= (bson.sort_key(hashed_value(v)),)
+                < c.max_key
+            }
+        )
+        assert t.shard_ids == expected
+
+    def test_range_on_hashed_key_broadcasts(self, hashed_cluster):
+        # Ranges are meaningless under the hash: mongos must broadcast.
+        metadata = hashed_cluster.catalog.get("v")
+        t = hashed_cluster.targeting_for("v", {"vid": {"$gte": 3, "$lt": 9}})
+        assert t.broadcast is True
+        assert t.shard_ids == metadata.shards_used()

@@ -1,0 +1,166 @@
+"""Concurrency stress: mixed reads/writes vs a serial oracle.
+
+N threads hammer one QueryService with interleaved range reads,
+counter increments, inserts, and deletes.  Afterwards the cluster must
+match what a serial execution of the same write set would produce —
+every insert present exactly once, every increment applied (no lost
+updates), catalog counters consistent — and every read observed along
+the way must have been internally consistent (only matching documents,
+no duplicates).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.service import QueryService, ServiceConfig
+
+N_THREADS = 8
+OPS_PER_THREAD = 25
+BASE_DOCS = 400
+
+
+@pytest.fixture
+def stress_cluster(cluster_factory):
+    return cluster_factory(
+        n_shards=4, n_docs=BASE_DOCS, chunk_max_bytes=2 * 1024
+    )
+
+
+class TestConcurrentMixedWorkload:
+    def test_no_lost_updates_and_reads_consistent(self, stress_cluster):
+        cluster = stress_cluster
+        config = ServiceConfig(
+            max_workers=4,
+            max_concurrent_queries=N_THREADS,
+            max_queue_depth=N_THREADS * 4,
+        )
+        increments_done = [0] * N_THREADS
+        inserts_done = [[] for _ in range(N_THREADS)]
+        deletes_done = [[] for _ in range(N_THREADS)]
+        read_errors = []
+        failures = []
+
+        def worker(tid: int, service: QueryService) -> None:
+            rng = random.Random(1000 + tid)
+            try:
+                for op in range(OPS_PER_THREAD):
+                    roll = rng.random()
+                    if roll < 0.5:
+                        lo = rng.randrange(0, 9000)
+                        result = service.find(
+                            "t", {"k": {"$gte": lo, "$lt": lo + 1500}}
+                        )
+                        ids = [d["_id"] for d in result]
+                        if len(ids) != len(set(ids)):
+                            read_errors.append("duplicate ids in read")
+                        for d in result:
+                            if not (lo <= d["k"] < lo + 1500):
+                                read_errors.append(
+                                    "non-matching doc %r" % d["_id"]
+                                )
+                    elif roll < 0.75:
+                        # Increment the shared counter of one group;
+                        # update_many returns how many docs it touched.
+                        group = rng.randrange(0, 10)
+                        touched = service.update_many(
+                            "t",
+                            {"group": group},
+                            {"$inc": {"counter": 1}},
+                        )
+                        increments_done[tid] += touched
+                    elif roll < 0.9:
+                        new_id = 100_000 + tid * 1000 + op
+                        service.insert_many(
+                            "t",
+                            [
+                                {
+                                    "_id": new_id,
+                                    "k": rng.randrange(0, 10_000),
+                                    "group": 10 + tid,  # outside $inc range
+                                    "counter": 0,
+                                    "pad": "y" * 64,
+                                }
+                            ],
+                        )
+                        inserts_done[tid].append(new_id)
+                    else:
+                        if inserts_done[tid]:
+                            victim = inserts_done[tid].pop()
+                            n = service.delete_many("t", {"_id": victim})
+                            if n != 1:
+                                read_errors.append(
+                                    "delete of %r removed %d" % (victim, n)
+                                )
+                            deletes_done[tid].append(victim)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append((tid, exc))
+
+        with QueryService(cluster, config) as service:
+            threads = [
+                threading.Thread(target=worker, args=(tid, service))
+                for tid in range(N_THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert not failures, failures
+        assert not read_errors, read_errors[:5]
+
+        # --- serial oracle ---------------------------------------------------
+        surviving_inserts = {i for lst in inserts_done for i in lst}
+        n_docs = cluster.count_documents("t", {})
+        assert n_docs == BASE_DOCS + len(surviving_inserts)
+
+        # Every inserted-and-not-deleted document is present exactly once.
+        for new_id in sorted(surviving_inserts):
+            assert cluster.count_documents("t", {"_id": new_id}) == 1
+        for lst in deletes_done:
+            for gone in lst:
+                assert cluster.count_documents("t", {"_id": gone}) == 0
+
+        # No lost updates: the counters over the base documents sum to
+        # exactly the number of (document, increment) applications the
+        # writers performed.
+        total = sum(
+            d["counter"]
+            for d in cluster.find("t", {"group": {"$lt": 10}}).documents
+        )
+        assert total == sum(increments_done)
+
+        # Catalog bookkeeping survived the interleaving.
+        cluster.validate("t")
+
+    def test_concurrent_readers_share_shards(self, stress_cluster):
+        """Pure read concurrency: many threads, identical results."""
+        cluster = stress_cluster
+        expected = sorted(
+            d["_id"]
+            for d in cluster.find("t", {"k": {"$gte": 0, "$lt": 5000}})
+        )
+        mismatches = []
+
+        def reader(service: QueryService) -> None:
+            for _ in range(10):
+                got = sorted(
+                    d["_id"]
+                    for d in service.find(
+                        "t", {"k": {"$gte": 0, "$lt": 5000}}
+                    )
+                )
+                if got != expected:
+                    mismatches.append(got)
+
+        with QueryService(cluster) as service:
+            threads = [
+                threading.Thread(target=reader, args=(service,))
+                for _ in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not mismatches

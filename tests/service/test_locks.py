@@ -1,0 +1,83 @@
+"""Reader-writer lock semantics."""
+
+import threading
+import time
+
+from repro.service.locks import ReadWriteLock
+
+
+class TestSharedMode:
+    def test_many_concurrent_readers(self):
+        lock = ReadWriteLock()
+        inside = []
+        barrier = threading.Barrier(4)
+
+        def reader():
+            with lock.read_locked():
+                barrier.wait(timeout=5)  # all 4 inside simultaneously
+                inside.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(inside) == 4
+
+    def test_read_timeout_while_written(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        try:
+            assert lock.acquire_read(timeout=0.05) is False
+        finally:
+            lock.release_write()
+        assert lock.acquire_read(timeout=0.05) is True
+        lock.release_read()
+
+
+class TestExclusiveMode:
+    def test_writer_excludes_writer(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        try:
+            assert lock.acquire_write(timeout=0.05) is False
+        finally:
+            lock.release_write()
+
+    def test_writer_waits_for_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        got_write = []
+
+        def writer():
+            got_write.append(lock.acquire_write(timeout=2))
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        assert not got_write  # still blocked on the active reader
+        lock.release_read()
+        t.join()
+        assert got_write == [True]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_started = threading.Event()
+
+        def writer():
+            writer_started.set()
+            lock.acquire_write()
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        writer_started.wait(timeout=2)
+        time.sleep(0.05)  # writer is now parked, waiting
+        # Writer preference: a new reader cannot sneak in.
+        assert lock.acquire_read(timeout=0.05) is False
+        lock.release_read()
+        t.join()
+        assert lock.acquire_read(timeout=1) is True
+        lock.release_read()

@@ -1,0 +1,92 @@
+"""Plan cache: shape normalization, invalidation, LRU, statistics."""
+
+from repro.service.plan_cache import PlanCache, query_shape_key
+
+
+class TestShapeKey:
+    def test_constants_are_erased(self):
+        a = query_shape_key("t", {"k": {"$gte": 1, "$lt": 5}})
+        b = query_shape_key("t", {"k": {"$gte": 100, "$lt": 999}})
+        assert a == b
+
+    def test_operator_kinds_distinguish(self):
+        eq = query_shape_key("t", {"k": 3})
+        rng = query_shape_key("t", {"k": {"$gte": 1, "$lt": 5}})
+        inop = query_shape_key("t", {"k": {"$in": [1, 2]}})
+        assert len({eq, rng, inop}) == 3
+
+    def test_paths_distinguish(self):
+        assert query_shape_key("t", {"k": 3}) != query_shape_key("t", {"j": 3})
+
+    def test_collection_distinguishes(self):
+        assert query_shape_key("a", {"k": 3}) != query_shape_key("b", {"k": 3})
+
+    def test_or_of_ranges_normalizes(self):
+        # The Hilbert $or pattern: many range clauses, same path.
+        a = query_shape_key(
+            "t", {"$or": [{"h": {"$gte": 1, "$lte": 2}}, {"h": {"$in": [9]}}]}
+        )
+        b = query_shape_key(
+            "t", {"$or": [{"h": {"$gte": 5, "$lte": 8}}, {"h": {"$in": [4]}}]}
+        )
+        assert a == b
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        key = query_shape_key("t", {"k": 3})
+        assert cache.get(key) is None
+        cache.put(key, "idx")
+        assert cache.get(key) == "idx"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        k1 = query_shape_key("t", {"a": 1})
+        k2 = query_shape_key("t", {"b": 1})
+        k3 = query_shape_key("t", {"c": 1})
+        cache.put(k1, "i1")
+        cache.put(k2, "i2")
+        assert cache.get(k1) == "i1"  # freshens k1
+        cache.put(k3, "i3")  # evicts k2, the least recent
+        assert cache.get(k2) is None
+        assert cache.get(k1) == "i1"
+        assert cache.get(k3) == "i3"
+
+    def test_write_volume_invalidation(self):
+        cache = PlanCache(write_invalidation_threshold=10)
+        key = query_shape_key("t", {"k": 3})
+        cache.put(key, "idx")
+        cache.note_writes("t", 9)
+        assert cache.get(key) == "idx"  # below threshold
+        cache.note_writes("t", 1)
+        assert cache.get(key) is None  # threshold reached
+        assert cache.evictions == 1
+
+    def test_write_invalidation_is_per_collection(self):
+        cache = PlanCache(write_invalidation_threshold=5)
+        key = query_shape_key("t", {"k": 3})
+        cache.put(key, "idx")
+        cache.note_writes("other", 100)
+        assert cache.get(key) == "idx"
+
+    def test_invalidate_collection(self):
+        cache = PlanCache()
+        k1 = query_shape_key("t", {"k": 3})
+        k2 = query_shape_key("u", {"k": 3})
+        cache.put(k1, "i1")
+        cache.put(k2, "i2")
+        assert cache.invalidate_collection("t") == 1
+        assert cache.get(k1) is None
+        assert cache.get(k2) == "i2"
+
+    def test_hit_rate(self):
+        cache = PlanCache()
+        key = query_shape_key("t", {"k": 3})
+        cache.get(key)  # miss
+        cache.put(key, "idx")
+        for _ in range(9):
+            cache.get(key)  # hits
+        assert cache.hit_rate == 0.9

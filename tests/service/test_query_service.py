@@ -1,0 +1,266 @@
+"""QueryService: parity with the library path, admission, plan cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service import QueryService, ServiceConfig
+
+QUERY = {"k": {"$gte": 1000, "$lt": 5000}}
+BROADCAST = {"group": 3}  # does not constrain the shard key
+
+
+class TestResultParity:
+    def test_documents_and_stats_match_library_path(self, seeded_cluster):
+        base = seeded_cluster.find("t", QUERY)
+        with QueryService(seeded_cluster) as service:
+            served = service.find("t", QUERY)
+        assert [d["_id"] for d in served.documents] == [
+            d["_id"] for d in base.documents
+        ]
+        assert served.stats.as_dict() == base.stats.as_dict()
+
+    def test_parity_holds_on_plan_cache_hit(self, seeded_cluster):
+        base = seeded_cluster.find("t", QUERY)
+        with QueryService(seeded_cluster) as service:
+            first = service.find("t", QUERY)
+            second = service.find("t", QUERY)
+        assert not first.plan_cache_hit
+        assert second.plan_cache_hit
+        assert second.stats.as_dict() == base.stats.as_dict()
+        assert [d["_id"] for d in second.documents] == [
+            d["_id"] for d in base.documents
+        ]
+
+    def test_broadcast_parity(self, seeded_cluster):
+        base = seeded_cluster.find("t", BROADCAST)
+        with QueryService(seeded_cluster) as service:
+            served = service.find("t", BROADCAST)
+        assert served.stats.broadcast
+        assert sorted(d["_id"] for d in served) == sorted(
+            d["_id"] for d in base
+        )
+
+    def test_sequential_mode_parity(self, seeded_cluster):
+        base = seeded_cluster.find("t", QUERY)
+        config = ServiceConfig(parallel_scatter_gather=False)
+        with QueryService(seeded_cluster, config) as service:
+            served = service.find("t", QUERY)
+        assert served.stats.as_dict() == base.stats.as_dict()
+
+    def test_count_documents(self, seeded_cluster):
+        expected = seeded_cluster.count_documents("t", QUERY)
+        with QueryService(seeded_cluster) as service:
+            assert service.count_documents("t", QUERY) == expected
+
+
+class TestPlanCacheIntegration:
+    def test_repeated_shape_hits_with_different_constants(
+        self, seeded_cluster
+    ):
+        with QueryService(seeded_cluster) as service:
+            service.find("t", {"k": {"$gte": 0, "$lt": 100}})
+            for lo in range(100, 1000, 100):
+                r = service.find("t", {"k": {"$gte": lo, "$lt": lo + 100}})
+                assert r.plan_cache_hit
+            assert service.plan_cache.hit_rate > 0.85
+
+    def test_write_volume_invalidates(self, seeded_cluster):
+        config = ServiceConfig(plan_cache_write_threshold=10)
+        with QueryService(seeded_cluster, config) as service:
+            service.find("t", QUERY)
+            assert service.find("t", QUERY).plan_cache_hit
+            service.insert_many(
+                "t",
+                [
+                    {"_id": 10_000 + i, "k": i, "group": 0, "counter": 0}
+                    for i in range(10)
+                ],
+            )
+            assert not service.find("t", QUERY).plan_cache_hit
+
+    def test_index_ddl_invalidates(self, seeded_cluster):
+        with QueryService(seeded_cluster) as service:
+            service.find("t", QUERY)
+            assert service.find("t", QUERY).plan_cache_hit
+            service.create_index("t", [("group", 1)], name="group_1")
+            assert not service.find("t", QUERY).plan_cache_hit
+            assert service.find("t", QUERY).plan_cache_hit
+            service.drop_index("t", "group_1")
+            assert not service.find("t", QUERY).plan_cache_hit
+
+    def test_cache_disabled(self, seeded_cluster):
+        config = ServiceConfig(plan_cache_enabled=False)
+        with QueryService(seeded_cluster, config) as service:
+            assert service.plan_cache is None
+            service.find("t", QUERY)
+            assert not service.find("t", QUERY).plan_cache_hit
+
+
+class TestAdmissionControl:
+    def test_overload_rejection(self, seeded_cluster):
+        config = ServiceConfig(
+            max_workers=1, max_concurrent_queries=1, max_queue_depth=0
+        )
+        service = QueryService(seeded_cluster, config)
+        release = threading.Event()
+        entered = threading.Event()
+        errors = []
+
+        # Occupy the only slot with a write that blocks on `release`.
+        def slow_write():
+            try:
+                service._run_exclusive(
+                    lambda: (entered.set(), release.wait(5))
+                )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        t = threading.Thread(target=slow_write)
+        t.start()
+        entered.wait(timeout=5)
+        with pytest.raises(ServiceOverloadedError):
+            service.find("t", QUERY)
+        release.set()
+        t.join()
+        assert not errors
+        assert service.metrics.rejected == 1
+        # Capacity freed: the same query now succeeds.
+        assert len(service.find("t", QUERY)) >= 0
+        service.shutdown()
+
+    def test_queue_depth_admits_waiting_requests(self, seeded_cluster):
+        config = ServiceConfig(
+            max_workers=2, max_concurrent_queries=2, max_queue_depth=8
+        )
+        with QueryService(seeded_cluster, config) as service:
+            results = []
+
+            def client():
+                results.append(len(service.find("t", QUERY)))
+
+            threads = [threading.Thread(target=client) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 6
+            assert service.metrics.rejected == 0
+
+    def test_deadline_expires_in_queue(self, seeded_cluster):
+        config = ServiceConfig(
+            max_workers=1, max_concurrent_queries=1, max_queue_depth=2
+        )
+        service = QueryService(seeded_cluster, config)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_write():
+            service._run_exclusive(lambda: (entered.set(), release.wait(5)))
+
+        t = threading.Thread(target=slow_write)
+        t.start()
+        entered.wait(timeout=5)
+        try:
+            with pytest.raises(QueryTimeoutError):
+                service.find("t", QUERY, timeout_ms=80)
+            assert service.metrics.timed_out == 1
+        finally:
+            release.set()
+            t.join()
+            service.shutdown()
+
+    def test_rejected_after_shutdown(self, seeded_cluster):
+        service = QueryService(seeded_cluster)
+        service.shutdown()
+        with pytest.raises(ServiceError):
+            service.find("t", QUERY)
+
+
+class TestWritesThroughService:
+    def test_insert_update_delete(self, seeded_cluster):
+        with QueryService(seeded_cluster) as service:
+            n0 = service.count_documents("t", {})
+            assert (
+                service.insert_many(
+                    "t",
+                    [
+                        {"_id": 90_001, "k": 123, "group": 1, "counter": 0},
+                        {"_id": 90_002, "k": 456, "group": 2, "counter": 0},
+                    ],
+                )
+                == 2
+            )
+            assert service.count_documents("t", {}) == n0 + 2
+            assert (
+                service.update_many(
+                    "t", {"_id": 90_001}, {"$inc": {"counter": 5}}
+                )
+                == 1
+            )
+            [doc] = service.find("t", {"_id": 90_001}).documents
+            assert doc["counter"] == 5
+            assert service.delete_many("t", {"_id": 90_002}) == 1
+            assert service.count_documents("t", {}) == n0 + 1
+            assert service.metrics.writes == 3
+
+
+class TestServiceMetrics:
+    def test_latency_and_queue_wait_recorded(self, seeded_cluster):
+        with QueryService(seeded_cluster) as service:
+            for _ in range(5):
+                service.find("t", QUERY)
+            snap = service.metrics.snapshot(service.plan_cache.stats())
+            assert snap.completed == 5
+            assert snap.p50_latency_ms > 0
+            assert snap.p99_latency_ms >= snap.p50_latency_ms
+            assert snap.plan_cache["hits"] == 4
+            payload = snap.as_dict()
+            assert payload["completed"] == 5
+
+
+class TestServiceBackedMeasurement:
+    def test_measure_query_through_service(self):
+        import datetime as dt
+
+        from repro import (
+            QueryService,
+            SpatioTemporalQuery,
+            deploy_approach,
+            make_approach,
+            measure_query,
+        )
+        from repro.cluster.cluster import ClusterTopology
+        from repro.datagen import FleetConfig, FleetGenerator
+        from repro.geo import BoundingBox
+
+        docs = FleetGenerator(FleetConfig(n_vehicles=10)).generate_list(400)
+        deployment = deploy_approach(
+            make_approach("hil"),
+            docs,
+            topology=ClusterTopology(n_shards=3),
+        )
+        query = SpatioTemporalQuery(
+            bbox=BoundingBox(23.60, 37.90, 23.90, 38.10),
+            time_from=dt.datetime(2018, 8, 1, tzinfo=dt.timezone.utc),
+            time_to=dt.datetime(2018, 8, 8, tzinfo=dt.timezone.utc),
+            label="Qtest",
+        )
+        direct = measure_query(deployment, query, runs=2, average_last=1)
+        with QueryService(deployment.cluster) as service:
+            served = measure_query(
+                deployment, query, runs=2, average_last=1, service=service
+            )
+        assert served.n_returned == direct.n_returned
+        assert served.nodes == direct.nodes
+        assert served.max_keys_examined == direct.max_keys_examined
+        assert served.max_docs_examined == direct.max_docs_examined
+        assert served.execution_time_ms == pytest.approx(
+            direct.execution_time_ms
+        )

@@ -56,5 +56,6 @@ def test_expected_example_set():
         "trajectory_queries.py",
         "adaptive_partitioning.py",
         "lifecycle_and_knn.py",
+        "service_throughput.py",
     }
     assert expected <= set(EXAMPLES)

@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.geo",
     "repro.docstore",
     "repro.cluster",
+    "repro.service",
     "repro.core",
     "repro.datagen",
     "repro.workloads",
