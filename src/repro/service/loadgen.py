@@ -223,14 +223,24 @@ class LoadGenerator:
 
         Arrivals are scheduled on a metronome at ``1/target_qps``
         intervals and handed to a pool of ``clients`` issuing threads;
-        when all issuers are busy and the service's own queue is full,
-        the submission fails fast and counts as rejected — open-loop
-        load does not slow down because the server is slow.
+        when all issuers are busy, the arrival is rejected at the
+        generator (a semaphore bounds the handoff, so no in-process
+        backlog builds up) — open-loop load does not slow down because
+        the server is slow, and overload shows up as rejections, not
+        as queries issued long after their scheduled arrival.
         """
         if target_qps <= 0 or duration_s <= 0:
             raise ServiceError("target_qps and duration_s must be positive")
         tally = _RunTally()
         interval = 1.0 / target_qps
+        idle_issuers = threading.Semaphore(clients)
+
+        def issue_and_release(index: int) -> None:
+            try:
+                self._issue(index, tally)
+            finally:
+                idle_issuers.release()
+
         started = time.perf_counter()
         deadline = started + duration_s
         with ThreadPoolExecutor(
@@ -245,7 +255,12 @@ class LoadGenerator:
                 if now < next_fire:
                     time.sleep(min(next_fire - now, 0.01))
                     continue
-                pool.submit(self._issue, index, tally)
+                if idle_issuers.acquire(blocking=False):
+                    pool.submit(issue_and_release, index)
+                else:
+                    with tally.lock:
+                        tally.offered += 1
+                        tally.rejected += 1
                 index += 1
                 next_fire += interval
         duration = time.perf_counter() - started

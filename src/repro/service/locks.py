@@ -53,6 +53,7 @@ class ReadWriteLock:
         """Enter exclusive mode; returns False on timeout."""
         with self._cond:
             self._waiting_writers += 1
+            acquired = False
             try:
                 acquired = self._cond.wait_for(
                     lambda: not self._active_writer
@@ -64,6 +65,11 @@ class ReadWriteLock:
                 return acquired
             finally:
                 self._waiting_writers -= 1
+                if not acquired:
+                    # A timed-out writer stops parking readers; wake
+                    # them, or they stay blocked until some unrelated
+                    # release happens to notify.
+                    self._cond.notify_all()
 
     def release_write(self) -> None:
         """Leave exclusive mode."""

@@ -333,12 +333,19 @@ class QueryService:
             targeting = self.cluster.targeting_for(collection, query)
             acquired: List[ReadWriteLock] = []
             ok = True
-            for shard_id in sorted(targeting.shard_ids):
-                lock = self._shard_locks[shard_id]
-                if not lock.acquire_read(timeout=deadline.remaining()):
-                    ok = False
-                    break
-                acquired.append(lock)
+            try:
+                for shard_id in sorted(targeting.shard_ids):
+                    lock = self._shard_locks[shard_id]
+                    if not lock.acquire_read(timeout=deadline.remaining()):
+                        ok = False
+                        break
+                    acquired.append(lock)
+            except BaseException:
+                # deadline.remaining() raises QueryTimeoutError mid-loop;
+                # locks already acquired must not leak past this frame.
+                for lock in acquired:
+                    lock.release_read()
+                raise
             if ok and self.cluster.metadata_version == version:
                 return acquired
             for lock in acquired:
@@ -381,17 +388,33 @@ class QueryService:
                         timeout=remaining,
                         return_when=FIRST_EXCEPTION,
                     )
-                    if any(f.exception() is not None for f in done):
-                        break
                     if not pending:
-                        break
+                        return [f.result() for f in futures]
+                    if any(f.exception() is not None for f in done):
+                        self._drain_futures(futures)
+                        for f in futures:
+                            if not f.cancelled():
+                                f.result()  # re-raises the shard error
             except QueryTimeoutError:
-                for f in futures:
-                    f.cancel()  # best effort; running shards finish
+                self._drain_futures(futures)
                 raise
-            return [f.result() for f in futures]
 
         return mapper
+
+    @staticmethod
+    def _drain_futures(futures) -> None:
+        """Cancel what hasn't started and wait out what has.
+
+        The caller is about to propagate an exception, after which
+        :meth:`_execute_read` releases the per-shard read locks.  A
+        subquery still running on a pool thread would then race any
+        writer that grabs the freed locks, so abandoning the fan-out
+        must wait for running shards to finish first (cancelled
+        futures never run and need no waiting).
+        """
+        for f in futures:
+            f.cancel()
+        wait([f for f in futures if not f.cancelled()])
 
     def _maybe_cache_plan(self, cache_key, result: ClusterFindResult) -> None:
         """Cache the winning index when every shard agreed on one."""

@@ -14,6 +14,7 @@ import threading
 
 import pytest
 
+from repro.errors import QueryTimeoutError
 from repro.service import QueryService, ServiceConfig
 
 N_THREADS = 8
@@ -164,3 +165,45 @@ class TestConcurrentMixedWorkload:
             for t in threads:
                 t.join()
         assert not mismatches
+
+
+class TestTimeoutLockSafety:
+    def test_timed_out_query_releases_read_locks(self, stress_cluster):
+        """A query timing out mid lock-acquisition must leak no locks.
+
+        A writer parks on the last shard (sorted order) so a broadcast
+        read acquires every earlier shard's read lock, then times out
+        waiting for the blocked one.  Afterwards every shard must be
+        write-acquirable and a real write must complete — a leaked read
+        lock would deadlock the service permanently.
+        """
+        with QueryService(
+            stress_cluster, ServiceConfig(max_workers=4)
+        ) as service:
+            shard_ids = sorted(service._shard_locks)
+            blocker = service._shard_locks[shard_ids[-1]]
+            blocker.acquire_write()
+            try:
+                with pytest.raises(QueryTimeoutError):
+                    service.find("t", {}, timeout_ms=100)
+            finally:
+                blocker.release_write()
+            for shard_id in shard_ids:
+                lock = service._shard_locks[shard_id]
+                assert lock.acquire_write(timeout=2.0), (
+                    "leaked read lock on %s" % shard_id
+                )
+                lock.release_write()
+            inserted = service.insert_many(
+                "t",
+                [
+                    {
+                        "_id": 10**6,
+                        "k": 1,
+                        "group": 0,
+                        "counter": 0,
+                        "pad": "x",
+                    }
+                ],
+            )
+            assert inserted == 1

@@ -81,3 +81,37 @@ class TestExclusiveMode:
         t.join()
         assert lock.acquire_read(timeout=1) is True
         lock.release_read()
+
+    def test_writer_timeout_wakes_parked_readers(self):
+        """A timed-out writer must notify readers it was parking.
+
+        With one read held, a writer waits with a short timeout while a
+        second reader parks behind the waiting writer.  When the writer
+        gives up, the parked reader must wake promptly — not sit until
+        its own (much longer) timeout expires for lack of a notify.
+        """
+        lock = ReadWriteLock()
+        lock.acquire_read()  # keeps the writer from acquiring
+        writer_parked = threading.Event()
+        reader_elapsed = []
+
+        def writer():
+            writer_parked.set()
+            assert lock.acquire_write(timeout=0.2) is False
+
+        def reader():
+            writer_parked.wait(timeout=2)
+            time.sleep(0.05)  # let the writer park first
+            t0 = time.perf_counter()
+            assert lock.acquire_read(timeout=5) is True
+            reader_elapsed.append(time.perf_counter() - t0)
+            lock.release_read()
+
+        wt = threading.Thread(target=writer)
+        rt = threading.Thread(target=reader)
+        wt.start()
+        rt.start()
+        wt.join(timeout=5)
+        rt.join(timeout=5)
+        lock.release_read()
+        assert reader_elapsed and reader_elapsed[0] < 1.5
