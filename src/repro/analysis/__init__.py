@@ -1,0 +1,51 @@
+"""Project-specific static analysis for the reproduction codebase.
+
+PR 1 turned the reproduction into a concurrent serving system, and its
+review immediately found lock leaks on timeout paths — bugs that are
+mechanically detectable from the source.  This package encodes the
+project's locking, concurrency, determinism, and layering contracts as
+AST-based checkers and gates CI on them:
+
+* ``lock-discipline`` (LD) — acquisitions must be released on every
+  exception path, multi-lock acquisition must be sorted, and shared
+  attributes of lock-owning classes must be mutated under their lock.
+* ``concurrency`` (CH) — no unguarded check-then-act or lazy init on
+  shared state, no threads without join/daemon discipline, no
+  unbounded ``Future.result()`` waits.
+* ``determinism`` (DT) — no iteration over sets feeding plan selection
+  or shard targeting without explicit ordering, no arbitrary-element
+  ``set.pop()``, no wall-clock ``time.time()`` for durations.
+* ``docstore-invariants`` (DS) — lower layers must not import upper
+  layers (the docstore never sees the cluster or the service), and
+  public docstore entry points must not mutate caller-supplied
+  documents.
+
+Pre-existing, deliberately-accepted findings live in
+``analysis-baseline.json`` with recorded justifications; any *new*
+finding fails CI.  Run ``python -m repro.analysis src --baseline
+analysis-baseline.json``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.checker import (
+    Checker,
+    ModuleInfo,
+    register,
+    registered_checkers,
+    run_analysis,
+)
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "Finding",
+    "ModuleInfo",
+    "Severity",
+    "register",
+    "registered_checkers",
+    "run_analysis",
+]

@@ -1,0 +1,180 @@
+"""Shared AST helpers used by the checkers.
+
+Checkers reason about three recurring shapes: dotted references
+(``self._cond``, ``threading.Lock``), function scopes with stable
+qualified names (fingerprints hang off them), and "which statements
+run while a lock is held".  This module centralizes those so each
+checker stays a readable statement of its rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "FunctionNode",
+    "LOCK_FACTORY_NAMES",
+    "collect_lock_attrs",
+    "dotted_name",
+    "iter_classes",
+    "iter_functions",
+    "iter_scoped_statements",
+    "walk_within_function",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Constructor names (suffix of the dotted call) that create a lock or
+#: lock-like object worth guarding shared state with.
+LOCK_FACTORY_NAMES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "ReadWriteLock",
+}
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an attribute chain such as ``self._cond`` or ``time.time``.
+
+    Returns None when the chain is rooted in anything but a plain name
+    (a call result, a subscript, ...).
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, FunctionNode, Optional[ast.ClassDef]]]:
+    """Yield ``(qualname, function, owning_class)`` for every function.
+
+    Nested functions carry their parent's qualname as a prefix;
+    ``owning_class`` is the innermost enclosing class, or None.
+    """
+
+    def walk(
+        node: ast.AST, qual: str, cls: Optional[ast.ClassDef]
+    ) -> Iterator[Tuple[str, FunctionNode, Optional[ast.ClassDef]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_qual = "%s.%s" % (qual, child.name) if qual else child.name
+                yield (child_qual, child, cls)
+                yield from walk(child, child_qual, cls)
+            elif isinstance(child, ast.ClassDef):
+                child_qual = "%s.%s" % (qual, child.name) if qual else child.name
+                yield from walk(child, child_qual, child)
+            else:
+                yield from walk(child, qual, cls)
+
+    yield from walk(tree, "", None)
+
+
+def iter_classes(tree: ast.Module) -> Iterator[Tuple[str, ast.ClassDef]]:
+    """Yield ``(qualname, class)`` for every class definition."""
+
+    def walk(node: ast.AST, qual: str) -> Iterator[Tuple[str, ast.ClassDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                child_qual = "%s.%s" % (qual, child.name) if qual else child.name
+                yield (child_qual, child)
+                yield from walk(child, child_qual)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_qual = "%s.%s" % (qual, child.name) if qual else child.name
+                yield from walk(child, child_qual)
+            else:
+                yield from walk(child, qual)
+
+    yield from walk(tree, "")
+
+
+def walk_within_function(func: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function's body without entering nested functions/classes.
+
+    Used to attribute a node to its *innermost* function so scopes are
+    analyzed exactly once.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_scoped_statements(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield every node with the qualname of its innermost function.
+
+    Module-level nodes are attributed to ``<module>``; a node inside a
+    method of a nested class carries ``Class.method``.
+    """
+    for node in _module_level_nodes(tree):
+        yield ("<module>", node)
+    for qual, func, _cls in iter_functions(tree):
+        for node in walk_within_function(func):
+            yield (qual, node)
+
+
+def _module_level_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(tree))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.ClassDef):
+            # Class bodies are module-level executable code, but their
+            # methods are separate scopes.
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if not isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            )
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def collect_lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names holding a lock-like object in a class.
+
+    Covers instance attributes assigned from a lock factory in any
+    method (``self._lock = threading.Lock()``) and class-level
+    assignments (``_counter_lock = threading.Lock()``).
+    """
+    lock_attrs: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        name = dotted_name(value.func)
+        if name is None or name.split(".")[-1] not in LOCK_FACTORY_NAMES:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+            ):
+                lock_attrs.add(target.attr)
+            elif isinstance(target, ast.Name):
+                lock_attrs.add(target.id)
+    return lock_attrs

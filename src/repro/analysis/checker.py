@@ -1,0 +1,161 @@
+"""Checker base class, registry, and the analysis driver.
+
+A :class:`Checker` receives one parsed module at a time as a
+:class:`ModuleInfo` and returns :class:`~repro.analysis.findings.Finding`
+objects; :func:`run_analysis` walks the requested paths, parses every
+Python file once, and fans each module out to every registered
+checker.  Checkers register themselves with the :func:`register`
+decorator so the CLI and tests discover them the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.findings import Finding, Severity, assign_ordinals
+
+__all__ = [
+    "Checker",
+    "ModuleInfo",
+    "register",
+    "registered_checkers",
+    "run_analysis",
+]
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file handed to every checker."""
+
+    #: Path relative to the analysis root, in posix form.
+    path: str
+    #: Dotted module name, e.g. ``repro.service.service``.
+    package: str
+    tree: ast.Module
+    source: str
+
+
+class Checker:
+    """Base class for one family of rules.
+
+    Subclasses set :attr:`name` (the checker id), :attr:`rules`
+    (rule id → one-line description), and implement :meth:`check`.
+    """
+
+    name: str = ""
+    description: str = ""
+    rules: Dict[str, str] = {}
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Findings this checker raises against one module."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError("checker %r has no name" % cls)
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_checkers() -> Dict[str, Type[Checker]]:
+    """Name → class for every registered checker."""
+    # Importing the package registers the built-in checkers.
+    from repro.analysis import checkers as _checkers  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    Everything up to and including a ``src`` component is stripped, so
+    ``src/repro/docstore/btree.py`` becomes ``repro.docstore.btree``.
+    """
+    parts = list(Path(rel_path).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_python_files(
+    paths: Sequence[str], root: Path
+) -> Iterator[Path]:
+    """Every ``.py`` file under the requested paths, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def load_module(path: Path, root: Path) -> ModuleInfo | Finding:
+    """Parse one file; returns a parse-failure finding when broken."""
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule_id="AN001",
+            severity=Severity.ERROR,
+            message="file does not parse: %s" % exc.msg,
+            path=rel,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+        )
+    return ModuleInfo(
+        path=rel, package=module_name_for(rel), tree=tree, source=source
+    )
+
+
+def run_analysis(
+    paths: Sequence[str],
+    root: str | Path = ".",
+    select: Optional[Sequence[str]] = None,
+    checker_names: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run checkers over the given paths and return ordered findings.
+
+    ``select`` keeps only rule ids starting with one of the given
+    prefixes (e.g. ``["LD", "DT001"]``); ``checker_names`` restricts
+    which checkers run.
+    """
+    root_path = Path(root).resolve()
+    registry = registered_checkers()
+    if checker_names is not None:
+        unknown = set(checker_names) - set(registry)
+        if unknown:
+            raise ValueError("unknown checkers: %s" % sorted(unknown))
+        registry = {name: registry[name] for name in checker_names}
+    checkers = [cls() for _name, cls in sorted(registry.items())]
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, root_path):
+        loaded = load_module(path, root_path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        for checker in checkers:
+            findings.extend(checker.check(loaded))
+    if select:
+        findings = [
+            f
+            for f in findings
+            if any(f.rule_id.startswith(prefix) for prefix in select)
+        ]
+    return assign_ordinals(findings)

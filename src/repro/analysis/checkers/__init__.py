@@ -1,0 +1,17 @@
+"""Built-in checkers; importing this package registers them all."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.concurrency import ConcurrencyChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.docstore_invariants import (
+    DocstoreInvariantsChecker,
+)
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+
+__all__ = [
+    "ConcurrencyChecker",
+    "DeterminismChecker",
+    "DocstoreInvariantsChecker",
+    "LockDisciplineChecker",
+]

@@ -1,0 +1,141 @@
+"""Determinism rules (DT).
+
+Plan selection and shard targeting must be reproducible: two routers
+looking at the same metadata must pick the same shards, and two shards
+racing the same plan must pick the same index.  Iterating a ``set``
+(whose order varies with hash seeding), popping an arbitrary element,
+or timing durations with the settable wall clock all quietly break
+that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.astutil import (
+    FunctionNode,
+    dotted_name,
+    iter_functions,
+    walk_within_function,
+)
+from repro.analysis.checker import Checker, ModuleInfo, register
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["DeterminismChecker"]
+
+SET_BUILTINS = {"set", "frozenset"}
+
+
+def _is_unordered_expr(node: ast.expr) -> bool:
+    """Whether an expression evidently evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in SET_BUILTINS:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return True
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    """DT rules: ordered iteration, no set.pop(), monotonic durations."""
+
+    name = "determinism"
+    description = (
+        "iteration feeding plan/targeting decisions is explicitly "
+        "ordered, and durations use the monotonic clock"
+    )
+    rules = {
+        "DT001": (
+            "iteration directly over a set expression; order varies "
+            "with hash seeding — wrap in sorted()"
+        ),
+        "DT002": (
+            "set.pop() removes an arbitrary element; pick "
+            "deterministically (sorted(...)[0], min, max)"
+        ),
+        "DT003": (
+            "time.time() is wall-clock and can jump; use "
+            "time.perf_counter()/monotonic() for durations and keep "
+            "time.time() only for reported timestamps"
+        ),
+    }
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Run all DT rules over one module."""
+        findings: List[Finding] = []
+        for qual, func, _cls in iter_functions(module.tree):
+            findings.extend(self._check_scope(module, qual, func))
+        return findings
+
+    def _check_scope(
+        self, module: ModuleInfo, qual: str, func: FunctionNode
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        set_vars = self._set_variables(func)
+        for node in walk_within_function(func):
+            if isinstance(node, ast.For) and _is_unordered_expr(node.iter):
+                findings.append(
+                    self._finding("DT001", module, qual, node.iter)
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in node.generators:
+                    if _is_unordered_expr(gen.iter):
+                        findings.append(
+                            self._finding("DT001", module, qual, gen.iter)
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and not node.args
+                and not node.keywords
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in set_vars
+            ):
+                findings.append(self._finding("DT002", module, qual, node))
+            elif (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "time.time"
+            ):
+                findings.append(self._finding("DT003", module, qual, node))
+        return findings
+
+    def _finding(
+        self, rule_id: str, module: ModuleInfo, qual: str, node: ast.AST
+    ) -> Finding:
+        return Finding(
+            rule_id=rule_id,
+            severity=(
+                Severity.WARNING if rule_id == "DT003" else Severity.ERROR
+            ),
+            message=self.rules[rule_id],
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            symbol=qual,
+        )
+
+    @staticmethod
+    def _set_variables(func: FunctionNode) -> Set[str]:
+        """Names bound to an evident set value in this scope."""
+        names: Set[str] = set()
+        for node in walk_within_function(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_unordered_expr(
+                    node.value
+                ):
+                    names.add(target.id)
+        return names

@@ -1,0 +1,400 @@
+"""Lock-discipline rules (LD): the PR-1 bug class, mechanized.
+
+The service review found read locks leaking when a deadline expired
+mid-acquisition — an ``acquire`` whose matching release was only on
+the straight-line path.  These rules make that class of bug (and its
+siblings: unordered multi-lock acquisition, unguarded shared-state
+mutation) a CI failure instead of a reviewer catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import (
+    FunctionNode,
+    collect_lock_attrs,
+    dotted_name,
+    iter_classes,
+    iter_functions,
+    walk_within_function,
+)
+from repro.analysis.checker import Checker, ModuleInfo, register
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["LockDisciplineChecker"]
+
+#: Acquire method → release methods that balance it.
+ACQUIRE_TO_RELEASE: Dict[str, Tuple[str, ...]] = {
+    "acquire": ("release",),
+    "acquire_read": ("release_read",),
+    "acquire_write": ("release_write",),
+}
+
+RELEASE_METHODS: Set[str] = {
+    name for names in ACQUIRE_TO_RELEASE.values() for name in names
+}
+
+#: Method calls that mutate a container in place.
+MUTATOR_METHODS: Set[str] = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _with_item_node_ids(func: FunctionNode) -> Set[int]:
+    """Ids of every node inside a ``with`` item's context expression."""
+    ids: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    ids.add(id(sub))
+    return ids
+
+
+def _releases_on_unwind_paths(func: FunctionNode) -> Set[str]:
+    """Release methods called from a ``finally`` or ``except`` body.
+
+    Nested functions count: a closure handed to an executor may own
+    the release for an acquire made by its parent.
+    """
+    protected: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        unwind_stmts = list(node.finalbody)
+        for handler in node.handlers:
+            unwind_stmts.extend(handler.body)
+        for stmt in unwind_stmts:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in RELEASE_METHODS
+                ):
+                    protected.add(sub.func.attr)
+    return protected
+
+
+def _walk_outside_nested_loops(stmt: ast.stmt) -> List[ast.AST]:
+    """Descendants of a statement, not descending into nested loops."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.While,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.Lambda,
+                ),
+            ):
+                continue
+            stack.append(child)
+    return out
+
+
+def _lock_guard_in_with_item(
+    expr: ast.expr, lock_attrs: Set[str]
+) -> bool:
+    """Whether a ``with`` item expression references a known lock attr.
+
+    Matches ``with self._lock:``, ``with ObjectId._counter_lock:``,
+    and context-manager accessors like ``with lock.read_locked():``.
+    """
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Attribute) and sub.attr in lock_attrs:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in (
+            "read_locked",
+            "write_locked",
+        ):
+            return True
+        if isinstance(sub, ast.Name) and sub.id in lock_attrs:
+            return True
+    return False
+
+
+def _owned_attr(
+    node: ast.expr, owners: Set[str]
+) -> Optional[str]:
+    """Attribute name when ``node`` is ``<owner>.X`` or ``<owner>.X[...]``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in owners
+    ):
+        return node.attr
+    return None
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """LD rules: release-on-all-paths, sorted order, guarded mutation."""
+
+    name = "lock-discipline"
+    description = (
+        "lock acquisitions released on every exception path, sorted "
+        "multi-lock order, shared state mutated only under its lock"
+    )
+    rules = {
+        "LD001": (
+            "lock/semaphore acquired outside a with-statement and with "
+            "no matching release on a finally/except unwind path"
+        ),
+        "LD002": (
+            "multiple locks acquired in a loop over an unsorted "
+            "iterable (deadlock risk against other multi-lock holders)"
+        ),
+        "LD003": (
+            "attribute of a lock-owning class mutated outside a "
+            "lock-holding scope"
+        ),
+    }
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Run all LD rules over one module."""
+        findings: List[Finding] = []
+        for qual, func, _cls in iter_functions(module.tree):
+            findings.extend(self._check_release_paths(module, qual, func))
+            findings.extend(self._check_sorted_order(module, qual, func))
+        findings.extend(self._check_guarded_mutation(module))
+        return findings
+
+    # -- LD001 -----------------------------------------------------------------
+
+    def _check_release_paths(
+        self, module: ModuleInfo, qual: str, func: FunctionNode
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        exempt = _with_item_node_ids(func)
+        protected = _releases_on_unwind_paths(func)
+        for node in walk_within_function(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ACQUIRE_TO_RELEASE
+            ):
+                continue
+            if id(node) in exempt:
+                continue
+            balancing = ACQUIRE_TO_RELEASE[node.func.attr]
+            if any(name in protected for name in balancing):
+                continue
+            receiver = dotted_name(node.func.value) or "<expr>"
+            findings.append(
+                Finding(
+                    rule_id="LD001",
+                    severity=Severity.ERROR,
+                    message=(
+                        "%s.%s() has no matching %s() on a finally/except "
+                        "path; a timeout or error here leaks the lock "
+                        "(use a with-statement or try/finally)"
+                        % (receiver, node.func.attr, balancing[0])
+                    ),
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=qual,
+                )
+            )
+        return findings
+
+    # -- LD002 -----------------------------------------------------------------
+
+    def _check_sorted_order(
+        self, module: ModuleInfo, qual: str, func: FunctionNode
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in walk_within_function(func):
+            if not isinstance(node, ast.For):
+                continue
+            # Only acquisitions driven by *this* loop matter; an inner
+            # (possibly sorted) loop is judged on its own.
+            acquires = [
+                sub
+                for stmt in node.body
+                for sub in _walk_outside_nested_loops(stmt)
+                if isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ACQUIRE_TO_RELEASE
+            ]
+            if not acquires:
+                continue
+            ordered = any(
+                isinstance(sub, ast.Name) and sub.id == "sorted"
+                for sub in ast.walk(node.iter)
+            )
+            if ordered:
+                continue
+            findings.append(
+                Finding(
+                    rule_id="LD002",
+                    severity=Severity.ERROR,
+                    message=(
+                        "multi-lock acquisition iterates an unsorted "
+                        "iterable; acquire in sorted() order so "
+                        "concurrent multi-lock holders cannot deadlock"
+                    ),
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=qual,
+                )
+            )
+        return findings
+
+    # -- LD003 -----------------------------------------------------------------
+
+    def _check_guarded_mutation(self, module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls_qual, cls in iter_classes(module.tree):
+            lock_attrs = collect_lock_attrs(cls)
+            if not lock_attrs:
+                continue
+            owners = {"self", "cls", cls.name}
+            for child in cls.body:
+                if not isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if child.name in ("__init__", "__new__", "__post_init__"):
+                    continue
+                qual = "%s.%s" % (cls_qual, child.name)
+                self._visit_guarded(
+                    child.body,
+                    guarded=False,
+                    lock_attrs=lock_attrs,
+                    owners=owners,
+                    module=module,
+                    qual=qual,
+                    findings=findings,
+                )
+        return findings
+
+    def _visit_guarded(
+        self,
+        stmts: List[ast.stmt],
+        guarded: bool,
+        lock_attrs: Set[str],
+        owners: Set[str],
+        module: ModuleInfo,
+        qual: str,
+        findings: List[Finding],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                now_guarded = guarded or any(
+                    _lock_guard_in_with_item(item.context_expr, lock_attrs)
+                    for item in stmt.items
+                )
+                self._visit_guarded(
+                    stmt.body,
+                    now_guarded,
+                    lock_attrs,
+                    owners,
+                    module,
+                    qual,
+                    findings,
+                )
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A closure may run later on another thread; judge its
+                # body on its own (unguarded) terms.
+                self._visit_guarded(
+                    stmt.body,
+                    False,
+                    lock_attrs,
+                    owners,
+                    module,
+                    "%s.%s" % (qual, stmt.name),
+                    findings,
+                )
+                continue
+            if not guarded:
+                attr = self._mutated_attr(stmt, owners)
+                if attr is not None and attr not in lock_attrs:
+                    findings.append(
+                        Finding(
+                            rule_id="LD003",
+                            severity=Severity.WARNING,
+                            message=(
+                                "mutation of shared attribute %r outside "
+                                "a lock-holding scope in a lock-owning "
+                                "class" % attr
+                            ),
+                            path=module.path,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            symbol=qual,
+                        )
+                    )
+            for body in self._nested_bodies(stmt):
+                self._visit_guarded(
+                    body, guarded, lock_attrs, owners, module, qual, findings
+                )
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        bodies: List[List[ast.stmt]] = []
+        for field in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field, None)
+            if isinstance(value, list) and value and isinstance(
+                value[0], ast.stmt
+            ):
+                bodies.append(value)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    @staticmethod
+    def _mutated_attr(
+        stmt: ast.stmt, owners: Set[str]
+    ) -> Optional[str]:
+        """The owned attribute a statement mutates, if any."""
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                attr = _owned_attr(target, owners)
+                if attr is not None:
+                    return attr
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            target = stmt.target
+            attr = _owned_attr(target, owners)
+            if attr is not None and not (
+                isinstance(stmt, ast.AnnAssign) and stmt.value is None
+            ):
+                return attr
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                attr = _owned_attr(target, owners)
+                if attr is not None:
+                    return attr
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in MUTATOR_METHODS
+            ):
+                return _owned_attr(call.func.value, owners)
+        return None

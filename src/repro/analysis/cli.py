@@ -1,0 +1,184 @@
+"""The ``python -m repro.analysis`` command line.
+
+Runs the registered checkers over the given paths, subtracts the
+baseline, prints what remains, and exits non-zero when *new* findings
+exist — which is exactly what CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.checker import registered_checkers, run_analysis
+from repro.analysis.findings import Finding
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The analyzer's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Project-specific static analysis: lock discipline, "
+            "concurrency hygiene, determinism, and docstore invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of accepted findings with justifications",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to accept all current findings, "
+            "keeping existing justifications and dropping stale entries"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule-id prefixes to keep (e.g. LD,DT001)",
+    )
+    parser.add_argument(
+        "--checker",
+        action="append",
+        dest="checkers",
+        default=None,
+        help="run only this checker (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help="also exit non-zero when baseline entries no longer match",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every checker and rule, then exit",
+    )
+    return parser
+
+
+def _list_rules(out: TextIO) -> None:
+    for name, cls in sorted(registered_checkers().items()):
+        out.write("%s — %s\n" % (name, cls.description))
+        for rule_id, text in sorted(cls.rules.items()):
+            out.write("  %s  %s\n" % (rule_id, text))
+
+
+def _render_text(
+    out: TextIO,
+    new: List[Finding],
+    suppressed_count: int,
+    stale: List[str],
+) -> None:
+    for finding in new:
+        out.write(finding.render() + "\n")
+    for fingerprint in stale:
+        out.write(
+            "stale baseline entry (no longer matches): %s\n" % fingerprint
+        )
+    out.write(
+        "%d new finding(s), %d baselined, %d stale baseline entr%s\n"
+        % (
+            len(new),
+            suppressed_count,
+            len(stale),
+            "y" if len(stale) == 1 else "ies",
+        )
+    )
+
+
+def _render_json(
+    out: TextIO,
+    new: List[Finding],
+    suppressed: List[Finding],
+    stale: List[str],
+) -> None:
+    payload = {
+        "findings": [f.as_dict() for f in new],
+        "suppressed": [f.as_dict() for f in suppressed],
+        "staleBaselineEntries": stale,
+        "summary": {
+            "new": len(new),
+            "suppressed": len(suppressed),
+            "stale": len(stale),
+        },
+    }
+    out.write(json.dumps(payload, indent=2) + "\n")
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None
+) -> int:
+    """Run the analyzer; returns the process exit code."""
+    stream: TextIO = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules(stream)
+        return 0
+    root = Path(args.root).resolve()
+    select = (
+        [s for s in args.select.split(",") if s] if args.select else None
+    )
+    findings = run_analysis(
+        args.paths, root=root, select=select, checker_names=args.checkers
+    )
+    baseline = Baseline()
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_absolute():
+            baseline_path = root / baseline_path
+        baseline = Baseline.load(baseline_path)
+    new, suppressed, stale_entries = baseline.split(findings)
+    stale = [entry.fingerprint for entry in stale_entries]
+    if args.write_baseline:
+        if baseline_path is None:
+            stream.write("--write-baseline requires --baseline\n")
+            return 2
+        baseline.updated(findings).save(baseline_path)
+        stream.write(
+            "baseline rewritten: %d entr%s (%d new, %d stale dropped)\n"
+            % (
+                len(findings),
+                "y" if len(findings) == 1 else "ies",
+                len(new),
+                len(stale),
+            )
+        )
+        return 0
+    if args.format == "json":
+        _render_json(stream, new, suppressed, stale)
+    else:
+        _render_text(stream, new, len(suppressed), stale)
+    if new:
+        return 1
+    if stale and args.fail_on_stale:
+        return 1
+    return 0

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.chunk import Chunk, KeyBound, ShardKeyPattern
-from repro.cluster.zones import Zone, ZoneSet
+from repro.cluster.zones import ZoneSet
 from repro.errors import ShardingError
 
 __all__ = ["CollectionMetadata", "ConfigCatalog"]

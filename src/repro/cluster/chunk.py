@@ -8,8 +8,8 @@ closing the ends, exactly as MongoDB represents them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Sequence, Tuple
 
 from repro.docstore import bson
 from repro.docstore.document import MISSING, get_path

@@ -353,7 +353,7 @@ class ShardedCluster:
         """
         metadata = self.catalog.get(collection)
         zone_set = ZoneSet(zones)
-        for shard_id in {z.shard_id for z in zone_set}:
+        for shard_id in sorted({z.shard_id for z in zone_set}):
             if shard_id not in self.shards:
                 raise ShardingError("zone references unknown shard %r" % shard_id)
         for boundary in zone_set.boundaries():
@@ -473,7 +473,7 @@ class ShardedCluster:
             merged.extend(dict(d) for d in col.all_documents())
         return run_pipeline(merged, pipeline)
 
-    # -- introspection ------------------------------------------------------------------
+    # -- introspection ---------------------------------------------------------
 
     def collection_totals(self, collection: str) -> dict:
         """Cluster-wide size/statistics roll-up for one collection."""

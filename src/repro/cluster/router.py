@@ -12,11 +12,10 @@ shard-key field become *broadcast* operations, the behaviour Section
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.cluster.catalog import CollectionMetadata
 from repro.cluster.chunk import Chunk, KeyBound, ShardKeyPattern
-from repro.docstore.index import SCAN_BOTTOM, SCAN_TOP
 from repro.docstore.planner import Interval, QueryShape
 
 __all__ = [

@@ -9,7 +9,7 @@ chunks, are lower-inclusive / upper-exclusive and must not overlap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.cluster.chunk import KeyBound
 from repro.errors import ZoneError

@@ -1,6 +1,11 @@
 """The paper's contribution: Hilbert spatio-temporal keys over a
 document store, with indexing, sharding, zoning, and benchmarking."""
 
+from repro.core.adaptive import (
+    WeightedQuery,
+    configure_workload_aware_zones,
+    workload_aware_boundaries,
+)
 from repro.core.approaches import (
     APPROACH_NAMES,
     Approach,
@@ -11,6 +16,7 @@ from repro.core.approaches import (
     deploy_approach,
     make_approach,
 )
+from repro.core.archival import ArchiveResult, archive_before, restore_archive
 from repro.core.benchmark import (
     MeasurementRun,
     QueryMeasurement,
@@ -18,15 +24,9 @@ from repro.core.benchmark import (
     run_workload,
 )
 from repro.core.encoder import DEFAULT_HILBERT_ORDER, SpatioTemporalEncoder
+from repro.core.knn import KnnResult, knn
 from repro.core.loader import DEFAULT_BATCH_SIZE, BulkLoader
 from repro.core.query import HilbertQueryRendering, SpatioTemporalQuery
-from repro.core.adaptive import (
-    WeightedQuery,
-    configure_workload_aware_zones,
-    workload_aware_boundaries,
-)
-from repro.core.archival import ArchiveResult, archive_before, restore_archive
-from repro.core.knn import KnnResult, knn
 from repro.core.sthash import STHashApproach, STHashEncoder
 from repro.core.trajectories import (
     TrajectoryEncoder,

@@ -19,7 +19,7 @@ balances, and optionally applies zones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cluster.cluster import (
     DEFAULT_CHUNK_MAX_BYTES,

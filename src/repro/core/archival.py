@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cluster.cluster import ShardedCluster
 from repro.docstore.snapshot import value_from_jsonable, value_to_jsonable

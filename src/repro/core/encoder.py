@@ -14,8 +14,8 @@ and, for the ablation study, a Z-order curve drop-in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.geo.geojson import parse_point
 from repro.geo.geometry import BoundingBox

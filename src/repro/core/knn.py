@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, List, Mapping
 
 from repro.core.approaches import Deployment
 from repro.core.query import SpatioTemporalQuery

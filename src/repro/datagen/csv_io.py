@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import datetime as _dt
 import io
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
 
 __all__ = [
     "documents_to_csv",

@@ -11,8 +11,7 @@ preserved exactly.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
-from functools import lru_cache
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.datagen.uniform import S_BBOX, UniformConfig, UniformGenerator

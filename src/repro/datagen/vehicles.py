@@ -21,10 +21,9 @@ This generator reproduces the *properties the evaluation depends on*:
 from __future__ import annotations
 
 import datetime as _dt
-import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
 from repro.geo.geometry import BoundingBox
 

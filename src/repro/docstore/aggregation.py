@@ -10,7 +10,7 @@ computes the even-count shard-key ranges that become zones
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Sequence
 
 from repro.docstore import bson
 from repro.docstore.document import MISSING, get_path, set_path

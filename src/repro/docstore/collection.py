@@ -13,7 +13,7 @@ import itertools
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.docstore.aggregation import run_pipeline
-from repro.docstore.bson import ObjectId, bson_document_size
+from repro.docstore.bson import ObjectId
 from repro.docstore.cursor import Cursor
 from repro.docstore.document import deep_copy_document, get_path
 from repro.docstore.executor import ExecutionStats, execute_plan

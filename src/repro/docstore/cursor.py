@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Mapping, Optional
+from typing import Iterator, List, Mapping, Optional
 
 from repro.docstore import bson
 from repro.docstore.document import MISSING, get_path

@@ -43,9 +43,10 @@ class Database:
 
     def drop_collection(self, name: str) -> None:
         """Remove a collection from the namespace."""
-        if name not in self._collections:
-            raise DocumentStoreError("no collection named %r" % name)
-        del self._collections[name]
+        with self._create_lock:
+            if name not in self._collections:
+                raise DocumentStoreError("no collection named %r" % name)
+            del self._collections[name]
 
     def list_collections(self) -> List[str]:
         """Names of the existing collections."""

@@ -20,14 +20,14 @@ compares safely against the scan sentinels.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from repro.docstore import bson
 from repro.docstore.btree import BPlusTree
 from repro.docstore.document import MISSING, get_path
 from repro.errors import DuplicateKeyError, IndexError_
-from repro.geo.geojson import GeoJSONError, parse_point
+from repro.geo.geojson import GeoJSONError
 from repro.sfc.geohash import GeoHashGrid
 
 __all__ = [

@@ -23,13 +23,11 @@ Supported bound sources, matching the paper's workloads:
 
 from __future__ import annotations
 
-import datetime as _dt
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.docstore import bson
 from repro.docstore.index import (
-    ASCENDING,
     GEOSPHERE,
     HASHED,
     SCAN_BOTTOM,

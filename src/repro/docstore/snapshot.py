@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, Mapping
 
 from repro.docstore.bson import MAXKEY, MINKEY, MaxKey, MinKey, ObjectId
 

@@ -15,9 +15,9 @@ reveals itself within the first hundred keys.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
-from repro.docstore.executor import ExecutionStats, _BoundsChecker
+from repro.docstore.executor import _BoundsChecker
 from repro.docstore.matcher import Matcher
 from repro.docstore.planner import (
     CollScanPlan,

@@ -20,7 +20,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.core.query import SpatioTemporalQuery
 from repro.errors import (
@@ -28,7 +28,7 @@ from repro.errors import (
     ServiceError,
     ServiceOverloadedError,
 )
-from repro.service.metrics import MetricsSnapshot, percentile
+from repro.service.metrics import percentile
 from repro.service.service import QueryService
 
 __all__ = ["LoadGenerator", "LoadReport", "render_workload"]

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import datetime as _dt
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.adaptive import WeightedQuery
 from repro.core.query import SpatioTemporalQuery
@@ -73,8 +73,12 @@ class WorkloadGenerator:
         lo, hi = cfg.box_scale
         width = target.width * rng.uniform(lo, hi)
         height = target.height * rng.uniform(lo, hi)
-        min_lon = rng.uniform(target.min_lon, max(target.min_lon, target.max_lon - width))
-        min_lat = rng.uniform(target.min_lat, max(target.min_lat, target.max_lat - height))
+        min_lon = rng.uniform(
+            target.min_lon, max(target.min_lon, target.max_lon - width)
+        )
+        min_lat = rng.uniform(
+            target.min_lat, max(target.min_lat, target.max_lat - height)
+        )
         return BoundingBox(
             min_lon,
             min_lat,

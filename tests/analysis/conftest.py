@@ -1,0 +1,38 @@
+"""Fixtures for the static-analyzer tests: run one checker on a snippet."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.checker import ModuleInfo, registered_checkers
+
+
+def _check(
+    source,
+    checker_name,
+    path="src/repro/service/fixture.py",
+    package="repro.service.fixture",
+):
+    """Run a single checker over an inline source snippet."""
+    cleaned = textwrap.dedent(source)
+    module = ModuleInfo(
+        path=path,
+        package=package,
+        tree=ast.parse(cleaned),
+        source=cleaned,
+    )
+    checker_cls = registered_checkers()[checker_name]
+    return checker_cls().check(module)
+
+
+@pytest.fixture
+def check():
+    """Callable running one checker over a snippet; returns findings."""
+    return _check
+
+
+@pytest.fixture
+def rule_ids():
+    """Callable reducing findings to their sorted rule-id list."""
+    return lambda findings: sorted(f.rule_id for f in findings)

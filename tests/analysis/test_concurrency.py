@@ -1,0 +1,157 @@
+"""Concurrency-hygiene (CH) rules: bad snippet flagged, fixed clean."""
+
+
+class TestCH001CheckThenAct:
+    def test_unguarded_check_then_act(self, check, rule_ids):
+        source = """
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def ensure(self, name):
+                if name not in self._items:
+                    self._items[name] = build(name)
+                return self._items[name]
+        """
+        ids = rule_ids(check(source, "concurrency"))
+        assert "CH001" in ids
+
+    def test_double_checked_locking_is_clean(self, check):
+        # The Database.collection shape: optimistic read, then
+        # re-check under the creation lock.
+        source = """
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def ensure(self, name):
+                existing = self._items.get(name)
+                if existing is not None:
+                    return existing
+                with self._lock:
+                    if name not in self._items:
+                        self._items[name] = build(name)
+                    return self._items[name]
+        """
+        assert check(source, "concurrency") == []
+
+
+class TestCH002LazyInit:
+    def test_unguarded_lazy_init(self, check, rule_ids):
+        source = """
+        import threading
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._pool = None
+
+            def pool(self):
+                if self._pool is None:
+                    self._pool = build_pool()
+                return self._pool
+        """
+        assert rule_ids(check(source, "concurrency")) == ["CH002"]
+
+    def test_guarded_lazy_init_is_clean(self, check):
+        source = """
+        import threading
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._pool = None
+
+            def pool(self):
+                with self._lock:
+                    if self._pool is None:
+                        self._pool = build_pool()
+                    return self._pool
+        """
+        assert check(source, "concurrency") == []
+
+
+class TestCH003ThreadJoinDiscipline:
+    def test_thread_without_join_or_daemon(self, check, rule_ids):
+        source = """
+        import threading
+
+        def fire_and_forget(work):
+            t = threading.Thread(target=work)
+            t.start()
+        """
+        assert rule_ids(check(source, "concurrency")) == ["CH003"]
+
+    def test_joined_threads_are_clean(self, check):
+        source = """
+        import threading
+
+        def run_clients(work, n):
+            threads = [threading.Thread(target=work) for _ in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        """
+        assert check(source, "concurrency") == []
+
+    def test_daemon_thread_is_clean(self, check):
+        source = """
+        import threading
+
+        def start_reaper(work):
+            t = threading.Thread(target=work, daemon=True)
+            t.start()
+        """
+        assert check(source, "concurrency") == []
+
+
+class TestCH004UnboundedFutureResult:
+    def test_bare_result_on_submitted_future(self, check, rule_ids):
+        source = """
+        def fan_out(pool, fn, shard_ids):
+            futures = [pool.submit(fn, s) for s in shard_ids]
+            return [f.result() for f in futures]
+        """
+        assert rule_ids(check(source, "concurrency")) == ["CH004"]
+
+    def test_result_with_timeout_is_clean(self, check):
+        source = """
+        def fan_out(pool, fn, shard_ids, deadline):
+            futures = [pool.submit(fn, s) for s in shard_ids]
+            return [f.result(timeout=deadline.remaining()) for f in futures]
+        """
+        assert check(source, "concurrency") == []
+
+    def test_chained_submit_result_is_flagged(self, check, rule_ids):
+        source = """
+        def one(pool, fn):
+            return pool.submit(fn).result()
+        """
+        assert rule_ids(check(source, "concurrency")) == ["CH004"]
+
+    def test_result_in_loop_over_futures(self, check, rule_ids):
+        source = """
+        def fan_out(pool, fn, shard_ids):
+            futures = [pool.submit(fn, s) for s in shard_ids]
+            out = []
+            for f in futures:
+                out.append(f.result())
+            return out
+        """
+        assert rule_ids(check(source, "concurrency")) == ["CH004"]
+
+    def test_non_future_result_call_is_ignored(self, check):
+        # Accumulators expose .result() too (docstore aggregation);
+        # only values traced back to submit() count.
+        source = """
+        def finish(accumulators):
+            return {name: acc.result() for name, acc in accumulators.items()}
+        """
+        assert check(source, "concurrency") == []

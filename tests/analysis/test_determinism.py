@@ -1,0 +1,93 @@
+"""Determinism (DT) rules: bad snippet flagged, fixed snippet clean."""
+
+
+class TestDT001UnorderedIteration:
+    def test_iterating_set_call_is_flagged(self, check, rule_ids):
+        source = """
+        def target_shards(chunks):
+            for shard_id in set(c.shard_id for c in chunks):
+                route(shard_id)
+        """
+        assert rule_ids(check(source, "determinism")) == ["DT001"]
+
+    def test_iterating_set_comprehension_is_flagged(self, check, rule_ids):
+        source = """
+        def target_shards(chunks):
+            for shard_id in {c.shard_id for c in chunks}:
+                route(shard_id)
+        """
+        assert rule_ids(check(source, "determinism")) == ["DT001"]
+
+    def test_sorted_iteration_is_clean(self, check):
+        source = """
+        def target_shards(chunks):
+            for shard_id in sorted({c.shard_id for c in chunks}):
+                route(shard_id)
+        """
+        assert check(source, "determinism") == []
+
+    def test_set_in_comprehension_iter_is_flagged(self, check, rule_ids):
+        source = """
+        def plans(indexes):
+            return [plan(i) for i in set(indexes)]
+        """
+        assert rule_ids(check(source, "determinism")) == ["DT001"]
+
+    def test_dict_iteration_is_clean(self, check):
+        # Dicts preserve insertion order; only sets are hash-ordered.
+        source = """
+        def shards(mapping):
+            for shard_id in mapping:
+                route(shard_id)
+        """
+        assert check(source, "determinism") == []
+
+
+class TestDT002ArbitrarySetPop:
+    def test_set_pop_is_flagged(self, check, rule_ids):
+        source = """
+        def pick_winner(stats):
+            names = {s.index_name for s in stats}
+            return names.pop()
+        """
+        assert rule_ids(check(source, "determinism")) == ["DT002"]
+
+    def test_deterministic_pick_is_clean(self, check):
+        source = """
+        def pick_winner(stats):
+            names = {s.index_name for s in stats}
+            return min(names)
+        """
+        assert check(source, "determinism") == []
+
+    def test_list_pop_is_clean(self, check):
+        source = """
+        def take_last(items):
+            stack = list(items)
+            return stack.pop()
+        """
+        assert check(source, "determinism") == []
+
+
+class TestDT003WallClockDurations:
+    def test_time_time_is_flagged(self, check, rule_ids):
+        source = """
+        import time
+
+        def measure(fn):
+            started = time.time()
+            fn()
+            return time.time() - started
+        """
+        assert rule_ids(check(source, "determinism")) == ["DT003", "DT003"]
+
+    def test_perf_counter_is_clean(self, check):
+        source = """
+        import time
+
+        def measure(fn):
+            started = time.perf_counter()
+            fn()
+            return time.perf_counter() - started
+        """
+        assert check(source, "determinism") == []

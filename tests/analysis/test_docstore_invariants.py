@@ -1,0 +1,101 @@
+"""Docstore-invariant (DS) rules: layering and caller-document safety."""
+
+DOCSTORE = dict(
+    path="src/repro/docstore/fixture.py", package="repro.docstore.fixture"
+)
+
+
+class TestDS001Layering:
+    def test_docstore_importing_service_is_flagged(self, check, rule_ids):
+        source = """
+        from repro.service.service import QueryService
+        """
+        assert rule_ids(check(source, "docstore-invariants", **DOCSTORE)) == [
+            "DS001"
+        ]
+
+    def test_docstore_importing_cluster_is_flagged(self, check, rule_ids):
+        source = """
+        import repro.cluster.router
+        """
+        assert rule_ids(check(source, "docstore-invariants", **DOCSTORE)) == [
+            "DS001"
+        ]
+
+    def test_docstore_importing_geo_is_clean(self, check):
+        source = """
+        from repro.geo.geometry import BoundingBox
+        from repro.errors import DocumentStoreError
+        """
+        assert check(source, "docstore-invariants", **DOCSTORE) == []
+
+    def test_service_may_import_docstore(self, check):
+        source = """
+        from repro.docstore.planner import analyze_query
+        from repro.cluster.cluster import ShardedCluster
+        """
+        assert check(source, "docstore-invariants") == []
+
+    def test_cluster_importing_service_is_flagged(self, check, rule_ids):
+        source = """
+        from repro.service.metrics import ServiceMetrics
+        """
+        findings = check(
+            source,
+            "docstore-invariants",
+            path="src/repro/cluster/fixture.py",
+            package="repro.cluster.fixture",
+        )
+        assert rule_ids(findings) == ["DS001"]
+
+
+class TestDS002CallerDocumentMutation:
+    def test_public_entry_point_mutating_document(self, check, rule_ids):
+        source = """
+        class Collection:
+            def insert_one(self, document):
+                document["_id"] = new_object_id()
+                self._store(document)
+        """
+        assert rule_ids(check(source, "docstore-invariants", **DOCSTORE)) == [
+            "DS002"
+        ]
+
+    def test_copy_before_mutation_is_clean(self, check):
+        source = """
+        class Collection:
+            def insert_one(self, document):
+                doc = dict(document)
+                doc["_id"] = new_object_id()
+                self._store(doc)
+        """
+        assert check(source, "docstore-invariants", **DOCSTORE) == []
+
+    def test_mutating_method_call_on_param(self, check, rule_ids):
+        source = """
+        class Collection:
+            def find(self, query):
+                query.pop("$hint", None)
+                return self._execute(query)
+        """
+        assert rule_ids(check(source, "docstore-invariants", **DOCSTORE)) == [
+            "DS002"
+        ]
+
+    def test_private_helpers_are_exempt(self, check):
+        # Internal helpers receive store-owned documents; the contract
+        # covers the public surface only.
+        source = """
+        class Collection:
+            def _apply_update(self, doc, update):
+                doc["x"] = 1
+        """
+        assert check(source, "docstore-invariants", **DOCSTORE) == []
+
+    def test_outside_docstore_is_exempt(self, check):
+        source = """
+        class Driver:
+            def insert_one(self, document):
+                document["_id"] = new_object_id()
+        """
+        assert check(source, "docstore-invariants") == []

@@ -1,0 +1,112 @@
+"""The analyzer against its own repository: the CI gate, as a test.
+
+``python -m repro.analysis src --baseline analysis-baseline.json``
+must exit 0 on the shipped tree, every baseline entry must still
+match a finding and carry a real justification, and the determinism
+contract (no wall-clock durations in the service) must hold with no
+baseline help at all.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import PLACEHOLDER_JUSTIFICATION, Baseline
+from repro.analysis.checker import run_analysis
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return run_analysis(["src"], root=REPO_ROOT)
+
+
+def test_shipped_tree_passes_with_committed_baseline():
+    out = io.StringIO()
+    code = main(
+        ["src", "--root", str(REPO_ROOT), "--baseline", str(BASELINE)],
+        out=out,
+    )
+    assert code == 0, out.getvalue()
+    assert "0 new finding(s)" in out.getvalue()
+
+
+def test_no_stale_baseline_entries(findings):
+    _new, _suppressed, stale = Baseline.load(BASELINE).split(findings)
+    assert stale == [], "baseline entries no longer match: %s" % [
+        e.fingerprint for e in stale
+    ]
+
+
+def test_every_baseline_entry_is_justified():
+    baseline = Baseline.load(BASELINE)
+    assert len(baseline) > 0
+    for entry in baseline.entries.values():
+        assert entry.justification.strip(), (
+            "%s has no justification" % entry.fingerprint
+        )
+        assert entry.justification != PLACEHOLDER_JUSTIFICATION, (
+            "%s still has the placeholder justification" % entry.fingerprint
+        )
+
+
+def test_no_wall_clock_durations_in_service(findings):
+    # Satellite contract: metrics and load generation time with
+    # perf_counter; DT003 must have nothing to say anywhere in src.
+    assert [f for f in findings if f.rule_id == "DT003"] == []
+
+
+def test_no_layering_violations_anywhere(findings):
+    assert [f for f in findings if f.rule_id == "DS001"] == []
+
+
+def test_json_format_reports_suppressed(tmp_path):
+    out = io.StringIO()
+    code = main(
+        [
+            "src/repro/service",
+            "--root",
+            str(REPO_ROOT),
+            "--baseline",
+            str(BASELINE),
+            "--format",
+            "json",
+        ],
+        out=out,
+    )
+    assert code == 0
+    payload = json.loads(out.getvalue())
+    assert payload["summary"]["new"] == 0
+    assert payload["summary"]["suppressed"] > 0
+
+
+def test_unbaselined_finding_fails_the_gate(tmp_path):
+    bad = tmp_path / "leaky.py"
+    bad.write_text(
+        "def serve(lock):\n"
+        "    lock.acquire()\n"
+        "    work()\n"
+        "    lock.release()\n",
+        encoding="utf-8",
+    )
+    out = io.StringIO()
+    code = main(
+        [str(bad), "--root", str(tmp_path), "--baseline", str(BASELINE)],
+        out=out,
+    )
+    assert code == 1
+    assert "LD001" in out.getvalue()
+
+
+def test_list_rules_names_every_rule():
+    out = io.StringIO()
+    assert main(["--list-rules"], out=out) == 0
+    text = out.getvalue()
+    for rule in ("LD001", "LD002", "LD003", "CH001", "CH002", "CH003",
+                 "CH004", "DT001", "DT002", "DT003", "DS001", "DS002"):
+        assert rule in text
