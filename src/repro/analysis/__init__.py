@@ -19,11 +19,18 @@ AST-based checkers and gates CI on them:
   layers (the docstore never sees the cluster or the service), and
   public docstore entry points must not mutate caller-supplied
   documents.
+* ``lock-order`` (LK) — interprocedural: a project call graph
+  propagates held-lock sets across call edges, catching lock-order
+  cycles split across functions, unbounded blocking calls under locks,
+  and acquisitions escaping without a caller-side release.  The
+  resulting graph is cross-validated at runtime by
+  :mod:`repro.sanitizer`.
 
 Pre-existing, deliberately-accepted findings live in
 ``analysis-baseline.json`` with recorded justifications; any *new*
 finding fails CI.  Run ``python -m repro.analysis src --baseline
-analysis-baseline.json``.
+analysis-baseline.json``.  ``--format sarif`` emits SARIF 2.1.0 for
+code-scanning upload.
 """
 
 from __future__ import annotations

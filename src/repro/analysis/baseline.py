@@ -112,6 +112,32 @@ class Baseline:
         ]
         return new, suppressed, stale
 
+    def unjustified_entries(self) -> List[BaselineEntry]:
+        """Entries whose justification is empty or the placeholder.
+
+        A baseline is only a ratchet if every accepted finding records
+        *why* it was accepted; these entries record nothing.
+        """
+        return [
+            entry
+            for _fingerprint, entry in sorted(self.entries.items())
+            if not entry.justification.strip()
+            or entry.justification == PLACEHOLDER_JUSTIFICATION
+        ]
+
+    def missing_file_entries(self, root: Path) -> List[BaselineEntry]:
+        """Entries whose recorded file no longer exists under ``root``.
+
+        These can never match a finding again (the analyzer only
+        reports on files it parsed), so they are dead weight — warned
+        about on every run and dropped by ``--write-baseline``.
+        """
+        return [
+            entry
+            for _fingerprint, entry in sorted(self.entries.items())
+            if entry.path and not (root / entry.path).exists()
+        ]
+
     def updated(self, findings: Sequence[Finding]) -> "Baseline":
         """A baseline accepting exactly the given findings.
 

@@ -20,6 +20,7 @@ from repro.analysis.findings import Finding, Severity, assign_ordinals
 __all__ = [
     "Checker",
     "ModuleInfo",
+    "ProjectChecker",
     "register",
     "registered_checkers",
     "run_analysis",
@@ -51,6 +52,26 @@ class Checker:
 
     def check(self, module: ModuleInfo) -> List[Finding]:
         """Findings this checker raises against one module."""
+        raise NotImplementedError
+
+
+class ProjectChecker(Checker):
+    """A checker that sees the whole project at once.
+
+    Per-module checkers cannot reason about locks acquired in one
+    function and released in another file; subclasses implement
+    :meth:`check_project` and receive every parsed module together,
+    after all per-module checkers ran.
+    """
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Project checkers do not run per module."""
+        return []
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo]
+    ) -> List[Finding]:
+        """Findings raised against the whole module set."""
         raise NotImplementedError
 
 
@@ -145,13 +166,19 @@ def run_analysis(
         registry = {name: registry[name] for name in checker_names}
     checkers = [cls() for _name, cls in sorted(registry.items())]
     findings: List[Finding] = []
+    modules: List[ModuleInfo] = []
     for path in iter_python_files(paths, root_path):
         loaded = load_module(path, root_path)
         if isinstance(loaded, Finding):
             findings.append(loaded)
             continue
+        modules.append(loaded)
         for checker in checkers:
-            findings.extend(checker.check(loaded))
+            if not isinstance(checker, ProjectChecker):
+                findings.extend(checker.check(loaded))
+    for checker in checkers:
+        if isinstance(checker, ProjectChecker):
+            findings.extend(checker.check_project(modules))
     if select:
         findings = [
             f

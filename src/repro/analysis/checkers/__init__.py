@@ -8,10 +8,12 @@ from repro.analysis.checkers.docstore_invariants import (
     DocstoreInvariantsChecker,
 )
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.lockorder import LockOrderChecker
 
 __all__ = [
     "ConcurrencyChecker",
     "DeterminismChecker",
     "DocstoreInvariantsChecker",
     "LockDisciplineChecker",
+    "LockOrderChecker",
 ]

@@ -26,6 +26,50 @@ __all__ = ["DeterminismChecker"]
 
 SET_BUILTINS = {"set", "frozenset"}
 
+#: Builtins whose result does not depend on the order their (sole)
+#: iterable argument is consumed in — a comprehension over a set fed
+#: straight into one of these is deterministic end to end.
+ORDER_INSENSITIVE_CONSUMERS = {
+    "all",
+    "any",
+    "frozenset",
+    "len",
+    "max",
+    "min",
+    "set",
+    "sorted",
+    "sum",
+}
+
+#: Logger methods; ``time.time()`` passed to one is a reported
+#: timestamp, which is exactly what the wall clock is for.
+LOG_METHODS = {
+    "critical",
+    "debug",
+    "error",
+    "exception",
+    "info",
+    "log",
+    "warning",
+}
+
+
+def _is_timestampish(name: str) -> bool:
+    """Whether a name advertises a wall-clock timestamp."""
+    lowered = name.lower()
+    return (
+        "timestamp" in lowered
+        or lowered == "ts"
+        or lowered.endswith("_at")
+    )
+
+
+def _is_time_time(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) == "time.time"
+    )
+
 
 def _is_unordered_expr(node: ast.expr) -> bool:
     """Whether an expression evidently evaluates to a set."""
@@ -82,6 +126,8 @@ class DeterminismChecker(Checker):
     ) -> List[Finding]:
         findings: List[Finding] = []
         set_vars = self._set_variables(func)
+        consumed = self._order_insensitive_comprehensions(func)
+        timestamps = self._wall_clock_timestamps(func)
         for node in walk_within_function(func):
             if isinstance(node, ast.For) and _is_unordered_expr(node.iter):
                 findings.append(
@@ -90,6 +136,11 @@ class DeterminismChecker(Checker):
             elif isinstance(
                 node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
             ):
+                # A SetComp lands in a set again, and a comprehension
+                # consumed whole by sorted()/sum()/... cannot leak the
+                # iteration order either way.
+                if isinstance(node, ast.SetComp) or id(node) in consumed:
+                    continue
                 for gen in node.generators:
                     if _is_unordered_expr(gen.iter):
                         findings.append(
@@ -105,12 +156,73 @@ class DeterminismChecker(Checker):
                 and node.func.value.id in set_vars
             ):
                 findings.append(self._finding("DT002", module, qual, node))
-            elif (
-                isinstance(node, ast.Call)
-                and dotted_name(node.func) == "time.time"
-            ):
+            elif _is_time_time(node) and id(node) not in timestamps:
                 findings.append(self._finding("DT003", module, qual, node))
         return findings
+
+    @staticmethod
+    def _order_insensitive_comprehensions(func: FunctionNode) -> Set[int]:
+        """Comprehensions fed whole into an order-insensitive builtin."""
+        exempt: Set[int] = set()
+        for node in walk_within_function(func):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) in ORDER_INSENSITIVE_CONSUMERS
+                and len(node.args) == 1
+                and isinstance(
+                    node.args[0],
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp),
+                )
+            ):
+                exempt.add(id(node.args[0]))
+        return exempt
+
+    @staticmethod
+    def _wall_clock_timestamps(func: FunctionNode) -> Set[int]:
+        """``time.time()`` calls used as timestamps, not durations.
+
+        DT003 is about durations: the wall clock can jump and make an
+        elapsed-time subtraction negative.  A ``time.time()`` recorded
+        *as a point in time* — logged, or stored under a name that says
+        timestamp — is the wall clock's legitimate job.
+        """
+        exempt: Set[int] = set()
+        for node in walk_within_function(func):
+            if isinstance(node, ast.Call):
+                is_log_call = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in LOG_METHODS
+                ) or dotted_name(node.func) == "print"
+                for arg in node.args:
+                    if _is_time_time(arg) and is_log_call:
+                        exempt.add(id(arg))
+                for keyword in node.keywords:
+                    if _is_time_time(keyword.value) and (
+                        is_log_call
+                        or (
+                            keyword.arg is not None
+                            and _is_timestampish(keyword.arg)
+                        )
+                    ):
+                        exempt.add(id(keyword.value))
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and _is_timestampish(target.id)
+                    and _is_time_time(node.value)
+                ):
+                    exempt.add(id(node.value))
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and _is_timestampish(key.value)
+                        and _is_time_time(value)
+                    ):
+                        exempt.add(id(value))
+        return exempt
 
     def _finding(
         self, rule_id: str, module: ModuleInfo, qual: str, node: ast.AST

@@ -199,6 +199,14 @@ class LockDisciplineChecker(Checker):
                 continue
             if id(node) in exempt:
                 continue
+            # Wrapper delegation: a method named like the acquire it
+            # forwards (``SanitizedLock.acquire`` calling
+            # ``self._inner.acquire()``) or ``__enter__`` (whose
+            # release lives in ``__exit__``) holds the lock *for its
+            # caller* — the caller's unwind path is judged instead.
+            enclosing = getattr(func, "name", None)
+            if enclosing == node.func.attr or enclosing == "__enter__":
+                continue
             balancing = ACQUIRE_TO_RELEASE[node.func.attr]
             if any(name in protected for name in balancing):
                 continue

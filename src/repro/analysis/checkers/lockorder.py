@@ -1,0 +1,162 @@
+"""LK: interprocedural lock-order rules.
+
+Built on :mod:`repro.analysis.lockgraph`, which simulates held-lock
+sets through every function and propagates them across call edges
+(closures included, executor spawns excluded).  These are the rules
+LD001/LD002 structurally cannot express: a cycle whose two halves live
+in different functions, a ``Future.result()`` that blocks three frames
+below the acquisition, an escaping acquisition whose caller forgets
+the balancing ``finally``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.checker import ModuleInfo, ProjectChecker, register
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.lockgraph import analyze_locks
+
+__all__ = ["LockOrderChecker"]
+
+
+def _short(symbol: str) -> str:
+    """Last two dotted components — enough to identify a lock."""
+    return ".".join(symbol.rsplit(".", 2)[-2:])
+
+
+@register
+class LockOrderChecker(ProjectChecker):
+    """Whole-project lock-order analysis (LK rules)."""
+
+    name = "lock-order"
+    description = (
+        "Interprocedural lock-order cycles, blocking calls under "
+        "locks, and unprotected escaping acquisitions."
+    )
+    rules = {
+        "LK001": (
+            "Lock-order cycle across functions: two code paths "
+            "acquire the same locks in opposite orders (potential "
+            "deadlock)."
+        ),
+        "LK002": (
+            "Blocking call (Future.result, Condition.wait, join, "
+            "sleep) with no timeout while locks are held."
+        ),
+        "LK003": (
+            "Call to a function that returns with locks held, without "
+            "a reachable release on the caller's unwind path."
+        ),
+    }
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo]
+    ) -> List[Finding]:
+        analysis = analyze_locks(modules)
+        findings: List[Finding] = []
+        findings.extend(self._cycles(analysis))
+        findings.extend(self._blocking(analysis))
+        findings.extend(self._escapes(analysis))
+        return findings
+
+    def _cycles(self, analysis) -> List[Finding]:
+        findings: List[Finding] = []
+        for cycle in analysis.graph.cycles():
+            legs: List[str] = []
+            witness = None
+            ring = cycle + [cycle[0]] if len(cycle) > 1 else cycle * 2
+            for src, dst in zip(ring, ring[1:]):
+                edge_witness = analysis.graph.witness(src, dst)
+                if edge_witness is None:
+                    continue
+                if witness is None:
+                    witness = edge_witness
+                legs.append(
+                    "%s -> %s at %s:%d (%s)"
+                    % (
+                        _short(src),
+                        _short(dst),
+                        edge_witness.path,
+                        edge_witness.line,
+                        edge_witness.symbol,
+                    )
+                )
+            if witness is None:
+                continue
+            findings.append(
+                Finding(
+                    rule_id="LK001",
+                    severity=Severity.ERROR,
+                    message=(
+                        "potential deadlock: lock-order cycle %s; %s"
+                        % (
+                            " -> ".join(
+                                _short(key) for key in ring
+                            ),
+                            "; ".join(legs),
+                        )
+                    ),
+                    path=witness.path,
+                    line=witness.line,
+                    col=0,
+                    symbol=witness.symbol,
+                )
+            )
+        return findings
+
+    def _blocking(self, analysis) -> List[Finding]:
+        findings: List[Finding] = []
+        for record in analysis.blocking:
+            findings.append(
+                Finding(
+                    rule_id="LK002",
+                    severity=Severity.WARNING,
+                    message=(
+                        "%s while holding %s; a stalled peer holds "
+                        "every waiter behind these locks"
+                        % (
+                            record.desc,
+                            ", ".join(
+                                _short(key) for key in record.held_keys
+                            ),
+                        )
+                    ),
+                    path=record.path,
+                    line=record.line,
+                    col=record.col,
+                    symbol=record.symbol,
+                )
+            )
+        return findings
+
+    def _escapes(self, analysis) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Dict[tuple, bool] = {}
+        for record in analysis.unprotected_escapes:
+            key = (record.path, record.line, record.callee)
+            if key in seen:
+                continue
+            seen[key] = True
+            findings.append(
+                Finding(
+                    rule_id="LK003",
+                    severity=Severity.ERROR,
+                    message=(
+                        "%s returns holding %s but no release is "
+                        "reachable on this call's unwind path; a "
+                        "timeout here leaks the lock"
+                        % (
+                            record.callee.rsplit(".", 1)[-1],
+                            ", ".join(
+                                _short(key) for key in record.keys
+                            ),
+                        )
+                    ),
+                    path=record.path,
+                    line=record.line,
+                    col=record.col,
+                    symbol=record.symbol,
+                )
+            )
+        return findings

@@ -13,9 +13,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
-from repro.analysis.baseline import Baseline
+from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.checker import registered_checkers, run_analysis
 from repro.analysis.findings import Finding
+from repro.analysis.sarif import to_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -55,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -77,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also exit non-zero when baseline entries no longer match",
     )
     parser.add_argument(
+        "--require-justification",
+        action="store_true",
+        help=(
+            "exit non-zero when any baseline entry has an empty or "
+            "placeholder justification"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list every checker and rule, then exit",
@@ -96,12 +105,24 @@ def _render_text(
     new: List[Finding],
     suppressed_count: int,
     stale: List[str],
+    missing: List[BaselineEntry],
+    unjustified: List[BaselineEntry],
 ) -> None:
     for finding in new:
         out.write(finding.render() + "\n")
     for fingerprint in stale:
         out.write(
             "stale baseline entry (no longer matches): %s\n" % fingerprint
+        )
+    for entry in missing:
+        out.write(
+            "warning: baseline entry for missing file %s: %s\n"
+            % (entry.path, entry.fingerprint)
+        )
+    for entry in unjustified:
+        out.write(
+            "baseline entry lacks a justification: %s\n"
+            % entry.fingerprint
         )
     out.write(
         "%d new finding(s), %d baselined, %d stale baseline entr%s\n"
@@ -119,11 +140,15 @@ def _render_json(
     new: List[Finding],
     suppressed: List[Finding],
     stale: List[str],
+    missing: List[BaselineEntry],
+    unjustified: List[BaselineEntry],
 ) -> None:
     payload = {
         "findings": [f.as_dict() for f in new],
         "suppressed": [f.as_dict() for f in suppressed],
         "staleBaselineEntries": stale,
+        "missingFileEntries": [e.fingerprint for e in missing],
+        "unjustifiedEntries": [e.fingerprint for e in unjustified],
         "summary": {
             "new": len(new),
             "suppressed": len(suppressed),
@@ -158,26 +183,44 @@ def main(
         baseline = Baseline.load(baseline_path)
     new, suppressed, stale_entries = baseline.split(findings)
     stale = [entry.fingerprint for entry in stale_entries]
+    missing = baseline.missing_file_entries(root)
+    unjustified = (
+        baseline.unjustified_entries()
+        if args.require_justification
+        else []
+    )
     if args.write_baseline:
         if baseline_path is None:
             stream.write("--write-baseline requires --baseline\n")
             return 2
+        # ``updated`` keeps only entries matching a current finding,
+        # which also drops the missing-file ones: a file the analyzer
+        # never parsed cannot produce findings.
         baseline.updated(findings).save(baseline_path)
         stream.write(
-            "baseline rewritten: %d entr%s (%d new, %d stale dropped)\n"
+            "baseline rewritten: %d entr%s (%d new, %d stale dropped, "
+            "%d for missing files)\n"
             % (
                 len(findings),
                 "y" if len(findings) == 1 else "ies",
                 len(new),
                 len(stale),
+                len(missing),
             )
         )
         return 0
     if args.format == "json":
-        _render_json(stream, new, suppressed, stale)
+        _render_json(stream, new, suppressed, stale, missing, unjustified)
+    elif args.format == "sarif":
+        sarif_log = to_sarif(new, suppressed, baseline)
+        stream.write(json.dumps(sarif_log, indent=2) + "\n")
     else:
-        _render_text(stream, new, len(suppressed), stale)
+        _render_text(
+            stream, new, len(suppressed), stale, missing, unjustified
+        )
     if new:
+        return 1
+    if unjustified:
         return 1
     if stale and args.fail_on_stale:
         return 1

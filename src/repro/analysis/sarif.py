@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 output for the analyzer.
+
+One run, one driver, one result per finding.  Baselined findings are
+included as suppressed results (``suppressions[].kind = "external"``
+carrying the baseline justification) rather than omitted — code
+scanning UIs then show the accepted debt alongside the live findings
+instead of pretending it does not exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.checker import registered_checkers
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif"]
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+TOOL_NAME = "repro-analysis"
+
+#: SARIF ``level`` values for each finding severity.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_catalog() -> List[dict]:
+    """Every registered rule as a SARIF reportingDescriptor."""
+    rules: List[dict] = []
+    for _name, cls in sorted(registered_checkers().items()):
+        for rule_id, text in sorted(cls.rules.items()):
+            rules.append(
+                {
+                    "id": rule_id,
+                    "name": rule_id,
+                    "shortDescription": {"text": text},
+                    "properties": {"checker": cls.name},
+                }
+            )
+    return rules
+
+
+def _result(
+    finding: Finding, baseline: Baseline, suppressed: bool
+) -> dict:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproAnalysis/v1": finding.fingerprint
+        },
+    }
+    if suppressed:
+        entry = baseline.entries.get(finding.fingerprint)
+        suppression: Dict[str, object] = {"kind": "external"}
+        if entry is not None and entry.justification:
+            suppression["justification"] = entry.justification
+        result["suppressions"] = [suppression]
+    return result
+
+
+def to_sarif(
+    new: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    baseline: Baseline,
+) -> dict:
+    """The full SARIF log for one analyzer run."""
+    results = [_result(f, baseline, suppressed=False) for f in new]
+    results.extend(
+        _result(f, baseline, suppressed=True) for f in suppressed
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }

@@ -1,0 +1,35 @@
+"""Runtime lock-order sanitizer.
+
+The static lock-order analysis (:mod:`repro.analysis.lockgraph`) and
+this package check each other: instrumented locks record the per-thread
+acquisition graph while tests and stress runs execute, the sanitizer
+flags cycles, inversions, and long-held read locks live, and
+:func:`~repro.sanitizer.crossval.cross_validate` compares the observed
+graph against the static one.  A runtime edge the analyzer cannot
+explain is an analyzer blind spot and fails the run; a static cycle
+the tests never reproduce must be justified.
+"""
+
+from repro.sanitizer.core import (
+    LockOrderSanitizer,
+    ObservedEdge,
+    SanitizerViolation,
+)
+from repro.sanitizer.crossval import CrossValidationReport, cross_validate
+from repro.sanitizer.instrument import (
+    SHARD_LOCKS_KEY,
+    instrument_query_service,
+)
+from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
+
+__all__ = [
+    "CrossValidationReport",
+    "LockOrderSanitizer",
+    "ObservedEdge",
+    "SHARD_LOCKS_KEY",
+    "SanitizedLock",
+    "SanitizedReadWriteLock",
+    "SanitizerViolation",
+    "cross_validate",
+    "instrument_query_service",
+]

@@ -1,0 +1,109 @@
+"""Cross-validation of the runtime and static lock-order graphs.
+
+The two analyses have complementary blind spots: the static graph
+over-approximates paths that never execute, the runtime graph only
+sees what the workload exercised.  Cross-validation turns each into a
+test of the other:
+
+* a **runtime edge absent from the static graph** means the analyzer
+  failed to model a real code path (its conservative call resolution
+  dropped an edge it should have kept) — that is an analyzer bug and
+  fails the run;
+* a **static cycle never reproduced at runtime** (restricted to
+  instrumented keys, which are the only ones the sanitizer can see)
+  is either a workload gap or a static false positive — it must be
+  listed in ``justified_cycles`` or the run fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+from repro.analysis.lockgraph import LockOrderGraph
+from repro.sanitizer.core import LockOrderSanitizer, ObservedEdge
+
+__all__ = ["CrossValidationReport", "cross_validate"]
+
+
+@dataclass
+class CrossValidationReport:
+    """The outcome of one static-vs-runtime comparison."""
+
+    unexplained_runtime_edges: List[ObservedEdge] = field(
+        default_factory=list
+    )
+    unreproduced_static_cycles: List[List[str]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the two graphs fully explain each other."""
+        return (
+            not self.unexplained_runtime_edges
+            and not self.unreproduced_static_cycles
+        )
+
+    def render(self) -> str:
+        """Human-readable report, one line per discrepancy."""
+        if self.ok:
+            return "cross-validation OK: runtime and static graphs agree"
+        lines: List[str] = []
+        for edge in self.unexplained_runtime_edges:
+            lines.append(
+                "runtime edge %s -> %s (%s) has no static counterpart "
+                "— analyzer blind spot"
+                % (
+                    edge.src,
+                    edge.dst,
+                    "ordered" if edge.ordered else "unordered",
+                )
+            )
+        for cycle in self.unreproduced_static_cycles:
+            lines.append(
+                "static cycle %s was never reproduced at runtime and "
+                "is not justified" % " -> ".join(cycle + [cycle[0]])
+            )
+        return "\n".join(lines)
+
+
+def cross_validate(
+    static_graph: LockOrderGraph,
+    sanitizer: LockOrderSanitizer,
+    instrumented_keys: Iterable[str],
+    justified_cycles: Sequence[Sequence[str]] = (),
+) -> CrossValidationReport:
+    """Compare the sanitizer's observed graph with the static one.
+
+    ``instrumented_keys`` are the lock-registry symbols the runtime
+    could actually observe; static edges outside that set are not
+    expected to show up, and static cycles are only demanded back when
+    every member was instrumented.
+    """
+    instrumented = set(instrumented_keys)
+    report = CrossValidationReport()
+    for edge in sorted(
+        sanitizer.observed_edges(), key=lambda e: (e.src, e.dst)
+    ):
+        if edge.src == edge.dst:
+            explained = static_graph.has_edge(
+                edge.src, edge.dst, ordered=edge.ordered
+            )
+        else:
+            explained = static_graph.has_edge(edge.src, edge.dst)
+        if not explained:
+            report.unexplained_runtime_edges.append(edge)
+    reproduced_keys: Set[str] = {
+        violation.key
+        for violation in sanitizer.violations()
+        if violation.kind in ("lock-order-cycle", "lock-order-inversion")
+    }
+    justified = {tuple(cycle) for cycle in justified_cycles}
+    for cycle in static_graph.cycles(restrict=instrumented):
+        if tuple(cycle) in justified:
+            continue
+        if any(key in reproduced_keys for key in cycle):
+            continue
+        report.unreproduced_static_cycles.append(cycle)
+    return report

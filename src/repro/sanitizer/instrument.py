@@ -1,0 +1,37 @@
+"""Swap a QueryService's shard locks for sanitized ones.
+
+The per-shard RW locks are the service's deadlock surface: they are
+the only locks acquired in multiples, across functions, under
+concurrency.  Instrumenting them keys every wrapper with the *static*
+registry symbol of the collection and ranks members by sorted shard
+id — the same order the service itself must acquire them in — so the
+observed graph lines up key-for-key with the analyzer's.
+"""
+
+from __future__ import annotations
+
+from repro.sanitizer.core import LockOrderSanitizer
+from repro.sanitizer.locks import SanitizedReadWriteLock
+from repro.service.service import QueryService
+
+__all__ = ["SHARD_LOCKS_KEY", "instrument_query_service"]
+
+#: The static lock-registry symbol of the per-shard lock collection;
+#: must match what :mod:`repro.analysis.lockgraph` derives from the
+#: source, or cross-validation would compare disjoint graphs.
+SHARD_LOCKS_KEY = "repro.service.service.QueryService._shard_locks"
+
+
+def instrument_query_service(
+    service: QueryService, sanitizer: LockOrderSanitizer
+) -> QueryService:
+    """Replace the service's shard locks with sanitized wrappers.
+
+    Must run before the service is used — swapping a lock someone
+    already holds would split its waiters across two objects.
+    """
+    for rank, shard_id in enumerate(sorted(service._shard_locks)):
+        service._shard_locks[shard_id] = SanitizedReadWriteLock(
+            sanitizer, SHARD_LOCKS_KEY, rank
+        )
+    return service

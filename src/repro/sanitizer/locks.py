@@ -1,0 +1,89 @@
+"""Instrumented lock wrappers that report to a LockOrderSanitizer.
+
+Drop-in stand-ins for ``threading.Lock`` and
+:class:`~repro.service.locks.ReadWriteLock`: same signatures, same
+blocking semantics, plus a ``note_acquired``/``note_released`` call
+around every successful transition.  Failed (timed-out) acquisitions
+are not recorded — the thread never held the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sanitizer.core import LockOrderSanitizer
+from repro.service.locks import ReadWriteLock
+
+__all__ = ["SanitizedLock", "SanitizedReadWriteLock"]
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` that reports to the sanitizer."""
+
+    def __init__(
+        self,
+        sanitizer: LockOrderSanitizer,
+        key: str,
+        rank: int = 0,
+    ) -> None:
+        self._inner = threading.Lock()
+        self._sanitizer = sanitizer
+        self._key = key
+        self._rank = rank
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the inner lock; note it only when successful."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer.note_acquired(self._key, self._rank, "lock")
+        return acquired
+
+    def release(self) -> None:
+        """Note the release, then release the inner lock."""
+        self._sanitizer.note_released(self._key, self._rank, "lock")
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether the inner lock is currently held by anyone."""
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class SanitizedReadWriteLock(ReadWriteLock):
+    """A :class:`ReadWriteLock` that reports to the sanitizer."""
+
+    def __init__(
+        self,
+        sanitizer: LockOrderSanitizer,
+        key: str,
+        rank: int = 0,
+    ) -> None:
+        super().__init__()
+        self._sanitizer = sanitizer
+        self._key = key
+        self._rank = rank
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        acquired = super().acquire_read(timeout)
+        if acquired:
+            self._sanitizer.note_acquired(self._key, self._rank, "read")
+        return acquired
+
+    def release_read(self) -> None:
+        self._sanitizer.note_released(self._key, self._rank, "read")
+        super().release_read()
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        acquired = super().acquire_write(timeout)
+        if acquired:
+            self._sanitizer.note_acquired(self._key, self._rank, "write")
+        return acquired
+
+    def release_write(self) -> None:
+        self._sanitizer.note_released(self._key, self._rank, "write")
+        super().release_write()

@@ -5,7 +5,11 @@ import textwrap
 
 import pytest
 
-from repro.analysis.checker import ModuleInfo, registered_checkers
+from repro.analysis.checker import (
+    ModuleInfo,
+    module_name_for,
+    registered_checkers,
+)
 
 
 def _check(
@@ -26,10 +30,46 @@ def _check(
     return checker_cls().check(module)
 
 
+def _modules(sources):
+    """Parse ``{path: source}`` snippets into a ModuleInfo list."""
+    if isinstance(sources, str):
+        sources = {"src/repro/service/fixture.py": sources}
+    modules = []
+    for path, source in sorted(sources.items()):
+        cleaned = textwrap.dedent(source)
+        modules.append(
+            ModuleInfo(
+                path=path,
+                package=module_name_for(path),
+                tree=ast.parse(cleaned),
+                source=cleaned,
+            )
+        )
+    return modules
+
+
+def _check_project(sources, checker_name="lock-order"):
+    """Run a project checker over one or more source snippets."""
+    checker_cls = registered_checkers()[checker_name]
+    return checker_cls().check_project(_modules(sources))
+
+
 @pytest.fixture
 def check():
     """Callable running one checker over a snippet; returns findings."""
     return _check
+
+
+@pytest.fixture
+def check_project():
+    """Callable running a project checker over snippet(s)."""
+    return _check_project
+
+
+@pytest.fixture
+def parse_modules():
+    """Callable parsing ``{path: source}`` into ModuleInfo objects."""
+    return _modules
 
 
 @pytest.fixture

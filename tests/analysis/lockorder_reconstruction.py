@@ -1,0 +1,54 @@
+"""A cross-function lock-order inversion, reconstructed.
+
+This is the bug class the interprocedural layer exists for.  Each
+function below is impeccable in isolation: every acquisition is a
+``with`` statement (LD001 silent), no loop acquires multiple locks
+(LD002 silent), every shared attribute is mutated under its lock
+(LD003 silent).  The deadlock only exists *between* functions:
+
+* ``debit``       holds ``ledger_lock`` → calls ``_append_audit``,
+  which takes ``audit_lock``          (edge ledger → audit)
+* ``audit_scan``  holds ``audit_lock``  → calls ``_ledger_snapshot``,
+  which takes ``ledger_lock``         (edge audit → ledger)
+
+Two threads running ``debit`` and ``audit_scan`` concurrently can
+each take their first lock and then block forever on the other's.
+LK001 finds the cycle statically; the runtime sanitizer finds it from
+a *single-threaded, sequential* execution of both paths, because the
+observed acquisition graph is cumulative (lockdep-style) — no actual
+deadlock or adversarial timing is needed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Tuple
+
+
+class TransferLedger:
+    """A toy account ledger with a separate audit trail."""
+
+    def __init__(self) -> None:
+        self.ledger_lock = threading.Lock()
+        self.audit_lock = threading.Lock()
+        self.balance = 0
+        self.audit_trail: List[Tuple[str, int]] = []
+
+    def debit(self, amount: int) -> None:
+        """Withdraw, recording the operation in the audit trail."""
+        with self.ledger_lock:
+            self.balance -= amount
+            self._append_audit("debit", amount)
+
+    def _append_audit(self, op: str, amount: int) -> None:
+        with self.audit_lock:
+            self.audit_trail.append((op, amount))
+
+    def audit_scan(self) -> Tuple[int, int]:
+        """Consistency check: audit length vs. ledger state."""
+        with self.audit_lock:
+            return self._ledger_snapshot()
+
+    def _ledger_snapshot(self) -> Tuple[int, int]:
+        with self.ledger_lock:
+            return (self.balance, len(self.audit_trail))

@@ -1,0 +1,175 @@
+"""Call-graph construction: resolution policy, spawns, closures.
+
+The resolution policy under test is deliberately conservative: a
+fabricated call edge would fabricate lock-order cycles downstream, so
+an ambiguous receiver resolves to *nothing*, not to everything.
+"""
+
+from repro.analysis.callgraph import build_call_graph
+
+SERVICE = """
+class Cluster:
+    def find(self, query):
+        return []
+
+class Service:
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    def find(self, query):
+        return self.cluster.find(query)
+"""
+
+
+def edges_of(graph, caller):
+    return {(e.callee, e.kind) for e in graph.callees(caller)}
+
+
+class TestTypeInformedResolution:
+    def test_attribute_call_uses_receiver_type(self, parse_modules):
+        graph = build_call_graph(parse_modules(SERVICE))
+        assert edges_of(
+            graph, "repro.service.fixture.Service.find"
+        ) == {("repro.service.fixture.Cluster.find", "call")}
+
+    def test_typed_unknown_receiver_produces_no_edge(self, parse_modules):
+        # ``cluster: External`` names a class outside the module set;
+        # the same-named local method must NOT be picked up.
+        source = """
+        class Service:
+            def __init__(self, cluster: "External"):
+                self.cluster = cluster
+
+            def find(self, query):
+                return self.cluster.find(query)
+        """
+        graph = build_call_graph(parse_modules(source))
+        assert edges_of(graph, "repro.service.fixture.Service.find") == set()
+
+    def test_builtin_container_method_produces_no_edge(self, parse_modules):
+        source = """
+        class Cache:
+            def __init__(self):
+                self._entries = {}
+
+            def clear(self):
+                self._entries.clear()
+        """
+        graph = build_call_graph(parse_modules(source))
+        # self._entries.clear() is dict.clear, not Cache.clear.
+        assert edges_of(graph, "repro.service.fixture.Cache.clear") == set()
+
+    def test_unique_untyped_method_name_resolves(self, parse_modules):
+        source = """
+        class Worker:
+            def step(self):
+                return 1
+
+        def run(worker):
+            return worker.step()
+        """
+        graph = build_call_graph(parse_modules(source))
+        assert edges_of(graph, "repro.service.fixture.run") == {
+            ("repro.service.fixture.Worker.step", "call")
+        }
+
+
+class TestSpawnEdges:
+    def test_submit_is_a_spawn_edge(self, parse_modules):
+        source = """
+        class Service:
+            def run(self, pool):
+                pool.submit(self.task)
+
+            def task(self):
+                pass
+        """
+        graph = build_call_graph(parse_modules(source))
+        assert edges_of(graph, "repro.service.fixture.Service.run") == {
+            ("repro.service.fixture.Service.task", "spawn")
+        }
+
+    def test_thread_target_is_a_spawn_edge(self, parse_modules):
+        source = """
+        import threading
+
+        def client_loop():
+            pass
+
+        def run():
+            t = threading.Thread(target=client_loop)
+            t.start()
+        """
+        graph = build_call_graph(parse_modules(source))
+        assert edges_of(graph, "repro.service.fixture.run") == {
+            ("repro.service.fixture.client_loop", "spawn")
+        }
+
+
+class TestClosures:
+    def test_callable_argument_is_a_closure_edge(self, parse_modules):
+        source = """
+        class Service:
+            def apply(self, fn):
+                return fn()
+
+            def run(self):
+                return self.apply(self.task)
+
+            def task(self):
+                pass
+        """
+        graph = build_call_graph(parse_modules(source))
+        assert edges_of(graph, "repro.service.fixture.Service.run") == {
+            ("repro.service.fixture.Service.apply", "call"),
+            ("repro.service.fixture.Service.task", "closure"),
+        }
+
+    def test_lambda_argument_binds_to_callee_param(self, parse_modules):
+        source = """
+        class Service:
+            def apply(self, fn):
+                return fn()
+
+            def run(self):
+                return self.apply(lambda: 1)
+        """
+        graph = build_call_graph(parse_modules(source))
+        calls = graph.calls_by_function["repro.service.fixture.Service.run"]
+        (resolved,) = calls
+        assert resolved.param_binds == (
+            ("fn", "repro.service.fixture.Service.run.<lambda:7>"),
+        )
+
+    def test_returned_nested_function_transfers_closure(self, parse_modules):
+        source = """
+        class Service:
+            def consume(self, mapper):
+                return mapper()
+
+            def make_mapper(self):
+                def mapper():
+                    return 1
+                return mapper
+
+            def run(self):
+                return self.consume(self.make_mapper())
+        """
+        graph = build_call_graph(parse_modules(source))
+        edges = edges_of(graph, "repro.service.fixture.Service.run")
+        assert (
+            "repro.service.fixture.Service.make_mapper.mapper",
+            "closure",
+        ) in edges
+
+    def test_nested_def_call_resolves_in_scope(self, parse_modules):
+        source = """
+        def outer():
+            def helper():
+                return 1
+            return helper()
+        """
+        graph = build_call_graph(parse_modules(source))
+        assert edges_of(graph, "repro.service.fixture.outer") == {
+            ("repro.service.fixture.outer.helper", "call")
+        }

@@ -42,6 +42,42 @@ class TestDT001UnorderedIteration:
         """
         assert check(source, "determinism") == []
 
+    def test_comprehension_wrapped_in_sorted_is_clean(self, check):
+        # Regression: the generator iterates a set, but sorted()
+        # consumes it whole — the output order is deterministic.
+        source = """
+        def plans(indexes):
+            return sorted(plan(i) for i in set(indexes))
+        """
+        assert check(source, "determinism") == []
+
+    def test_comprehension_fed_to_sum_is_clean(self, check):
+        source = """
+        def total(chunks):
+            return sum(c.bytes for c in {c for c in chunks})
+        """
+        assert check(source, "determinism") == []
+
+    def test_set_comprehension_over_a_set_is_clean(self, check):
+        # set in, set out: no order to leak.
+        source = """
+        def ids(chunks):
+            return {c.shard_id for c in set(chunks)}
+        """
+        assert check(source, "determinism") == []
+
+    def test_list_comprehension_over_a_set_is_still_flagged(
+        self, check, rule_ids
+    ):
+        # The consumer exemption must not swallow the real thing: a
+        # bare list keeps the hash order.
+        source = """
+        def plans(indexes):
+            ordered = [plan(i) for i in set(indexes)]
+            return ordered
+        """
+        assert rule_ids(check(source, "determinism")) == ["DT001"]
+
 
 class TestDT002ArbitrarySetPop:
     def test_set_pop_is_flagged(self, check, rule_ids):
@@ -91,3 +127,60 @@ class TestDT003WallClockDurations:
             return time.perf_counter() - started
         """
         assert check(source, "determinism") == []
+
+    def test_logged_wall_clock_is_clean(self, check):
+        # Regression: a timestamp *reported* to a log is the wall
+        # clock's legitimate job; only durations are DT003's business.
+        source = """
+        import time
+
+        def report(logger):
+            logger.info("served at %s", time.time())
+        """
+        assert check(source, "determinism") == []
+
+    def test_timestamp_named_assignment_is_clean(self, check):
+        source = """
+        import time
+
+        def snapshot():
+            created_at = time.time()
+            return created_at
+        """
+        assert check(source, "determinism") == []
+
+    def test_timestamp_dict_key_is_clean(self, check):
+        source = """
+        import time
+
+        def envelope(payload):
+            return {"timestamp": time.time(), "payload": payload}
+        """
+        assert check(source, "determinism") == []
+
+    def test_timestamp_keyword_argument_is_clean(self, check):
+        source = """
+        import time
+
+        def record(sink, event):
+            sink.emit(event, timestamp=time.time())
+        """
+        assert check(source, "determinism") == []
+
+    def test_duration_named_assignment_is_still_flagged(
+        self, check, rule_ids
+    ):
+        # The exemption is by evident-timestamp shape only; anything
+        # else keeps firing.
+        source = """
+        import time
+
+        def measure(fn):
+            started = time.time()
+            fn()
+            return time.time() - started
+        """
+        assert rule_ids(check(source, "determinism")) == [
+            "DT003",
+            "DT003",
+        ]

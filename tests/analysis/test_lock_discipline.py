@@ -112,6 +112,63 @@ class TestLD001ReleaseOnAllPaths:
         """
         assert check(source, "lock-discipline") == []
 
+    def test_wrapper_delegating_acquire_is_clean(self, check):
+        # Regression: an instrumented-lock wrapper whose ``acquire``
+        # forwards to the inner lock holds it *for its caller* — the
+        # caller's unwind path is the one to judge, not the wrapper's.
+        source = """
+        import threading
+
+        class SanitizedLock:
+            def __init__(self):
+                self._inner = threading.Lock()
+
+            def acquire(self, blocking=True):
+                return self._inner.acquire(blocking)
+
+            def release(self):
+                self._inner.release()
+        """
+        assert check(source, "lock-discipline") == []
+
+    def test_enter_exit_pair_is_clean(self, check):
+        # ``__enter__`` acquires, ``__exit__`` releases: the pairing
+        # spans two methods by design.
+        source = """
+        import threading
+
+        class Guard:
+            def __init__(self):
+                self._inner = threading.Lock()
+
+            def __enter__(self):
+                self._inner.acquire()
+                return self
+
+            def __exit__(self, *exc_info):
+                self._inner.release()
+        """
+        assert check(source, "lock-discipline") == []
+
+    def test_differently_named_method_is_still_flagged(
+        self, check, rule_ids
+    ):
+        # The exemption is strictly name-matched: a ``grab`` that
+        # acquires and then does risky work is not a wrapper.
+        source = """
+        import threading
+
+        class Guard:
+            def __init__(self):
+                self._inner = threading.Lock()
+
+            def grab(self):
+                self._inner.acquire()
+                work()
+                self._inner.release()
+        """
+        assert rule_ids(check(source, "lock-discipline")) == ["LD001"]
+
 
 class TestLD002SortedAcquisitionOrder:
     def test_unsorted_multi_lock_loop_is_flagged(self, check, rule_ids):

@@ -108,5 +108,238 @@ def test_list_rules_names_every_rule():
     assert main(["--list-rules"], out=out) == 0
     text = out.getvalue()
     for rule in ("LD001", "LD002", "LD003", "CH001", "CH002", "CH003",
-                 "CH004", "DT001", "DT002", "DT003", "DS001", "DS002"):
+                 "CH004", "DT001", "DT002", "DT003", "DS001", "DS002",
+                 "LK001", "LK002", "LK003"):
         assert rule in text
+
+
+class TestSarifFormat:
+    def test_sarif_log_shape(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "src/repro/service",
+                "--root",
+                str(REPO_ROOT),
+                "--baseline",
+                str(BASELINE),
+                "--format",
+                "sarif",
+            ],
+            out=out,
+        )
+        assert code == 0
+        log = json.loads(out.getvalue())
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"LD001", "LK001", "CH001", "DT001", "DS001"} <= rule_ids
+
+    def test_baselined_findings_are_suppressed_results(self):
+        out = io.StringIO()
+        main(
+            [
+                "src",
+                "--root",
+                str(REPO_ROOT),
+                "--baseline",
+                str(BASELINE),
+                "--format",
+                "sarif",
+            ],
+            out=out,
+        )
+        (run,) = json.loads(out.getvalue())["runs"]
+        suppressed = [
+            r for r in run["results"] if r.get("suppressions")
+        ]
+        assert len(suppressed) == len(run["results"]) > 0
+        for result in suppressed:
+            (suppression,) = result["suppressions"]
+            assert suppression["kind"] == "external"
+            assert suppression["justification"].strip()
+
+    def test_new_findings_carry_no_suppression(self, tmp_path):
+        bad = tmp_path / "leaky.py"
+        bad.write_text(
+            "def serve(lock):\n"
+            "    lock.acquire()\n"
+            "    work()\n"
+            "    lock.release()\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        code = main(
+            [str(bad), "--root", str(tmp_path), "--format", "sarif"],
+            out=out,
+        )
+        assert code == 1
+        (run,) = json.loads(out.getvalue())["runs"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "LD001"
+        assert "suppressions" not in result
+        assert result["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] == 2
+
+
+class TestBaselineHygiene:
+    def _baseline_file(self, tmp_path, justification):
+        target = tmp_path / "leaky.py"
+        target.write_text(
+            "def serve(lock):\n"
+            "    lock.acquire()\n"
+            "    work()\n"
+            "    lock.release()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "fingerprint": (
+                                "LD001::leaky.py::serve::0"
+                            ),
+                            "rule": "LD001",
+                            "path": "leaky.py",
+                            "symbol": "serve",
+                            "justification": justification,
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        return target, baseline
+
+    def test_require_justification_fails_on_empty(self, tmp_path):
+        target, baseline = self._baseline_file(tmp_path, "")
+        out = io.StringIO()
+        code = main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--require-justification",
+            ],
+            out=out,
+        )
+        assert code == 1
+        assert "lacks a justification" in out.getvalue()
+
+    def test_require_justification_fails_on_placeholder(self, tmp_path):
+        target, baseline = self._baseline_file(
+            tmp_path, PLACEHOLDER_JUSTIFICATION
+        )
+        code = main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--require-justification",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 1
+
+    def test_require_justification_passes_when_justified(self, tmp_path):
+        target, baseline = self._baseline_file(
+            tmp_path, "held across the handoff on purpose"
+        )
+        code = main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--require-justification",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 0
+
+    def test_missing_file_entry_warns(self, tmp_path):
+        target, baseline = self._baseline_file(tmp_path, "fine")
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        payload["entries"].append(
+            {
+                "fingerprint": "LD001::gone.py::serve::0",
+                "rule": "LD001",
+                "path": "gone.py",
+                "symbol": "serve",
+                "justification": "file was deleted since",
+            }
+        )
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+        out = io.StringIO()
+        code = main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+            ],
+            out=out,
+        )
+        assert code == 0  # stale alone does not gate without the flag
+        assert "missing file gone.py" in out.getvalue()
+
+    def test_write_baseline_drops_missing_file_entries(self, tmp_path):
+        target, baseline = self._baseline_file(tmp_path, "fine")
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        payload["entries"].append(
+            {
+                "fingerprint": "LD001::gone.py::serve::0",
+                "rule": "LD001",
+                "path": "gone.py",
+                "symbol": "serve",
+                "justification": "file was deleted since",
+            }
+        )
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+        out = io.StringIO()
+        code = main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "1 for missing files" in out.getvalue()
+        rewritten = Baseline.load(baseline)
+        assert list(rewritten.entries) == ["LD001::leaky.py::serve::0"]
+        # The surviving entry keeps its human-written justification.
+        assert [
+            e.justification for e in rewritten.entries.values()
+        ] == ["fine"]
+
+    def test_self_baseline_is_hygienic(self):
+        # The committed baseline must survive its own strictest flags.
+        out = io.StringIO()
+        code = main(
+            [
+                "src",
+                "--root",
+                str(REPO_ROOT),
+                "--baseline",
+                str(BASELINE),
+                "--require-justification",
+                "--fail-on-stale",
+            ],
+            out=out,
+        )
+        assert code == 0, out.getvalue()

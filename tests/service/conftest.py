@@ -7,6 +7,8 @@ import random
 import pytest
 
 from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.sanitizer import LockOrderSanitizer, instrument_query_service
+from repro.service.service import QueryService
 
 
 def build_seeded_cluster(
@@ -31,6 +33,28 @@ def build_seeded_cluster(
     ]
     cluster.insert_many("t", docs)
     return cluster
+
+
+@pytest.fixture(autouse=True)
+def lock_order_sanitizer(monkeypatch):
+    """Run every service test under the runtime lock-order sanitizer.
+
+    Each QueryService constructed during the test gets its shard locks
+    swapped for instrumented wrappers, and teardown fails the test if
+    the accumulated acquisition graph recorded any violation — a
+    lock-order cycle would surface here even if the interleaving that
+    deadlocks never happened to fire.
+    """
+    sanitizer = LockOrderSanitizer()
+    original_init = QueryService.__init__
+
+    def instrumented_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        instrument_query_service(self, sanitizer)
+
+    monkeypatch.setattr(QueryService, "__init__", instrumented_init)
+    yield sanitizer
+    sanitizer.assert_clean()
 
 
 @pytest.fixture

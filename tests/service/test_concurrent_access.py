@@ -182,12 +182,27 @@ class TestTimeoutLockSafety:
         ) as service:
             shard_ids = sorted(service._shard_locks)
             blocker = service._shard_locks[shard_ids[-1]]
-            blocker.acquire_write()
+            parked = threading.Event()
+            unpark = threading.Event()
+
+            def writer():
+                # Park on a dedicated thread: acquiring the last lock
+                # from the query thread itself would be an artificial
+                # rank inversion, not the scenario under test.
+                blocker.acquire_write()
+                parked.set()
+                unpark.wait(timeout=30.0)
+                blocker.release_write()
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            assert parked.wait(timeout=10.0)
             try:
                 with pytest.raises(QueryTimeoutError):
                     service.find("t", {}, timeout_ms=100)
             finally:
-                blocker.release_write()
+                unpark.set()
+                thread.join(timeout=10.0)
             for shard_id in shard_ids:
                 lock = service._shard_locks[shard_id]
                 assert lock.acquire_write(timeout=2.0), (
