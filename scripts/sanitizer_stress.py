@@ -30,7 +30,7 @@ from repro.cluster.cluster import (  # noqa: E402
     ShardedCluster,
 )
 from repro.sanitizer import (  # noqa: E402
-    SHARD_LOCKS_KEY,
+    INSTRUMENTED_KEYS,
     LockOrderSanitizer,
     cross_validate,
     instrument_query_service,
@@ -138,7 +138,7 @@ def main(argv: list | None = None) -> int:
 
     static_graph = build_lock_order_graph(["src"], REPO_ROOT)
     validation = cross_validate(
-        static_graph, sanitizer, [SHARD_LOCKS_KEY]
+        static_graph, sanitizer, INSTRUMENTED_KEYS
     )
     print(validation.render())
     if not validation.ok:

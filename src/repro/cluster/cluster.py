@@ -40,7 +40,12 @@ from repro.cluster.catalog import CollectionMetadata, ConfigCatalog
 from repro.cluster.chunk import Chunk, KeyBound, ShardKeyPattern
 from repro.cluster.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.cluster.metrics import ClusterQueryStats
-from repro.cluster.router import TargetingResult, target_chunks
+from repro.cluster.router import (
+    TargetingCache,
+    TargetingResult,
+    target_chunks,
+    target_chunks_cached,
+)
 from repro.cluster.shard import Shard, shard_key_index_name
 from repro.cluster.zones import Zone, ZoneSet
 from repro.docstore.bson import bson_document_size
@@ -119,6 +124,10 @@ class ShardedCluster:
         #: validate that targeting computed before lock acquisition is
         #: still current.
         self.metadata_version = 0
+        #: Routing-decision memo for the query fast path.  Keys embed
+        #: ``metadata_version``, so every bump above implicitly
+        #: invalidates all cached targeting.
+        self.targeting_cache = TargetingCache()
 
     def _bump_metadata_version(self) -> None:
         self.metadata_version += 1
@@ -381,17 +390,31 @@ class ShardedCluster:
     # -- reads ------------------------------------------------------------------------
 
     def targeting_for(
-        self, collection: str, query: Mapping[str, Any]
+        self,
+        collection: str,
+        query: Optional[Mapping[str, Any]] = None,
+        shape=None,
+        fast_path: bool = True,
     ) -> TargetingResult:
         """The routing decision for a query, without executing it.
 
         Exposes mongos targeting (which shards must participate and
         whether the operation broadcasts) to callers that need it ahead
         of execution — the :mod:`repro.service` frontend acquires its
-        per-shard locks from this before fanning out.
+        per-shard locks from this before fanning out.  Pass ``shape``
+        to reuse an already-analyzed query; ``fast_path=False`` skips
+        the targeting cache.
         """
         metadata = self.catalog.get(collection)
-        return target_chunks(metadata, analyze_query(query))
+        if shape is None:
+            if query is None:
+                raise ShardingError("targeting needs a query or a shape")
+            shape = analyze_query(query)
+        if fast_path:
+            return target_chunks_cached(
+                metadata, shape, self.targeting_cache, self.metadata_version
+            )
+        return target_chunks(metadata, shape)
 
     def find(
         self,
@@ -400,6 +423,10 @@ class ShardedCluster:
         hint: Optional[str] = None,
         max_geo_ranges: Optional[int] = None,
         shard_mapper: Optional[Callable] = None,
+        shape=None,
+        matcher=None,
+        targeting: Optional[TargetingResult] = None,
+        fast_path: bool = True,
     ) -> ClusterFindResult:
         """Route, execute on targeted shards, merge, and account time.
 
@@ -413,13 +440,43 @@ class ShardedCluster:
         modelled execution time is already *max over shards* (the cost
         model's reading of Section 5), which a parallel fan-out now
         matches in wall-clock shape.
+
+        ``shape``/``matcher``/``targeting`` accept precomputed plan
+        pieces (the service's compiled-plan cache supplies them), which
+        must correspond to the same ``query``.  ``fast_path=False``
+        forces the uncached, interpreter-only execution everywhere —
+        the paper-faithful configuration.
         """
+        import time as _time
+
         from repro.docstore.matcher import Matcher
 
+        plan_started = _time.perf_counter()
         metadata = self.catalog.get(collection)
-        shape = analyze_query(query)
-        matcher = Matcher(query)
-        targeting = target_chunks(metadata, shape)
+        if shape is None:
+            shape = analyze_query(query)
+        if matcher is None:
+            matcher = Matcher(query, fast_path=fast_path)
+        if targeting is None:
+            if fast_path:
+                targeting = target_chunks_cached(
+                    metadata,
+                    shape,
+                    self.targeting_cache,
+                    self.metadata_version,
+                )
+            else:
+                targeting = target_chunks(metadata, shape)
+        plan_bounds = None
+        if fast_path and hint is not None and targeting.shard_ids:
+            # Hinted index bounds are shard-independent (definition +
+            # shape only): build them once here instead of once per
+            # targeted shard.
+            first = self.shards[targeting.shard_ids[0]]
+            plan_bounds = first.collection(collection).hinted_bounds(
+                hint, shape, max_geo_ranges
+            )
+        plan_ms = (_time.perf_counter() - plan_started) * 1000.0
         stats = ClusterQueryStats(
             targeted_shards=list(targeting.shard_ids),
             broadcast=targeting.broadcast,
@@ -433,6 +490,8 @@ class ShardedCluster:
                 max_geo_ranges=max_geo_ranges,
                 matcher=matcher,
                 shape=shape,
+                fast_path=fast_path,
+                plan_bounds=plan_bounds,
             )
             return shard_id, result
 
@@ -440,6 +499,7 @@ class ShardedCluster:
             pairs = [run_shard(s) for s in targeting.shard_ids]
         else:
             pairs = list(shard_mapper(run_shard, targeting.shard_ids))
+        merge_started = _time.perf_counter()
         by_shard = dict(pairs)
         documents: List[dict] = []
         for shard_id in targeting.shard_ids:
@@ -449,6 +509,12 @@ class ShardedCluster:
         stats.execution_time_ms = self.cost_model.query_time_ms(
             stats.per_shard
         )
+        merge_ms = (_time.perf_counter() - merge_started) * 1000.0
+        stage_totals = {"plan": plan_ms, "merge": merge_ms}
+        for shard_stats in stats.per_shard.values():
+            for stage, ms in shard_stats.stage_times_ms.items():
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + ms
+        stats.stage_times_ms = stage_totals
         return ClusterFindResult(documents, stats)
 
     def count_documents(self, collection: str, query: Mapping[str, Any]) -> int:

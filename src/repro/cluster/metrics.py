@@ -28,6 +28,11 @@ class ClusterQueryStats:
     targeted_shards: List[str] = field(default_factory=list)
     broadcast: bool = False
     execution_time_ms: float = 0.0
+    #: Wall-clock per pipeline stage (plan/scan/filter/merge), summed
+    #: over shards.  Profiling only — deliberately kept OUT of
+    #: :meth:`as_dict` so the paper-comparable counters and the
+    #: service-vs-library parity checks stay byte-identical.
+    stage_times_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def nodes(self) -> int:

@@ -67,9 +67,13 @@ class Approach:
         return dict(document)
 
     def render_query(
-        self, query: SpatioTemporalQuery
+        self, query: SpatioTemporalQuery, fast_path: bool = True
     ) -> Tuple[Dict[str, Any], float]:
-        """(query document, cell-identification time in ms)."""
+        """(query document, cell-identification time in ms).
+
+        ``fast_path=False`` disables any rendering-level memoization so
+        the decomposition time reflects the real computation (Table 8).
+        """
         raise NotImplementedError
 
     def zone_field(self) -> str:
@@ -92,7 +96,7 @@ class BaselineST(Approach):
         return [([("location", "2dsphere"), ("date", 1)], "location_date")]
 
     def render_query(
-        self, query: SpatioTemporalQuery
+        self, query: SpatioTemporalQuery, fast_path: bool = True
     ) -> Tuple[Dict[str, Any], float]:
         """The baseline query document (no 1D clauses)."""
         return query.to_baseline_query(), 0.0
@@ -117,7 +121,7 @@ class BaselineTS(Approach):
         return [([("date", 1), ("location", "2dsphere")], "date_location")]
 
     def render_query(
-        self, query: SpatioTemporalQuery
+        self, query: SpatioTemporalQuery, fast_path: bool = True
     ) -> Tuple[Dict[str, Any], float]:
         """The baseline query document (no 1D clauses)."""
         return query.to_baseline_query(), 0.0
@@ -171,11 +175,13 @@ class HilbertApproach(Approach):
         return self.encoder.enrich(document)
 
     def render_query(
-        self, query: SpatioTemporalQuery
+        self, query: SpatioTemporalQuery, fast_path: bool = True
     ) -> Tuple[Dict[str, Any], float]:
         """Query with the $or of Hilbert ranges."""
         rendering = query.to_hilbert_query(
-            self.encoder, max_ranges=self.max_query_ranges
+            self.encoder,
+            max_ranges=self.max_query_ranges,
+            fast_path=fast_path,
         )
         return rendering.query, rendering.decomposition_ms
 
@@ -215,11 +221,15 @@ class Deployment:
     zones_enabled: bool = False
 
     def execute(
-        self, query: SpatioTemporalQuery
+        self, query: SpatioTemporalQuery, fast_path: bool = True
     ):
         """Run a spatio-temporal query; returns (result, decomposition_ms)."""
-        rendered, decomposition_ms = self.approach.render_query(query)
-        result = self.cluster.find(self.collection, rendered)
+        rendered, decomposition_ms = self.approach.render_query(
+            query, fast_path=fast_path
+        )
+        result = self.cluster.find(
+            self.collection, rendered, fast_path=fast_path
+        )
         return result, decomposition_ms
 
     def totals(self) -> dict:

@@ -156,9 +156,13 @@ class STHashApproach:
         return self.encoder.enrich(document)
 
     def render_query(
-        self, query: SpatioTemporalQuery
+        self, query: SpatioTemporalQuery, fast_path: bool = True
     ) -> Tuple[Dict[str, Any], float]:
-        """Query with the $or of ST-Hash string ranges."""
+        """Query with the $or of ST-Hash string ranges.
+
+        ST-Hash range computation is not memoized; ``fast_path`` is
+        accepted for signature parity with the other approaches.
+        """
         import time as _time
 
         started = _time.perf_counter()

@@ -16,9 +16,15 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, List, Optional, Tuple
 
-__all__ = ["BPlusTree"]
+__all__ = ["BPlusTree", "BTreeCursor"]
 
 Entry = Tuple[Any, Any]  # (comparable key, payload)
+
+#: Forward seeks scan at most this many leaves along the chain before
+#: giving up and re-descending from the root.  Nearby targets (the
+#: common case for Hilbert range sets, whose ranges cluster) stay
+#: O(skipped leaves); far targets stay O(height).
+_MAX_LEAF_SKIPS = 4
 
 
 class _Leaf:
@@ -209,6 +215,41 @@ class BPlusTree:
             yield from zip(leaf.keys, leaf.payloads)
             leaf = leaf.next
 
+    def cursor(self) -> "BTreeCursor":
+        """A persistent forward cursor supporting repeated seeks."""
+        return BTreeCursor(self)
+
+    def scan_ranges(
+        self, ranges: Iterator[Tuple[Any, Any, bool, bool]]
+    ) -> Iterator[Entry]:
+        """Iterate entries across sorted ``(lo, hi, lo_incl, hi_incl)``
+        ranges with one descent and leaf-to-leaf skips in between.
+
+        Ranges must be ascending and non-overlapping (the planner's
+        interval lists and :class:`~repro.sfc.ranges.RangeSet` both
+        are).  Compared with one :meth:`seek` per range this trades N
+        root-to-leaf descents for bounded next-pointer hops, which is
+        the difference Hilbert ``$or`` plans with thousands of ranges
+        feel.
+        """
+        cursor = self.cursor()
+        for lo, hi, lo_inclusive, hi_inclusive in ranges:
+            cursor.seek(lo)
+            while True:
+                entry = cursor.peek()
+                if entry is None:
+                    return
+                key = entry[0]
+                if not lo_inclusive and key == lo:
+                    cursor.advance()
+                    continue
+                if key > hi or (not hi_inclusive and key == hi):
+                    # Overshoot key stays unconsumed: the next range's
+                    # seek starts from it without re-examining.
+                    break
+                yield entry
+                cursor.advance()
+
     def count_range(
         self,
         lo: Any,
@@ -217,14 +258,12 @@ class BPlusTree:
         hi_inclusive: bool = True,
     ) -> int:
         """Number of entries with lo ≤/< key ≤/< hi (used for costing)."""
-        total = 0
-        for key, _ in self.seek(lo):
-            if not lo_inclusive and key == lo:
-                continue
-            if key > hi or (not hi_inclusive and key == hi):
-                break
-            total += 1
-        return total
+        return sum(
+            1
+            for _ in self.scan_ranges(
+                [(lo, hi, lo_inclusive, hi_inclusive)]
+            )
+        )
 
     def validate(self) -> None:
         """Check structural invariants; raises AssertionError on damage."""
@@ -244,3 +283,80 @@ class BPlusTree:
             assert len(node.children) == len(node.keys) + 1
             for child in node.children:
                 self._validate_node(child)
+
+
+class BTreeCursor:
+    """A forward-only cursor with re-seek support.
+
+    Unlike :meth:`BPlusTree.seek`, which descends from the root every
+    call, a cursor remembers its leaf position; seeking to a nearby
+    larger key walks the leaf chain instead of re-descending.  The
+    peek/advance split lets callers inspect a key without consuming it
+    — :meth:`BPlusTree.scan_ranges` relies on that to hand an overshoot
+    key to the next range (a consuming iterator would either lose it or
+    re-examine it, both of which corrupt ``keysExamined``).
+
+    Seeking backward (to a key at or before the current position) is a
+    no-op by design; every caller seeks monotonically.
+    """
+
+    __slots__ = ("_tree", "_leaf", "_idx", "_started")
+
+    def __init__(self, tree: BPlusTree) -> None:
+        self._tree = tree
+        self._leaf: Optional[_Leaf] = None
+        self._idx = 0
+        self._started = False
+
+    def seek(self, key: Any) -> None:
+        """Position at the first unconsumed entry with key >= ``key``."""
+        if not self._started:
+            self._started = True
+            self._descend(key)
+            return
+        leaf = self._leaf
+        if leaf is None:
+            return  # exhausted: no larger key exists ahead
+        if leaf.keys and not leaf.keys[-1] < key:
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx > self._idx:
+                self._idx = idx
+            return
+        for _ in range(_MAX_LEAF_SKIPS):
+            leaf = leaf.next
+            if leaf is None:
+                self._leaf = None
+                return
+            if leaf.keys and not leaf.keys[-1] < key:
+                self._leaf = leaf
+                self._idx = bisect.bisect_left(leaf.keys, key)
+                return
+        self._descend(key)
+
+    def _descend(self, key: Any) -> None:
+        leaf, idx = self._tree._find_leaf(key)
+        # Duplicates separated by a split can continue in earlier
+        # leaves; back up exactly as BPlusTree.seek does.
+        prev = leaf.prev
+        while prev is not None and prev.keys and prev.keys[-1] >= key:
+            idx = bisect.bisect_left(prev.keys, key)
+            leaf = prev
+            prev = leaf.prev
+        self._leaf = leaf
+        self._idx = idx
+
+    def peek(self) -> Optional[Entry]:
+        """The entry under the cursor without consuming it, or None."""
+        leaf = self._leaf
+        while leaf is not None:
+            if self._idx < len(leaf.keys):
+                self._leaf = leaf
+                return leaf.keys[self._idx], leaf.payloads[self._idx]
+            leaf = leaf.next
+            self._idx = 0
+        self._leaf = None
+        return None
+
+    def advance(self) -> None:
+        """Consume the entry :meth:`peek` returned."""
+        self._idx += 1

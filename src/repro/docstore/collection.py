@@ -15,7 +15,11 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.docstore.aggregation import run_pipeline
 from repro.docstore.bson import ObjectId
 from repro.docstore.cursor import Cursor
-from repro.docstore.document import deep_copy_document, get_path
+from repro.docstore.document import (
+    deep_copy_document,
+    fast_copy_document,
+    get_path,
+)
 from repro.docstore.executor import ExecutionStats, execute_plan
 from repro.docstore.index import Index, IndexDefinition
 from repro.docstore.matcher import Matcher
@@ -221,6 +225,8 @@ class Collection:
         planning: str = "estimate",
         matcher: Optional[Matcher] = None,
         shape=None,
+        fast_path: bool = True,
+        plan_bounds=None,
     ) -> FindResult:
         """Execute a query, returning documents + plan + stats.
 
@@ -229,13 +235,35 @@ class Collection:
         ``"trial"`` races them for a short work budget, as MongoDB's
         optimizer does.  ``matcher``/``shape`` accept pre-compiled
         forms of the same query (the mongos router analyses once and
-        shares with every targeted shard).
+        shares with every targeted shard).  ``plan_bounds`` is the
+        third sharable piece: hinted index bounds depend only on the
+        index *definition* and the query shape, so the router builds
+        them once (see :meth:`hinted_bounds`) instead of once per
+        shard.  ``fast_path=False`` forces the legacy interpreter +
+        per-seek descents (identical results and counters; used for
+        A/B measurement).
         """
+        import time as _time
+
+        plan_started = _time.perf_counter()
         if matcher is None:
-            matcher = Matcher(query)
+            matcher = Matcher(query, fast_path=fast_path)
         if shape is None:
             shape = analyze_query(query)
-        if planning == "trial" and hint is None:
+        if (
+            plan_bounds is not None
+            and hint is not None
+            and hint in self._indexes
+        ):
+            bounds, n_bounded = plan_bounds
+            plan: IndexScanPlan | CollScanPlan = IndexScanPlan(
+                index=self._indexes[hint],
+                bounds=bounds,
+                estimated_cost=0.0,
+                estimated_keys=0.0,
+                n_bounded_fields=n_bounded,
+            )
+        elif planning == "trial" and hint is None:
             from repro.docstore.trial import plan_query_by_trial
 
             plan = plan_query_by_trial(
@@ -258,10 +286,30 @@ class Collection:
             raise DocumentStoreError(
                 "unknown planning mode %r" % (planning,)
             )
-        docs, stats = execute_plan(plan, self._records, matcher)
-        return FindResult(
-            [deep_copy_document(d) for d in docs], stats, plan
+        plan_ms = (_time.perf_counter() - plan_started) * 1000.0
+        docs, stats = execute_plan(
+            plan, self._records, matcher, fast_path=fast_path
         )
+        stats.stage_times_ms["plan"] = plan_ms
+        copy_doc = fast_copy_document if fast_path else deep_copy_document
+        return FindResult([copy_doc(d) for d in docs], stats, plan)
+
+    def hinted_bounds(self, hint: str, shape, max_geo_ranges=None):
+        """``(bounds, n_bounded)`` for the hinted index, or None.
+
+        Bounds depend only on the index definition and the query
+        shape — both identical on every shard of a collection — so the
+        router computes them against one shard and shares the result
+        via ``find_with_stats(plan_bounds=...)``.  Returns None when
+        the hint names no index or the index is unusable; callers then
+        fall back to per-shard planning (and its PlanError parity).
+        """
+        index = self._indexes.get(hint)
+        if index is None:
+            return None
+        from repro.docstore.planner import build_bounds_for_index
+
+        return build_bounds_for_index(index, shape, max_geo_ranges)
 
     def find(
         self,

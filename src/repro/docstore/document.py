@@ -8,6 +8,7 @@ share these helpers.
 from __future__ import annotations
 
 import copy
+import datetime as _dt
 from typing import Any, Iterator, Mapping, MutableMapping, Sequence, Tuple
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "has_path",
     "iter_paths",
     "deep_copy_document",
+    "fast_copy_document",
 ]
 
 
@@ -101,3 +103,76 @@ def iter_paths(
 def deep_copy_document(document: Mapping[str, Any]) -> dict:
     """A deep copy safe to hand to callers without aliasing storage."""
     return copy.deepcopy(dict(document))
+
+
+#: Value types shared between storage and result copies: immutable, so
+#: aliasing them cannot leak mutations back into the store.
+_IMMUTABLE_SCALARS = (
+    str,
+    int,
+    float,
+    bool,
+    bytes,
+    type(None),
+    _dt.datetime,
+    _dt.date,
+)
+
+
+def fast_copy_document(document: Mapping[str, Any]) -> dict:
+    """A structural copy specialized to BSON-shaped documents.
+
+    Produces a result ``==`` to :func:`deep_copy_document` for every
+    document this store holds, but only allocates for the mutable
+    containers (dicts, lists, tuples); scalars — including datetimes
+    and ObjectIds, which are immutable — are shared by reference.
+    ``copy.deepcopy``'s generic memo machinery is the single largest
+    cost of the read hot path, which is why the fast query path
+    (``fast_path=True``) uses this instead.
+    """
+    # Scalars are filtered inline: one membership test instead of a
+    # Python-level call per field, on documents that are mostly flat.
+    return {
+        key: value
+        if type(value) in _IMMUTABLE_SCALAR_SET
+        else _fast_copy_value(value)
+        for key, value in document.items()
+    }
+
+
+_IMMUTABLE_SCALAR_SET = frozenset(_IMMUTABLE_SCALARS)
+
+
+def _fast_copy_value(value: Any) -> Any:
+    # Exact-type set membership first: stored documents hold plain
+    # stdlib values almost exclusively, and one hash lookup beats the
+    # eight-way isinstance sweep below (subclasses still take it).
+    kind = type(value)
+    if kind in _IMMUTABLE_SCALAR_SET:
+        return value
+    if kind is dict:
+        return {
+            k: v
+            if type(v) in _IMMUTABLE_SCALAR_SET
+            else _fast_copy_value(v)
+            for k, v in value.items()
+        }
+    if kind is list:
+        return [
+            v if type(v) in _IMMUTABLE_SCALAR_SET else _fast_copy_value(v)
+            for v in value
+        ]
+    if isinstance(value, _IMMUTABLE_SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {k: _fast_copy_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_fast_copy_value(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_fast_copy_value(v) for v in value)
+    from repro.docstore.bson import ObjectId
+
+    if isinstance(value, ObjectId):
+        return value
+    # Unknown (possibly mutable) type: stay safe.
+    return copy.deepcopy(value)

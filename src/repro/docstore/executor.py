@@ -23,7 +23,8 @@ landing key per seek — the asymmetry Figs. 6 and 13 hinge on.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.docstore.index import SCAN_TOP
@@ -43,6 +44,10 @@ class ExecutionStats:
     seeks: int = 0
     stage: str = ""
     index_name: Optional[str] = None
+    # Wall-clock per stage (plan/scan/filter), kept OUT of as_dict():
+    # as_dict() is compared across execution paths by tests and the
+    # paper-figure pipelines, and timings are never reproducible.
+    stage_times_ms: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         """The counters as an executionStats-like mapping."""
@@ -136,11 +141,19 @@ class _BoundsChecker:
         return "above", None
 
 
-def run_index_scan(plan: IndexScanPlan, stats: ExecutionStats) -> List[int]:
+def run_index_scan(
+    plan: IndexScanPlan, stats: ExecutionStats, fast_path: bool = True
+) -> List[int]:
     """Record ids matching the plan's index bounds, deduplicated.
 
     Deduplication mirrors MongoDB's OR/interval stages: a record id is
     returned once even when several intervals could cover it.
+
+    Both paths examine the identical key sequence — same
+    ``keysExamined``, same ``seeks`` — but the fast path drives one
+    persistent :class:`~repro.docstore.btree.BTreeCursor` across the
+    whole multi-range scan (one descent, then leaf-to-leaf skips)
+    where the legacy path re-descends from the root on every seek.
     """
     tree = plan.index.tree
     checker = _BoundsChecker(plan.bounds)
@@ -148,23 +161,49 @@ def run_index_scan(plan: IndexScanPlan, stats: ExecutionStats) -> List[int]:
     seen: set = set()
 
     seek_key: Optional[Tuple] = checker.start_key()
-    while seek_key is not None:
-        stats.seeks += 1
-        next_seek: Optional[Tuple] = None
-        for key, rid in tree.seek(seek_key):
-            stats.keys_examined += 1
-            verdict, target = checker.check(key)
-            if verdict == "match":
-                if rid not in seen:
-                    seen.add(rid)
-                    rids.append(rid)
-                continue
-            if verdict == "seek":
-                next_seek = target
-            break  # "seek" or "done" both leave the inner walk
-        else:
-            next_seek = None  # cursor exhausted the tree
-        seek_key = next_seek
+    if fast_path:
+        cursor = tree.cursor()
+        while seek_key is not None:
+            stats.seeks += 1
+            cursor.seek(seek_key)
+            next_seek: Optional[Tuple] = None
+            while True:
+                entry = cursor.peek()
+                if entry is None:
+                    break  # cursor exhausted the tree
+                key, rid = entry
+                stats.keys_examined += 1
+                verdict, target = checker.check(key)
+                if verdict == "match":
+                    if rid not in seen:
+                        seen.add(rid)
+                        rids.append(rid)
+                    cursor.advance()
+                    continue
+                if verdict == "seek":
+                    # The failing key stays unconsumed; the next seek
+                    # (strictly greater target) skips past it.
+                    next_seek = target
+                break
+            seek_key = next_seek
+    else:
+        while seek_key is not None:
+            stats.seeks += 1
+            next_seek = None
+            for key, rid in tree.seek(seek_key):
+                stats.keys_examined += 1
+                verdict, target = checker.check(key)
+                if verdict == "match":
+                    if rid not in seen:
+                        seen.add(rid)
+                        rids.append(rid)
+                    continue
+                if verdict == "seek":
+                    next_seek = target
+                break  # "seek" or "done" both leave the inner walk
+            else:
+                next_seek = None  # cursor exhausted the tree
+            seek_key = next_seek
 
     stats.stage = "IXSCAN"
     stats.index_name = plan.index_name
@@ -175,6 +214,7 @@ def execute_plan(
     plan: IndexScanPlan | CollScanPlan,
     records: Mapping[int, Mapping[str, Any]],
     matcher: Matcher,
+    fast_path: bool = True,
 ) -> Tuple[List[Mapping[str, Any]], ExecutionStats]:
     """Execute a plan against the record store and filter residually.
 
@@ -185,14 +225,20 @@ def execute_plan(
     out: List[Mapping[str, Any]] = []
     if isinstance(plan, CollScanPlan):
         stats.stage = "COLLSCAN"
+        started = time.perf_counter()
         for doc in records.values():
             stats.docs_examined += 1
             if matcher.matches(doc):
                 out.append(doc)
+        stats.stage_times_ms["filter"] = (
+            time.perf_counter() - started
+        ) * 1000.0
         stats.n_returned = len(out)
         return out, stats
 
-    rids = run_index_scan(plan, stats)
+    started = time.perf_counter()
+    rids = run_index_scan(plan, stats, fast_path=fast_path)
+    scanned = time.perf_counter()
     for rid in rids:
         doc = records.get(rid)
         if doc is None:
@@ -200,5 +246,9 @@ def execute_plan(
         stats.docs_examined += 1
         if matcher.matches(doc):
             out.append(doc)
+    stats.stage_times_ms["scan"] = (scanned - started) * 1000.0
+    stats.stage_times_ms["filter"] = (
+        time.perf_counter() - scanned
+    ) * 1000.0
     stats.n_returned = len(out)
     return out, stats

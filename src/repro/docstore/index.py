@@ -312,6 +312,16 @@ class Index:
         for key, _rid in self.tree.scan_all():
             yield key
 
+    def scan_ranges(self, ranges):
+        """Yield ``(storage_key, rid)`` across sorted key ranges.
+
+        Thin delegate to :meth:`BPlusTree.scan_ranges`: one descent,
+        then leaf-to-leaf skips between ranges.  ``ranges`` holds
+        ``(lo, hi, lo_inclusive, hi_inclusive)`` tuples of storage-key
+        prefixes, ascending and non-overlapping.
+        """
+        return self.tree.scan_ranges(ranges)
+
     def field_stats(self, position: int) -> Optional[Tuple[float, float]]:
         """Observed numeric (min, max) for a field, or None."""
         return self._field_stats[position]

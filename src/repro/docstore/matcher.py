@@ -186,7 +186,9 @@ class Matcher:
     when the executor filters thousands of fetched documents.
     """
 
-    def __init__(self, query: Mapping[str, Any]) -> None:
+    def __init__(
+        self, query: Mapping[str, Any], fast_path: bool = True
+    ) -> None:
         if not isinstance(query, Mapping):
             raise QueryError("query must be a mapping, got %r" % (query,))
         self._query = query
@@ -197,6 +199,12 @@ class Matcher:
                 compiled = _compile_or_intervals(value)
                 if compiled is not None:
                     self._compiled_ors[id(value)] = compiled
+        self._compiled = None
+        if fast_path:
+            # Imported lazily: the compiler module depends on this one.
+            from repro.docstore.compiler import compile_matcher
+
+            self._compiled = compile_matcher(query, self._compiled_ors)
 
     def _validate(self, query: Mapping[str, Any]) -> None:
         for key, value in query.items():
@@ -216,6 +224,8 @@ class Matcher:
 
     def matches(self, document: Mapping[str, Any]) -> bool:
         """Whether a document satisfies the compiled query."""
+        if self._compiled is not None:
+            return self._compiled(document)
         return self._match_query(self._query, document)
 
     # -- internals ----------------------------------------------------------

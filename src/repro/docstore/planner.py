@@ -522,10 +522,29 @@ def plan_query(
     max_geo_ranges: Optional[int] = None,
 ) -> IndexScanPlan | CollScanPlan:
     """Choose the cheapest plan among usable indexes and COLLSCAN."""
+    if hint is not None:
+        # A hint pins a unique index name, so there is nothing to rank:
+        # skip cost estimation (whose per-interval selectivity sweep is
+        # expensive for fragmented geo coverings) and return the single
+        # usable plan directly.  The estimates are advisory only — no
+        # executor or counter reads them — so zeros are safe here.
+        for index in indexes:
+            if index.name != hint:
+                continue
+            built = build_bounds_for_index(index, shape, max_geo_ranges)
+            if built is None:
+                break
+            bounds, n_bounded = built
+            return IndexScanPlan(
+                index=index,
+                bounds=bounds,
+                estimated_cost=0.0,
+                estimated_keys=0.0,
+                n_bounded_fields=n_bounded,
+            )
+        raise PlanError("hinted index %r is not usable for this query" % hint)
     candidates: List[IndexScanPlan] = []
     for index in indexes:
-        if hint is not None and index.name != hint:
-            continue
         built = build_bounds_for_index(index, shape, max_geo_ranges)
         if built is None:
             continue
@@ -540,10 +559,6 @@ def plan_query(
                 n_bounded_fields=n_bounded,
             )
         )
-    if hint is not None:
-        if not candidates:
-            raise PlanError("hinted index %r is not usable for this query" % hint)
-        return min(candidates, key=lambda p: p.estimated_cost)
     if not candidates:
         return CollScanPlan(estimated_cost=float(collection_size))
     cheapest = min(p.estimated_cost for p in candidates)

@@ -17,19 +17,25 @@ from repro.sanitizer.core import (
 )
 from repro.sanitizer.crossval import CrossValidationReport, cross_validate
 from repro.sanitizer.instrument import (
+    INSTRUMENTED_KEYS,
+    PLAN_CACHE_LOCK_KEY,
     SHARD_LOCKS_KEY,
+    TARGETING_CACHE_LOCK_KEY,
     instrument_query_service,
 )
 from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
 
 __all__ = [
     "CrossValidationReport",
+    "INSTRUMENTED_KEYS",
     "LockOrderSanitizer",
     "ObservedEdge",
+    "PLAN_CACHE_LOCK_KEY",
     "SHARD_LOCKS_KEY",
     "SanitizedLock",
     "SanitizedReadWriteLock",
     "SanitizerViolation",
+    "TARGETING_CACHE_LOCK_KEY",
     "cross_validate",
     "instrument_query_service",
 ]

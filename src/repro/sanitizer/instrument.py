@@ -11,21 +11,46 @@ observed graph lines up key-for-key with the analyzer's.
 from __future__ import annotations
 
 from repro.sanitizer.core import LockOrderSanitizer
-from repro.sanitizer.locks import SanitizedReadWriteLock
+from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
 from repro.service.service import QueryService
 
-__all__ = ["SHARD_LOCKS_KEY", "instrument_query_service"]
+__all__ = [
+    "SHARD_LOCKS_KEY",
+    "PLAN_CACHE_LOCK_KEY",
+    "TARGETING_CACHE_LOCK_KEY",
+    "INSTRUMENTED_KEYS",
+    "instrument_query_service",
+]
 
-#: The static lock-registry symbol of the per-shard lock collection;
+#: The static lock-registry symbols of the instrumented locks; each
 #: must match what :mod:`repro.analysis.lockgraph` derives from the
 #: source, or cross-validation would compare disjoint graphs.
 SHARD_LOCKS_KEY = "repro.service.service.QueryService._shard_locks"
+PLAN_CACHE_LOCK_KEY = "repro.service.plan_cache.PlanCache._lock"
+TARGETING_CACHE_LOCK_KEY = "repro.cluster.router.TargetingCache._lock"
+
+#: Every key :func:`instrument_query_service` can wire up — the set to
+#: hand :func:`~repro.sanitizer.crossval.cross_validate`.
+INSTRUMENTED_KEYS = (
+    SHARD_LOCKS_KEY,
+    PLAN_CACHE_LOCK_KEY,
+    TARGETING_CACHE_LOCK_KEY,
+)
 
 
 def instrument_query_service(
     service: QueryService, sanitizer: LockOrderSanitizer
 ) -> QueryService:
-    """Replace the service's shard locks with sanitized wrappers.
+    """Replace the service's locks with sanitized wrappers.
+
+    Covers the per-shard RW locks plus the fast-path cache locks (plan
+    cache, cluster targeting cache), whose contract is to never nest
+    inside a shard lock — instrumenting them makes any regression of
+    that contract an observed edge the static graph must explain.  The
+    process-global ``DEFAULT_RANGE_CACHE`` lock is deliberately left
+    alone: wiring a per-test sanitizer into global state would leak
+    across services, and that lock is only taken during query
+    *rendering*, before the service is ever entered.
 
     Must run before the service is used — swapping a lock someone
     already holds would split its waiters across two objects.
@@ -34,4 +59,11 @@ def instrument_query_service(
         service._shard_locks[shard_id] = SanitizedReadWriteLock(
             sanitizer, SHARD_LOCKS_KEY, rank
         )
+    if service.plan_cache is not None:
+        service.plan_cache._lock = SanitizedLock(
+            sanitizer, PLAN_CACHE_LOCK_KEY
+        )
+    service.cluster.targeting_cache._lock = SanitizedLock(
+        sanitizer, TARGETING_CACHE_LOCK_KEY
+    )
     return service

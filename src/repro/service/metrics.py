@@ -45,6 +45,12 @@ class MetricsSnapshot:
     max_queue_wait_ms: float
     throughput_qps: float
     plan_cache: Dict[str, float] = field(default_factory=dict)
+    #: Cumulative wall-clock per pipeline stage (plan/scan/filter/
+    #: merge) across every recorded query.
+    stage_totals_ms: Dict[str, float] = field(default_factory=dict)
+    #: Hit/miss counters of the fast-path caches (targeting, range
+    #: decomposition, ...), keyed by cache name.
+    caches: Dict[str, Dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """The snapshot as a JSON-ready mapping."""
@@ -62,6 +68,11 @@ class MetricsSnapshot:
             "maxQueueWaitMs": round(self.max_queue_wait_ms, 3),
             "throughputQps": round(self.throughput_qps, 2),
             "planCache": self.plan_cache,
+            "stages": {
+                stage: round(ms, 3)
+                for stage, ms in sorted(self.stage_totals_ms.items())
+            },
+            "caches": self.caches,
         }
 
 
@@ -78,6 +89,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._latencies_ms: List[float] = []
         self._queue_waits_ms: List[float] = []
+        self._stage_totals_ms: Dict[str, float] = {}
         self.completed = 0
         self.rejected = 0
         self.timed_out = 0
@@ -85,12 +97,27 @@ class ServiceMetrics:
         self._first_at: float | None = None
         self._last_at: float | None = None
 
-    def record_query(self, latency_ms: float, queue_wait_ms: float) -> None:
-        """Record one successfully served read query."""
+    def record_query(
+        self,
+        latency_ms: float,
+        queue_wait_ms: float,
+        stage_times: Dict[str, float] | None = None,
+    ) -> None:
+        """Record one successfully served read query.
+
+        ``stage_times`` carries the per-stage wall-clock breakdown
+        (plan/scan/filter/merge) the execution layer measured; it
+        accumulates into the snapshot's stage totals.
+        """
         now = time.perf_counter()
         with self._lock:
             self._latencies_ms.append(latency_ms)
             self._queue_waits_ms.append(queue_wait_ms)
+            if stage_times:
+                for stage, ms in stage_times.items():
+                    self._stage_totals_ms[stage] = (
+                        self._stage_totals_ms.get(stage, 0.0) + ms
+                    )
             self.completed += 1
             if self._first_at is None:
                 self._first_at = now
@@ -116,6 +143,7 @@ class ServiceMetrics:
         with self._lock:
             self._latencies_ms.clear()
             self._queue_waits_ms.clear()
+            self._stage_totals_ms.clear()
             self.completed = 0
             self.rejected = 0
             self.timed_out = 0
@@ -123,11 +151,21 @@ class ServiceMetrics:
             self._first_at = None
             self._last_at = None
 
-    def snapshot(self, plan_cache_stats: Dict | None = None) -> MetricsSnapshot:
-        """Summarize everything recorded so far."""
+    def snapshot(
+        self,
+        plan_cache_stats: Dict | None = None,
+        caches: Dict[str, Dict] | None = None,
+    ) -> MetricsSnapshot:
+        """Summarize everything recorded so far.
+
+        ``caches`` takes per-cache counter mappings (e.g. targeting
+        and range-decomposition caches) to surface alongside the plan
+        cache's.
+        """
         with self._lock:
             lat = list(self._latencies_ms)
             waits = list(self._queue_waits_ms)
+            stages = dict(self._stage_totals_ms)
             span = 0.0
             if self._first_at is not None and self._last_at is not None:
                 span = self._last_at - self._first_at
@@ -150,4 +188,6 @@ class ServiceMetrics:
                 max_queue_wait_ms=max(waits) if waits else 0.0,
                 throughput_qps=qps,
                 plan_cache=dict(plan_cache_stats or {}),
+                stage_totals_ms=stages,
+                caches=dict(caches or {}),
             )

@@ -18,6 +18,7 @@ uncached, so a hit can never change a query's results or statistics.
 
 from __future__ import annotations
 
+import datetime as _dt
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -25,7 +26,13 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.docstore.planner import QueryShape, analyze_query
 
-__all__ = ["PlanCache", "PlanCacheEntry", "query_shape_key"]
+__all__ = [
+    "PlanCache",
+    "PlanCacheEntry",
+    "CompiledPlan",
+    "query_shape_key",
+    "exact_query_key",
+]
 
 
 def _predicate_signature(path: str, predicate) -> Tuple:
@@ -63,6 +70,94 @@ def query_shape_key(
     return (collection, shape.opaque_or, signature)
 
 
+#: Exact scalar types → the tag :func:`_freeze` gives them (the tag is
+#: the type name, precomputed to skip per-leaf ``__name__`` lookups).
+_SCALAR_NAMES = {
+    t: t.__name__
+    for t in (
+        str,
+        int,
+        float,
+        bool,
+        bytes,
+        type(None),
+        _dt.datetime,
+        _dt.date,
+    )
+}
+
+
+def _freeze(value: Any) -> Tuple:
+    """Hashable, type-discriminated form of a query-document value.
+
+    Tags every leaf with its type name so ``1``, ``1.0``, and ``True``
+    (equal and hash-equal in Python, but matched differently by the
+    type-bracketed BSON comparison) can never share a cache entry.
+    Raises TypeError for unhashable leaves.
+    """
+    kind = type(value)
+    # Exact-type fast lane first: rendered queries are built from
+    # plain dicts/lists and stdlib scalars, so the ABC isinstance
+    # checks below almost never need to run on the hot path.
+    if kind is dict:
+        return (
+            "m",
+            tuple(sorted((k, _freeze(v)) for k, v in value.items())),
+        )
+    if kind is list or kind is tuple:
+        return ("l", tuple(_freeze(v) for v in value))
+    if kind in _SCALAR_NAMES:
+        return (_SCALAR_NAMES[kind], value)
+    if isinstance(value, Mapping):
+        return (
+            "m",
+            tuple(sorted((k, _freeze(v)) for k, v in value.items())),
+        )
+    if isinstance(value, (list, tuple)):
+        return ("l", tuple(_freeze(v) for v in value))
+    hash(value)
+    return (kind.__name__, value)
+
+
+def exact_query_key(
+    collection: str, query: Mapping[str, Any]
+) -> Optional[Tuple]:
+    """A hashable key identifying a full query *document*, or None.
+
+    Unlike :func:`query_shape_key` this keeps the constants: two
+    queries share a key only when byte-for-byte equivalent, which is
+    what lets the fast path reuse a compiled matcher and analyzed
+    shape outright.  Queries holding unhashable custom values are
+    simply uncacheable (returns None).
+    """
+    try:
+        return (collection, _freeze(query))
+    except TypeError:
+        return None
+
+
+@dataclass
+class CompiledPlan:
+    """A fully prepared repeat-query execution: everything the serving
+    path computes per query *before* touching a shard.
+
+    ``matcher`` is a compiled :class:`~repro.docstore.matcher.Matcher`
+    (stateless after construction, safe to share across threads),
+    ``shape`` the analyzed :class:`~repro.docstore.planner.QueryShape`,
+    and ``hint`` the winning index name when one is known.  Targeting
+    is *not* stored here — it depends on chunk placement and lives in
+    the cluster's version-keyed
+    :class:`~repro.cluster.router.TargetingCache`.
+    """
+
+    shape_key: Tuple
+    shape: QueryShape
+    matcher: Any
+    hint: Optional[str]
+    writes_at_creation: int
+    hits: int = 0
+
+
 @dataclass
 class PlanCacheEntry:
     """One cached winning plan."""
@@ -85,11 +180,14 @@ class PlanCache:
         self.max_entries = max_entries
         self.write_invalidation_threshold = write_invalidation_threshold
         self._entries: "OrderedDict[Tuple, PlanCacheEntry]" = OrderedDict()
+        self._compiled: "OrderedDict[Tuple, CompiledPlan]" = OrderedDict()
         self._writes: Dict[str, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.compiled_hits = 0
+        self.compiled_misses = 0
 
     def get(self, key: Tuple) -> Optional[str]:
         """The cached winning index name for a shape key, or None.
@@ -130,24 +228,87 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def get_compiled(self, key: Tuple) -> Optional[CompiledPlan]:
+        """The compiled plan for an exact query key, or None.
+
+        A hit also counts as a plan-cache hit proper (the compiled
+        entry subsumes the shape entry's winning index), so hit-rate
+        accounting stays comparable with the shape-only cache.  The
+        write-volume invalidation rule applies exactly as for shape
+        entries.
+        """
+        collection = key[0]
+        with self._lock:
+            plan = self._compiled.get(key)
+            if plan is not None:
+                written = self._writes.get(collection, 0)
+                if (
+                    written - plan.writes_at_creation
+                    >= self.write_invalidation_threshold
+                ):
+                    del self._compiled[key]
+                    self.evictions += 1
+                    plan = None
+            if plan is None:
+                self.compiled_misses += 1
+                return None
+            plan.hits += 1
+            self.compiled_hits += 1
+            self.hits += 1
+            self._compiled.move_to_end(key)
+            return plan
+
+    def put_compiled(
+        self,
+        key: Tuple,
+        shape_key: Tuple,
+        shape: QueryShape,
+        matcher: Any,
+        hint: Optional[str],
+    ) -> None:
+        """Cache a fully prepared plan for an exact query key."""
+        collection = key[0]
+        with self._lock:
+            self._compiled[key] = CompiledPlan(
+                shape_key=shape_key,
+                shape=shape,
+                matcher=matcher,
+                hint=hint,
+                writes_at_creation=self._writes.get(collection, 0),
+            )
+            self._compiled.move_to_end(key)
+            while len(self._compiled) > self.max_entries:
+                self._compiled.popitem(last=False)
+                self.evictions += 1
+
     def note_writes(self, collection: str, n: int = 1) -> None:
         """Record write volume against a collection."""
         with self._lock:
             self._writes[collection] = self._writes.get(collection, 0) + n
 
     def invalidate_collection(self, collection: str) -> int:
-        """Drop every entry for a collection (index create/drop)."""
+        """Drop every entry for a collection (index create/drop).
+
+        Compiled plans go too: a dropped index invalidates their hint,
+        and a created one may change the winner.
+        """
         with self._lock:
             doomed = [k for k in self._entries if k[0] == collection]
             for k in doomed:
                 del self._entries[k]
-            self.evictions += len(doomed)
-            return len(doomed)
+            doomed_compiled = [
+                k for k in self._compiled if k[0] == collection
+            ]
+            for k in doomed_compiled:
+                del self._compiled[k]
+            self.evictions += len(doomed) + len(doomed_compiled)
+            return len(doomed) + len(doomed_compiled)
 
     def clear(self) -> None:
         """Drop every entry (counters survive)."""
         with self._lock:
             self._entries.clear()
+            self._compiled.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -167,4 +328,7 @@ class PlanCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "hitRate": round(self.hit_rate, 4),
+                "compiledEntries": len(self._compiled),
+                "compiledHits": self.compiled_hits,
+                "compiledMisses": self.compiled_misses,
             }

@@ -45,6 +45,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import ClusterFindResult, ShardedCluster
+from repro.docstore.matcher import Matcher
+from repro.docstore.planner import analyze_query
 from repro.errors import (
     QueryTimeoutError,
     ServiceError,
@@ -52,7 +54,11 @@ from repro.errors import (
 )
 from repro.service.locks import ReadWriteLock
 from repro.service.metrics import ServiceMetrics
-from repro.service.plan_cache import PlanCache, query_shape_key
+from repro.service.plan_cache import (
+    PlanCache,
+    exact_query_key,
+    query_shape_key,
+)
 
 __all__ = ["ServiceConfig", "ServiceFindResult", "QueryService"]
 
@@ -79,6 +85,12 @@ class ServiceConfig:
     plan_cache_size: int = 256
     #: Writes per collection that invalidate its cached plans.
     plan_cache_write_threshold: int = 1000
+    #: Enable the compiled query fast path end to end: compiled-plan
+    #: entries in the plan cache, targeting/range-decomposition memos,
+    #: compiled matchers, multi-range index scans, and structural
+    #: result copies.  ``False`` reproduces the paper-faithful
+    #: interpreter path for A/B comparison.
+    fast_path: bool = True
     #: Sleep each shard subquery for its cost-model time, so
     #: wall-clock matches the modelled deployment's shape.
     simulate_shard_latency: bool = False
@@ -207,6 +219,21 @@ class QueryService:
         """Context-manager exit: shut the pool down."""
         self.shutdown()
 
+    # -- metrics ---------------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """A metrics snapshot bundling every fast-path cache's counters."""
+        from repro.sfc.ranges import DEFAULT_RANGE_CACHE
+
+        caches = {
+            "targeting": self.cluster.targeting_cache.stats(),
+            "rangeDecomposition": DEFAULT_RANGE_CACHE.stats(),
+        }
+        plan_stats = (
+            self.plan_cache.stats() if self.plan_cache is not None else None
+        )
+        return self.metrics.snapshot(plan_stats, caches=caches)
+
     # -- admission -------------------------------------------------------------
 
     def _admit(self) -> None:
@@ -284,13 +311,30 @@ class QueryService:
         started: float,
         queue_wait_ms: float,
     ) -> ServiceFindResult:
+        fast = self.config.fast_path
+        compiled = None
+        exact_key = None
         cache_key = None
         cached_hint: Optional[str] = None
-        if hint is None and self.plan_cache is not None:
-            cache_key = query_shape_key(collection, query)
-            cached_hint = self.plan_cache.get(cache_key)
-        effective_hint = hint if hint is not None else cached_hint
-        locks = self._read_lock_targeted_shards(collection, query, deadline)
+        if fast and hint is None and self.plan_cache is not None:
+            exact_key = exact_query_key(collection, query)
+            if exact_key is not None:
+                compiled = self.plan_cache.get_compiled(exact_key)
+        if compiled is not None:
+            shape = compiled.shape
+            matcher = compiled.matcher
+            cache_key = compiled.shape_key
+            effective_hint = hint if hint is not None else compiled.hint
+        else:
+            if hint is None and self.plan_cache is not None:
+                cache_key = query_shape_key(collection, query)
+                cached_hint = self.plan_cache.get(cache_key)
+            effective_hint = hint if hint is not None else cached_hint
+            shape = analyze_query(query)
+            matcher = Matcher(query, fast_path=fast)
+        locks, targeting = self._read_lock_targeted_shards(
+            collection, query, deadline, shape=shape, fast_path=fast
+        )
         try:
             result = self.cluster.find(
                 collection,
@@ -298,20 +342,43 @@ class QueryService:
                 hint=effective_hint,
                 max_geo_ranges=max_geo_ranges,
                 shard_mapper=self._shard_mapper(deadline),
+                shape=shape,
+                matcher=matcher,
+                targeting=targeting,
+                fast_path=fast,
             )
         finally:
             for lock in locks:
                 lock.release_read()
-        if cache_key is not None and cached_hint is None:
-            self._maybe_cache_plan(cache_key, result)
+        winner: Optional[str] = None
+        if compiled is None and cache_key is not None and cached_hint is None:
+            winner = self._maybe_cache_plan(cache_key, result)
+        if (
+            compiled is None
+            and exact_key is not None
+            and cache_key is not None
+            and self.plan_cache is not None
+        ):
+            plan_hint = effective_hint if effective_hint else winner
+            self.plan_cache.put_compiled(
+                exact_key,
+                shape_key=cache_key,
+                shape=shape,
+                matcher=matcher,
+                hint=plan_hint,
+            )
         latency_ms = (time.perf_counter() - started) * 1000.0
-        self.metrics.record_query(latency_ms, queue_wait_ms)
+        self.metrics.record_query(
+            latency_ms,
+            queue_wait_ms,
+            stage_times=result.stats.stage_times_ms,
+        )
         return ServiceFindResult(
             documents=result.documents,
             stats=result.stats,
             latency_ms=latency_ms,
             queue_wait_ms=queue_wait_ms,
-            plan_cache_hit=cached_hint is not None,
+            plan_cache_hit=compiled is not None or cached_hint is not None,
             hint_used=effective_hint,
         )
 
@@ -320,17 +387,25 @@ class QueryService:
         collection: str,
         query: Mapping[str, Any],
         deadline: _Deadline,
-    ) -> List[ReadWriteLock]:
+        shape=None,
+        fast_path: bool = True,
+    ) -> Tuple[List[ReadWriteLock], Any]:
         """Shared-lock the shards a query targets, consistently.
 
         Targeting runs before any lock is held, so a concurrent write
         could split or migrate chunks in between.  The loop re-checks
         the cluster's ``metadata_version`` once the locks are held and
-        retries when routing moved underneath it.
+        retries when routing moved underneath it.  Returns the held
+        locks *and* the validated targeting, which the caller passes
+        into :meth:`ShardedCluster.find` — recomputing it there would
+        take the targeting cache's lock while shard locks are held,
+        an ordering the lock sanitizer (rightly) refuses.
         """
         for _attempt in range(16):
             version = self.cluster.metadata_version
-            targeting = self.cluster.targeting_for(collection, query)
+            targeting = self.cluster.targeting_for(
+                collection, query, shape=shape, fast_path=fast_path
+            )
             acquired: List[ReadWriteLock] = []
             ok = True
             try:
@@ -347,7 +422,7 @@ class QueryService:
                     lock.release_read()
                 raise
             if ok and self.cluster.metadata_version == version:
-                return acquired
+                return acquired, targeting
             for lock in acquired:
                 lock.release_read()
             if not ok:
@@ -416,20 +491,27 @@ class QueryService:
             f.cancel()
         wait([f for f in futures if not f.cancelled()])
 
-    def _maybe_cache_plan(self, cache_key, result: ClusterFindResult) -> None:
-        """Cache the winning index when every shard agreed on one."""
+    def _maybe_cache_plan(
+        self, cache_key, result: ClusterFindResult
+    ) -> Optional[str]:
+        """Cache the winning index when every shard agreed on one.
+
+        Returns the winner so the caller can seed a compiled plan with
+        the same hint, or None when the shape stays uncached.
+        """
         if self.plan_cache is None or not result.stats.per_shard:
-            return
+            return None
         names = {
             stats.index_name
             for stats in result.stats.per_shard.values()
         }
         if len(names) != 1:
-            return
+            return None
         winner = names.pop()
         if not winner:  # COLLSCAN shards have no index name
-            return
+            return None
         self.plan_cache.put(cache_key, winner)
+        return winner
 
     # -- convenience reads -----------------------------------------------------
 

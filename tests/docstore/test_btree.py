@@ -191,3 +191,123 @@ def test_property_insert_remove_interleaved(ops):
                 assert not removed
     assert [k for k, _ in tree.scan_all()] == sorted(reference)
     tree.validate()
+
+
+def _reference_scan(tree, ranges):
+    """Per-range root descents — the semantics scan_ranges must match."""
+    out = []
+    for lo, hi, lo_inc, hi_inc in ranges:
+        for key, payload in tree.seek(lo):
+            if not lo_inc and key == lo:
+                continue
+            if key > hi or (not hi_inc and key == hi):
+                break
+            out.append((key, payload))
+    return out
+
+
+class TestScanRanges:
+    def test_matches_per_range_seeks(self):
+        tree = build([(k, k) for k in range(0, 200, 2)], order=4)
+        ranges = [(3, 11, True, True), (40, 41, True, True),
+                  (100, 140, True, False)]
+        assert list(tree.scan_ranges(ranges)) == _reference_scan(
+            tree, ranges
+        )
+
+    def test_exclusive_bounds(self):
+        tree = build([(k, None) for k in range(10)], order=4)
+        got = [k for k, _ in tree.scan_ranges([(2, 6, False, False)])]
+        assert got == [3, 4, 5]
+
+    def test_overshoot_key_feeds_next_range(self):
+        # After range [0, 3] the cursor has peeked key 4 (the
+        # overshoot); range [4, 5] must still yield it.
+        tree = build([(k, None) for k in range(10)], order=4)
+        got = [
+            k
+            for k, _ in tree.scan_ranges(
+                [(0, 3, True, True), (4, 5, True, True)]
+            )
+        ]
+        assert got == [0, 1, 2, 3, 4, 5]
+
+    def test_duplicate_keys_across_leaf_splits(self):
+        entries = [(5, i) for i in range(30)] + [(7, "x"), (3, "y")]
+        tree = build(entries, order=4)
+        got = list(tree.scan_ranges([(5, 5, True, True)]))
+        assert [k for k, _ in got] == [5] * 30
+        assert sorted(p for _, p in got) == sorted(range(30))
+
+    def test_empty_ranges_between_keys(self):
+        tree = build([(k, None) for k in (1, 10, 20)], order=4)
+        got = [
+            k
+            for k, _ in tree.scan_ranges(
+                [(2, 9, True, True), (11, 19, True, True),
+                 (20, 25, True, True)]
+            )
+        ]
+        assert got == [20]
+
+    def test_randomized_against_reference(self):
+        rng = random.Random(42)
+        keys = [rng.randrange(0, 500) for _ in range(300)]
+        tree = build([(k, i) for i, k in enumerate(keys)], order=4)
+        for _ in range(25):
+            cuts = sorted(rng.sample(range(0, 510), 6))
+            ranges = [
+                (
+                    cuts[i],
+                    cuts[i + 1] - 1,
+                    rng.random() < 0.5,
+                    rng.random() < 0.5,
+                )
+                for i in range(0, 6, 2)
+                if cuts[i] <= cuts[i + 1] - 1
+            ]
+            assert list(tree.scan_ranges(ranges)) == _reference_scan(
+                tree, ranges
+            ), ranges
+
+
+class TestCursor:
+    def test_seek_peek_advance(self):
+        tree = build([(k, k) for k in range(0, 20, 2)], order=4)
+        cur = tree.cursor()
+        cur.seek(5)
+        assert cur.peek() == (6, 6)
+        cur.advance()
+        assert cur.peek() == (8, 8)
+
+    def test_backward_seek_is_noop(self):
+        tree = build([(k, None) for k in range(10)], order=4)
+        cur = tree.cursor()
+        cur.seek(7)
+        cur.seek(2)  # must not move backward
+        assert cur.peek()[0] == 7
+
+    def test_seek_past_end_exhausts(self):
+        tree = build([(k, None) for k in range(5)], order=4)
+        cur = tree.cursor()
+        cur.seek(100)
+        assert cur.peek() is None
+        cur.seek(0)  # exhausted cursors stay exhausted
+        assert cur.peek() is None
+
+    def test_nearby_seek_walks_leaf_chain(self):
+        # Monotone seeks across many leaves must agree with fresh
+        # root descents at every step.
+        tree = build([(k, k) for k in range(200)], order=4)
+        cur = tree.cursor()
+        for target in range(0, 200, 7):
+            cur.seek(target)
+            expect = next(iter(tree.seek(target)), None)
+            assert cur.peek() == expect
+
+    def test_far_seek_redescends(self):
+        tree = build([(k, k) for k in range(5000)], order=4)
+        cur = tree.cursor()
+        cur.seek(1)
+        cur.seek(4998)  # beyond _MAX_LEAF_SKIPS leaf hops
+        assert cur.peek() == (4998, 4998)

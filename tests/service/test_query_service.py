@@ -95,6 +95,41 @@ class TestPlanCacheIntegration:
             service.drop_index("t", "group_1")
             assert not service.find("t", QUERY).plan_cache_hit
 
+    def test_compiled_plan_not_served_across_drop_index(
+        self, seeded_cluster
+    ):
+        # The exact-query compiled plan carries the winning index as
+        # its hint; serving it after that index is dropped would hint
+        # a nonexistent index (PlanError) or, worse, replay stale
+        # bounds.  DDL must retire compiled entries with the shapes.
+        with QueryService(seeded_cluster) as service:
+            service.create_index("t", [("group", 1)], name="group_1")
+            first = service.find("t", BROADCAST)
+            assert service.find("t", BROADCAST).plan_cache_hit
+            assert service.plan_cache.stats()["compiledEntries"] >= 1
+            service.drop_index("t", "group_1")
+            assert service.plan_cache.stats()["compiledEntries"] == 0
+            after = service.find("t", BROADCAST)
+            assert not after.plan_cache_hit
+            assert [d["_id"] for d in after.documents] == [
+                d["_id"] for d in first.documents
+            ]
+            # And the rebuilt compiled plan serves hits again.
+            assert service.find("t", BROADCAST).plan_cache_hit
+
+    def test_compiled_hit_reuses_exact_query(self, seeded_cluster):
+        with QueryService(seeded_cluster) as service:
+            service.find("t", QUERY)
+            before = service.plan_cache.stats()["compiledHits"]
+            repeat = service.find("t", QUERY)
+            assert repeat.plan_cache_hit
+            assert service.plan_cache.stats()["compiledHits"] == before + 1
+            # Same shape, different constants: not an exact hit, but
+            # still a shape-level hit.
+            other = service.find("t", {"k": {"$gte": 1001, "$lt": 5001}})
+            assert other.plan_cache_hit
+            assert service.plan_cache.stats()["compiledHits"] == before + 1
+
     def test_cache_disabled(self, seeded_cluster):
         config = ServiceConfig(plan_cache_enabled=False)
         with QueryService(seeded_cluster, config) as service:

@@ -132,6 +132,42 @@ class TestRangeSet:
         assert rs.contains(7)
         assert not rs.contains(6)
 
+    def test_touching_ranges_coalesce(self):
+        # [1, 5] and [6, 9] cover one contiguous curve interval; the
+        # decomposition must emit a single clause for it.
+        rs = RangeSet.from_ranges([CurveRange(1, 5), CurveRange(6, 9)])
+        assert rs.ranges == (CurveRange(1, 9),)
+        assert rs.singles == ()
+
+    def test_overlapping_and_contained_ranges_coalesce(self):
+        rs = RangeSet.from_ranges(
+            [CurveRange(1, 8), CurveRange(3, 5), CurveRange(7, 12)]
+        )
+        assert rs.ranges == (CurveRange(1, 12),)
+        assert rs.singles == ()
+
+    def test_single_touching_range_coalesces(self):
+        # A one-cell range adjacent to an interval joins it rather
+        # than surviving as a separate $in member.
+        rs = RangeSet.from_ranges([CurveRange(1, 5), CurveRange(6, 6)])
+        assert rs.ranges == (CurveRange(1, 6),)
+        assert rs.singles == ()
+
+    def test_adjacent_singles_coalesce_into_range(self):
+        rs = RangeSet.from_ranges(
+            [CurveRange(4, 4), CurveRange(5, 5), CurveRange(9, 9)]
+        )
+        assert rs.ranges == (CurveRange(4, 5),)
+        assert rs.singles == (9,)
+
+    def test_coalescing_is_order_independent(self):
+        pieces = [CurveRange(6, 9), CurveRange(1, 5), CurveRange(11, 11)]
+        forward = RangeSet.from_ranges(pieces)
+        backward = RangeSet.from_ranges(list(reversed(pieces)))
+        assert forward == backward
+        assert forward.ranges == (CurveRange(1, 9),)
+        assert forward.singles == (11,)
+
     def test_all_ranges_sorted(self):
         rs = RangeSet.from_ranges(
             [CurveRange(9, 12), CurveRange(7, 7), CurveRange(1, 5)]
