@@ -1,0 +1,208 @@
+"""Live-ingest benchmark over the durable (WAL + LSM) write path.
+
+Standalone script (not part of the pytest bench suite): deploys the
+paper's hil approach with an LSM engine mounted under every shard,
+streams fleet GPS documents in while the Q^s/Q^b workload runs
+(:class:`repro.workloads.StreamingIngest`), then kills and recovers
+the deployment to time WAL replay.  Reports:
+
+* ingest throughput (docs/sec) for the durable engine at each fsync
+  policy, and for the in-memory baseline (``durability=None``);
+* read latency *under* ingest, per query label;
+* recovery time — close the cluster, reopen from the same directory,
+  replay the WAL — and document-count agreement after recovery;
+* result parity: the quiesced query counts on the recovered
+  deployment must equal the pre-shutdown counts.
+
+Writes ``BENCH_ingest.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import COLLECTION, deploy_approach, make_approach
+from repro.docstore.lsm import SYNC_ALWAYS, SYNC_BATCH, DurabilityConfig
+from repro.workloads import IngestConfig, StreamingIngest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_ingest.json"
+
+N_SHARDS = 4
+
+
+def build_deployment(durability, n_seed_docs):
+    """hil on a small cluster, seeded so queries have data at t=0."""
+    from repro.datagen import FleetConfig, FleetGenerator
+
+    docs = FleetGenerator(
+        FleetConfig(n_vehicles=20, seed=7)
+    ).generate_list(n_seed_docs)
+    return deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=N_SHARDS),
+        chunk_max_bytes=64 * 1024,
+        durability=durability,
+    )
+
+
+def run_ingest(durability, ingest_config, n_seed_docs):
+    """One configuration: deploy, stream, report."""
+    deployment = build_deployment(durability, n_seed_docs)
+    try:
+        scenario = StreamingIngest(deployment, ingest_config)
+        report = scenario.run()
+        total = deployment.cluster.count_documents(COLLECTION, {})
+        return deployment, report, total
+    except BaseException:
+        deployment.cluster.close()
+        raise
+
+
+def recovery_pass(directory, durability, expected_counts, expected_total):
+    """Reopen the engines from disk; time the WAL replay.
+
+    A fresh cluster cannot re-derive the chunk routing of the old one,
+    so recovery is measured at the layer that owns the data: each
+    shard's database is reopened from the same directory and the
+    recovered per-shard document counts are compared against the
+    pre-shutdown ones.
+    """
+    from repro.docstore.database import Database
+
+    t0 = time.perf_counter()
+    recovered_total = 0
+    recovered_dbs = []
+    for shard_dir in sorted(directory.iterdir()):
+        if not shard_dir.is_dir():
+            continue
+        db = Database(
+            shard_dir.name,
+            durability=DurabilityConfig(
+                directory=str(shard_dir), sync=durability.sync
+            ),
+        )
+        recovered_dbs.append(db)
+        for name in [p.name for p in shard_dir.iterdir() if p.is_dir()]:
+            recovered_total += len(db.collection(name))
+    elapsed = time.perf_counter() - t0
+    for db in recovered_dbs:
+        db.close()
+    return {
+        "recoverySeconds": round(elapsed, 4),
+        "recoveredDocs": recovered_total,
+        "expectedDocs": expected_total,
+        "recoveredAll": recovered_total == expected_total,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small dataset and short runs (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    n_seed = 1_000 if args.quick else 4_000
+    n_stream = 3_000 if args.quick else 20_000
+    batch = 250 if args.quick else 1_000
+    ingest_config = IngestConfig(
+        n_docs=n_stream, batch_size=batch, n_vehicles=30, seed=42
+    )
+
+    rows = []
+
+    # In-memory baseline: same stream, no WAL, no LSM.
+    print("baseline (in-memory) ingest of %d docs..." % n_stream)
+    deployment, report, _ = run_ingest(None, ingest_config, n_seed)
+    base_row = report.as_dict()
+    base_row["label"] = "memory"
+    base_row["sync"] = None
+    rows.append(base_row)
+    baseline_counts = dict(report.final_counts)
+    deployment.cluster.close()
+    print("  %.0f docs/sec" % report.docs_per_second)
+
+    recovery = None
+    parity_ok = True
+    for sync in (SYNC_BATCH, SYNC_ALWAYS):
+        workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench_ingest_"))
+        try:
+            durability = DurabilityConfig(
+                directory=str(workdir),
+                sync=sync,
+                memtable_max_bytes=512 * 1024,
+            )
+            print("durable ingest (sync=%s) of %d docs..." % (sync, n_stream))
+            deployment, report, total = run_ingest(
+                durability, ingest_config, n_seed
+            )
+            row = report.as_dict()
+            row["label"] = "lsm-%s" % sync
+            row["sync"] = sync
+            rows.append(row)
+            print("  %.0f docs/sec" % report.docs_per_second)
+            # The durable engine must serve the same answers as the
+            # in-memory baseline: same documents in, same counts out.
+            if report.final_counts != baseline_counts:
+                parity_ok = False
+                print(
+                    "  PARITY MISMATCH: %r != %r"
+                    % (report.final_counts, baseline_counts)
+                )
+            deployment.cluster.close()
+            if sync == SYNC_BATCH:
+                print("recovery: reopening engines from %s..." % workdir)
+                recovery = recovery_pass(
+                    workdir, durability, report.final_counts, total
+                )
+                print(
+                    "  replayed %d docs in %.3fs"
+                    % (recovery["recoveredDocs"], recovery["recoverySeconds"])
+                )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    baseline_dps = rows[0]["docsPerSecond"]
+    durable_dps = rows[1]["docsPerSecond"]
+    out = {
+        "benchmark": "ingest",
+        "quick": args.quick,
+        "nSeedDocs": n_seed,
+        "nStreamDocs": n_stream,
+        "batchSize": batch,
+        "nShards": N_SHARDS,
+        "configs": rows,
+        "recovery": recovery,
+        "resultParity": parity_ok,
+        "durableVsMemoryRatio": round(
+            durable_dps / baseline_dps, 3
+        ) if baseline_dps else None,
+    }
+    OUT_PATH.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print("wrote %s" % OUT_PATH)
+
+    failures = []
+    if not parity_ok:
+        failures.append("durable result counts diverge from in-memory")
+    if recovery is None or not recovery["recoveredAll"]:
+        failures.append("recovery lost documents")
+    if durable_dps <= 0:
+        failures.append("durable ingest made no progress")
+    for failure in failures:
+        print("FAIL: %s" % failure)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from repro.cluster.router import (
 from repro.cluster.shard import Shard, shard_key_index_name
 from repro.cluster.zones import Zone, ZoneSet
 from repro.docstore.bson import bson_document_size
+from repro.docstore.lsm import DurabilityConfig
 from repro.docstore.planner import analyze_query
 from repro.docstore.storage import StorageModel
 from repro.errors import ShardingError
@@ -101,15 +102,19 @@ class ShardedCluster:
         storage_model: Optional[StorageModel] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         auto_balance: bool = True,
+        durability: Optional["DurabilityConfig"] = None,
     ) -> None:
         self.topology = topology or ClusterTopology()
         self.chunk_max_bytes = chunk_max_bytes
         self.storage_model = storage_model or StorageModel()
         self.cost_model = cost_model
         self.auto_balance = auto_balance
+        self.durability = durability
         self.shards: Dict[str, Shard] = {
             "shard%02d" % i: Shard(
-                "shard%02d" % i, storage_model=self.storage_model
+                "shard%02d" % i,
+                storage_model=self.storage_model,
+                durability=durability,
             )
             for i in range(self.topology.n_shards)
         }
@@ -587,3 +592,8 @@ class ShardedCluster:
                     "chunk %r count drift: catalog=%d actual=%d"
                     % (chunk.describe(), chunk.doc_count, actual)
                 )
+
+    def close(self) -> None:
+        """Release every shard's durable engines, if any."""
+        for shard in self.shards.values():
+            shard.close()

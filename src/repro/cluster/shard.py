@@ -7,6 +7,7 @@ from typing import Any, Iterator, List, Mapping, Optional, Tuple
 from repro.cluster.chunk import KeyBound, ShardKeyPattern
 from repro.docstore.collection import Collection
 from repro.docstore.database import Database
+from repro.docstore.lsm import DurabilityConfig
 from repro.docstore.storage import StorageModel
 
 __all__ = ["Shard", "shard_key_index_name"]
@@ -25,16 +26,27 @@ class Shard:
     """
 
     def __init__(
-        self, shard_id: str, storage_model: Optional[StorageModel] = None
+        self,
+        shard_id: str,
+        storage_model: Optional[StorageModel] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         self.shard_id = shard_id
+        if durability is not None:
+            durability = durability.subdirectory("shard_%s" % shard_id)
         self.database = Database(
-            "shard_%s" % shard_id, storage_model=storage_model
+            "shard_%s" % shard_id,
+            storage_model=storage_model,
+            durability=durability,
         )
 
     def collection(self, name: str) -> Collection:
         """The shard-local collection for a name."""
         return self.database.collection(name)
+
+    def close(self) -> None:
+        """Release durable engines hosted by this shard, if any."""
+        self.database.close()
 
     def iter_range(
         self,

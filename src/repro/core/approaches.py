@@ -31,6 +31,7 @@ from repro.core.encoder import DEFAULT_HILBERT_ORDER, SpatioTemporalEncoder
 from repro.core.loader import BulkLoader
 from repro.core.query import SpatioTemporalQuery
 from repro.core.zoning import configure_zones
+from repro.docstore.lsm import DurabilityConfig
 from repro.geo.geometry import BoundingBox
 
 __all__ = [
@@ -245,17 +246,22 @@ def deploy_approach(
     use_zones: bool = False,
     loader: Optional[BulkLoader] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    durability: Optional["DurabilityConfig"] = None,
 ) -> Deployment:
     """Stand up a fresh cluster for an approach and load the data.
 
     Follows the paper's procedure: fresh deployment per approach, bulk
     load, default balancing; when ``use_zones`` is set, zones are then
     computed with ``$bucketAuto`` and the data redistributed.
+    ``durability`` mounts the WAL+LSM engine under every shard (see
+    :mod:`repro.docstore.lsm`); the default keeps the paper-faithful
+    in-memory deployment.
     """
     cluster = ShardedCluster(
         topology=topology,
         chunk_max_bytes=chunk_max_bytes,
         cost_model=cost_model,
+        durability=durability,
     )
     cluster.shard_collection(
         COLLECTION, approach.shard_key_spec(), strategy="range"

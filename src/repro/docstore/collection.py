@@ -13,7 +13,7 @@ import itertools
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.docstore.aggregation import run_pipeline
-from repro.docstore.bson import ObjectId
+from repro.docstore.bson import ObjectId, key_bytes
 from repro.docstore.cursor import Cursor
 from repro.docstore.document import (
     deep_copy_document,
@@ -29,6 +29,14 @@ from repro.docstore.planner import (
     analyze_query,
     plan_query,
 )
+from repro.docstore.lsm import (
+    DurabilityConfig,
+    LSMEngine,
+    StorageEvent,
+    decode_document,
+    encode_document,
+)
+from repro.docstore.lsm.wal import OP_DELETE, OP_PUT
 from repro.docstore.storage import StorageModel
 from repro.errors import DocumentStoreError, IndexError_
 
@@ -63,6 +71,7 @@ class Collection:
         name: str,
         storage_model: Optional[StorageModel] = None,
         btree_order: int = 64,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         self.name = name
         self._records: Dict[int, dict] = {}
@@ -77,14 +86,26 @@ class Collection:
             order=btree_order,
         )
         self._indexes["_id_"] = self._id_index
+        # Durable write path (ISSUE PR-5): a WAL+LSM engine beneath the
+        # in-memory structures.  The default (None) leaves the original
+        # purely in-memory engine untouched.
+        self._storage_listeners: List[Any] = []
+        self._engine: Optional[LSMEngine] = None
+        if durability is not None:
+            self._engine = LSMEngine(durability)
+            self._engine.add_listener(self._forward_storage_event)
+            self._engine.recover()
+            for _, raw in self._engine.scan():
+                self._insert_local(decode_document(raw))
 
     # -- writes ---------------------------------------------------------------
 
-    def insert_one(self, document: Mapping[str, Any]) -> Any:
-        """Insert one document; returns its ``_id``.
+    def _insert_local(self, document: Mapping[str, Any]) -> dict:
+        """Apply one insert to the in-memory structures only.
 
-        A fresh ObjectId is assigned when the document has none, exactly
-        like the MongoDB client driver (Appendix A.1).
+        The shared half of the write path: regular inserts persist the
+        result afterwards, recovery replays the engine's state through
+        here without re-persisting it.
         """
         doc = dict(document)
         if "_id" not in doc:
@@ -93,11 +114,45 @@ class Collection:
         for index in self._indexes.values():
             index.insert_document(rid, doc)
         self._records[rid] = doc
+        return doc
+
+    def insert_one(self, document: Mapping[str, Any]) -> Any:
+        """Insert one document; returns its ``_id``.
+
+        A fresh ObjectId is assigned when the document has none, exactly
+        like the MongoDB client driver (Appendix A.1).
+        """
+        doc = self._insert_local(document)
+        if self._engine is not None:
+            self._engine.put_one(
+                key_bytes([doc["_id"]]), encode_document(doc)
+            )
         return doc["_id"]
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> List[Any]:
-        """Insert documents in order; returns their ids."""
-        return [self.insert_one(d) for d in documents]
+        """Insert documents in order; returns their ids.
+
+        With durability on, the whole batch is persisted as one WAL
+        append (one group-commit fsync) rather than one per document.
+        If an insert fails part-way (duplicate key), the documents
+        applied before the failure are persisted before the error
+        propagates — mirroring the in-memory semantics, where they
+        remain inserted.
+        """
+        if self._engine is None:
+            return [self._insert_local(d)["_id"] for d in documents]
+        ids: List[Any] = []
+        operations: List[Tuple[int, bytes, Optional[bytes]]] = []
+        try:
+            for document in documents:
+                doc = self._insert_local(document)
+                operations.append(
+                    (OP_PUT, key_bytes([doc["_id"]]), encode_document(doc))
+                )
+                ids.append(doc["_id"])
+        finally:
+            self._engine.apply_batch(operations)
+        return ids
 
     def delete_many(self, query: Mapping[str, Any]) -> int:
         """Delete matching documents; returns the count."""
@@ -111,6 +166,13 @@ class Collection:
             for index in self._indexes.values():
                 index.remove_document(rid, doc)
             del self._records[rid]
+        if self._engine is not None and doomed:
+            self._engine.apply_batch(
+                [
+                    (OP_DELETE, key_bytes([doc["_id"]]), None)
+                    for _, doc in doomed
+                ]
+            )
         return len(doomed)
 
     _UPDATE_OPERATORS = {
@@ -133,6 +195,7 @@ class Collection:
             )
         matcher = Matcher(query)
         touched = 0
+        operations: List[Tuple[int, bytes, Optional[bytes]]] = []
         for rid, doc in list(self._records.items()):
             if not matcher.matches(doc):
                 continue
@@ -141,7 +204,13 @@ class Collection:
             self._apply_update(doc, update)
             for index in self._indexes.values():
                 index.insert_document(rid, doc)
+            if self._engine is not None:
+                operations.append(
+                    (OP_PUT, key_bytes([doc["_id"]]), encode_document(doc))
+                )
             touched += 1
+        if self._engine is not None and operations:
+            self._engine.apply_batch(operations)
         return touched
 
     @staticmethod
@@ -390,14 +459,67 @@ class Collection:
     def remove_by_rids(self, rids: Sequence[int]) -> int:
         """Remove records by internal id (chunk-migration fast path)."""
         removed = 0
+        operations: List[Tuple[int, bytes, Optional[bytes]]] = []
         for rid in rids:
             doc = self._records.pop(rid, None)
             if doc is None:
                 continue
             for index in self._indexes.values():
                 index.remove_document(rid, doc)
+            if self._engine is not None:
+                operations.append(
+                    (OP_DELETE, key_bytes([doc["_id"]]), None)
+                )
             removed += 1
+        if self._engine is not None and operations:
+            self._engine.apply_batch(operations)
         return removed
+
+    # -- durability ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> Optional[LSMEngine]:
+        """The durable engine, or None for the in-memory default."""
+        return self._engine
+
+    @property
+    def durable(self) -> bool:
+        """Whether writes go through the WAL + LSM engine."""
+        return self._engine is not None
+
+    @property
+    def storage_epoch(self) -> int:
+        """Bumped by every flush/compaction; 0 without durability."""
+        if self._engine is None:
+            return 0
+        return self._engine.storage_epoch
+
+    def add_storage_listener(self, listener) -> None:
+        """Subscribe to :class:`StorageEvent` notifications.
+
+        Cache layers use this to invalidate on flush/compaction the
+        same way they do on writes and DDL.  Listeners fire with no
+        engine lock held.  No-op registry without durability (events
+        never fire).
+        """
+        self._storage_listeners.append(listener)
+
+    def _forward_storage_event(self, event: StorageEvent) -> None:
+        stamped = StorageEvent(
+            kind=event.kind, epoch=event.epoch, collection=self.name
+        )
+        for listener in list(self._storage_listeners):
+            listener(stamped)
+
+    def checkpoint(self) -> None:
+        """Flush the memtable so the WAL can be truncated (durable only)."""
+        if self._engine is not None:
+            self._engine.checkpoint()
+
+    def close(self) -> None:
+        """Release the durable engine's files and threads, if any."""
+        if self._engine is not None:
+            self._engine.close()
 
     # -- introspection -----------------------------------------------------------
 
@@ -413,8 +535,21 @@ class Collection:
         return self.storage_model.data_size(self._records.values())
 
     def storage_size(self) -> int:
-        """Block-compressed collection bytes."""
-        return self.storage_model.storage_size(self._records.values())
+        """Block-compressed collection bytes.
+
+        With durability on, tombstones for deleted documents still
+        occupy run storage until compaction drops them; they are
+        charged here so the reported footprint matches the on-disk
+        reality rather than only the live set.
+        """
+        return self.storage_model.storage_size(
+            self._records.values(), tombstone_bytes=self._tombstone_bytes()
+        )
+
+    def _tombstone_bytes(self) -> int:
+        if self._engine is None:
+            return 0
+        return self._engine.stats().tombstone_bytes
 
     def index_sizes(self) -> Dict[str, int]:
         """Prefix-compressed size per index, in bytes."""
@@ -428,12 +563,34 @@ class Collection:
         return sum(self.index_sizes().values())
 
     def stats(self) -> dict:
-        """A ``collStats``-style summary."""
-        return {
+        """A ``collStats``-style summary.
+
+        The data size is computed once and the storage size derived
+        from it (``storage_size_from_data``), so the document iterable
+        is walked a single time — the old shape consumed it twice,
+        which under-reported whenever the source was a generator.
+        """
+        data_size = self.data_size()
+        summary = {
             "count": len(self._records),
-            "size": self.data_size(),
-            "storageSize": self.storage_size(),
+            "size": data_size,
+            "storageSize": self.storage_model.storage_size_from_data(
+                data_size, tombstone_bytes=self._tombstone_bytes()
+            ),
             "nindexes": len(self._indexes),
             "indexSizes": self.index_sizes(),
             "totalIndexSize": self.total_index_size(),
         }
+        if self._engine is not None:
+            engine = self._engine.stats()
+            summary["durability"] = {
+                "runs": engine.n_runs,
+                "runBytes": engine.run_bytes,
+                "walSegments": engine.wal_segments,
+                "memtableBytes": engine.memtable_bytes,
+                "tombstoneBytes": engine.tombstone_bytes,
+                "storageEpoch": engine.storage_epoch,
+                "flushes": engine.flushes,
+                "compactions": engine.compactions,
+            }
+        return summary

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import shutil
 import threading
 from typing import Dict, List, Optional
 
 from repro.docstore.collection import Collection
+from repro.docstore.lsm import DurabilityConfig
 from repro.docstore.storage import StorageModel
 from repro.errors import DocumentStoreError
 
@@ -13,18 +15,31 @@ __all__ = ["Database"]
 
 
 class Database:
-    """A named group of collections sharing a storage model."""
+    """A named group of collections sharing a storage model.
+
+    With ``durability`` set, every collection mounts an LSM engine
+    rooted at ``durability.directory/<collection-name>``; the default
+    (``None``) keeps collections purely in-memory.
+    """
 
     def __init__(
-        self, name: str, storage_model: Optional[StorageModel] = None
+        self,
+        name: str,
+        storage_model: Optional[StorageModel] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         self.name = name
         self.storage_model = storage_model or StorageModel()
+        self.durability = durability
         self._collections: Dict[str, Collection] = {}
         # Lazy creation below must be race-free: two concurrent readers
         # naming a new collection would otherwise each build one and
         # the loser's documents/indexes would vanish.
         self._create_lock = threading.Lock()
+        # Storage listeners registered before a collection exists are
+        # attached to it at creation time (the query service registers
+        # once per database, up front).
+        self._storage_listeners: List = []
 
     def collection(self, name: str) -> Collection:
         """Get or lazily create a collection (MongoDB semantics)."""
@@ -33,20 +48,45 @@ class Database:
             return existing
         with self._create_lock:
             if name not in self._collections:
-                self._collections[name] = Collection(
-                    name, storage_model=self.storage_model
+                durability = None
+                if self.durability is not None:
+                    durability = self.durability.subdirectory(name)
+                created = Collection(
+                    name,
+                    storage_model=self.storage_model,
+                    durability=durability,
                 )
+                for listener in self._storage_listeners:
+                    created.add_storage_listener(listener)
+                self._collections[name] = created
             return self._collections[name]
 
     def __getitem__(self, name: str) -> Collection:
         return self.collection(name)
 
+    def add_storage_listener(self, listener) -> None:
+        """Subscribe to storage events of all collections, present and
+        future."""
+        with self._create_lock:
+            self._storage_listeners.append(listener)
+            existing = list(self._collections.values())
+        for collection in existing:
+            collection.add_storage_listener(listener)
+
     def drop_collection(self, name: str) -> None:
-        """Remove a collection from the namespace."""
+        """Remove a collection from the namespace (and its files)."""
         with self._create_lock:
             if name not in self._collections:
                 raise DocumentStoreError("no collection named %r" % name)
-            del self._collections[name]
+            doomed = self._collections.pop(name)
+        doomed.close()
+        if doomed.engine is not None:
+            shutil.rmtree(doomed.engine.directory, ignore_errors=True)
+
+    def close(self) -> None:
+        """Release every collection's durable engine, if any."""
+        for collection in list(self._collections.values()):
+            collection.close()
 
     def list_collections(self) -> List[str]:
         """Names of the existing collections."""

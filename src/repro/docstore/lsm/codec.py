@@ -1,0 +1,187 @@
+"""Binary codec for the document values the store supports.
+
+The WAL and SSTables persist whole documents; this codec gives them a
+compact, deterministic, self-delimiting byte form covering exactly the
+BSON value set the rest of the reproduction uses (see
+:mod:`repro.docstore.bson`): None, booleans, integers, floats,
+strings, bytes, datetimes, ObjectIds, Min/MaxKey, lists, and nested
+documents.  Unlike :func:`repro.docstore.bson.key_bytes` this encoding
+is *reversible* — it optimizes for round-tripping, not for
+order-preservation (keys use ``key_bytes``; values use this).
+
+Datetimes round-trip to UTC: naive values are tagged and come back
+naive, aware values come back with ``timezone.utc`` (the generators
+only ever produce UTC-aware stamps, so this is lossless in practice).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import struct
+from typing import Any, Mapping, Tuple
+
+from repro.docstore.bson import MAXKEY, MINKEY, MaxKey, MinKey, ObjectId
+from repro.errors import DocumentStoreError
+
+__all__ = [
+    "decode_document",
+    "decode_value",
+    "encode_document",
+]
+
+_TAG_NULL = 0x01
+_TAG_FALSE = 0x02
+_TAG_TRUE = 0x03
+_TAG_INT = 0x04
+_TAG_FLOAT = 0x05
+_TAG_STR = 0x06
+_TAG_BYTES = 0x07
+_TAG_DATETIME_UTC = 0x08
+_TAG_DATETIME_NAIVE = 0x09
+_TAG_OBJECTID = 0x0A
+_TAG_LIST = 0x0B
+_TAG_DOC = 0x0C
+_TAG_MINKEY = 0x0D
+_TAG_MAXKEY = 0x0E
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    """Append one value's tagged encoding to the ``out`` accumulator.
+
+    Internal: mutating the caller-supplied ``bytearray`` is the point —
+    it is the encoder's own buffer, never a caller's document.
+    """
+    if value is None:
+        out.append(_TAG_NULL)
+    elif isinstance(value, bool):  # before int: bool subclasses int
+        out.append(_TAG_TRUE if value else _TAG_FALSE)
+    elif isinstance(value, int):
+        raw = value.to_bytes(
+            (value.bit_length() + 8) // 8 or 1, "little", signed=True
+        )
+        out.append(_TAG_INT)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, _dt.datetime):
+        if value.tzinfo is None:
+            out.append(_TAG_DATETIME_NAIVE)
+            stamp = value.replace(tzinfo=_dt.timezone.utc).timestamp()
+        else:
+            out.append(_TAG_DATETIME_UTC)
+            stamp = value.timestamp()
+        out += _F64.pack(stamp)
+    elif isinstance(value, ObjectId):
+        out.append(_TAG_OBJECTID)
+        out += value.binary
+    elif isinstance(value, MinKey):
+        out.append(_TAG_MINKEY)
+    elif isinstance(value, MaxKey):
+        out.append(_TAG_MAXKEY)
+    elif isinstance(value, Mapping):
+        out.append(_TAG_DOC)
+        out += _U32.pack(len(value))
+        for key, sub in value.items():
+            raw = key.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+            _encode_value(sub, out)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        out += _U32.pack(len(value))
+        for sub in value:
+            _encode_value(sub, out)
+    else:
+        raise DocumentStoreError(
+            "cannot persist value of type %s" % type(value).__name__
+        )
+
+
+def decode_value(buf: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one value at ``offset``; returns ``(value, next_offset)``."""
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_INT:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        raw = buf[offset : offset + length]
+        return int.from_bytes(raw, "little", signed=True), offset + length
+    if tag == _TAG_FLOAT:
+        (value,) = _F64.unpack_from(buf, offset)
+        return value, offset + 8
+    if tag == _TAG_STR:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        raw = buf[offset : offset + length]
+        return raw.decode("utf-8"), offset + length
+    if tag == _TAG_BYTES:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        return bytes(buf[offset : offset + length]), offset + length
+    if tag in (_TAG_DATETIME_UTC, _TAG_DATETIME_NAIVE):
+        (stamp,) = _F64.unpack_from(buf, offset)
+        when = _dt.datetime.fromtimestamp(stamp, _dt.timezone.utc)
+        if tag == _TAG_DATETIME_NAIVE:
+            when = when.replace(tzinfo=None)
+        return when, offset + 8
+    if tag == _TAG_OBJECTID:
+        return ObjectId.from_bytes(bytes(buf[offset : offset + 12])), offset + 12
+    if tag == _TAG_MINKEY:
+        return MINKEY, offset
+    if tag == _TAG_MAXKEY:
+        return MAXKEY, offset
+    if tag == _TAG_DOC:
+        (count,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        doc = {}
+        for _ in range(count):
+            (length,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            key = buf[offset : offset + length].decode("utf-8")
+            offset += length
+            doc[key], offset = decode_value(buf, offset)
+        return doc, offset
+    if tag == _TAG_LIST:
+        (count,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = decode_value(buf, offset)
+            items.append(item)
+        return items, offset
+    raise DocumentStoreError("corrupt value encoding: unknown tag %#x" % tag)
+
+
+def encode_document(document: Mapping[str, Any]) -> bytes:
+    """Serialize a document to bytes."""
+    out = bytearray()
+    _encode_value(document, out)
+    return bytes(out)
+
+
+def decode_document(raw: bytes) -> dict:
+    """Deserialize bytes produced by :func:`encode_document`."""
+    value, offset = decode_value(raw, 0)
+    if offset != len(raw) or not isinstance(value, dict):
+        raise DocumentStoreError("corrupt document encoding")
+    return value

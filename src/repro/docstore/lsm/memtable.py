@@ -1,0 +1,82 @@
+"""The in-memory write buffer: latest version per key, plus tombstones.
+
+A memtable absorbs puts and deletes until it exceeds the configured
+byte budget, then the engine freezes it and flushes it to an immutable
+SSTable run.  Deletes are *tombstones* — an explicit "this key is
+gone" marker that must survive until compaction has merged it past
+every older run that might still hold the key.
+
+Entries live in a plain dict (point lookups are the hot path); sorted
+order is produced on flush/scan, which happens once per memtable
+lifetime rather than per write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Memtable"]
+
+#: Fixed per-entry bookkeeping charge toward the flush budget.
+_ENTRY_OVERHEAD = 24
+
+
+class Memtable:
+    """Latest value (or tombstone) per key; not thread-safe by itself.
+
+    The engine serializes access under its write lock; the memtable is
+    pure data structure.
+    """
+
+    def __init__(self) -> None:
+        #: key -> value bytes, or None for a tombstone.
+        self._entries: Dict[bytes, Optional[bytes]] = {}
+        self._bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Record the newest version of a key."""
+        self._charge(key, value)
+        self._entries[key] = value
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone for a key."""
+        self._charge(key, None)
+        self._entries[key] = None
+
+    def _charge(self, key: bytes, value: Optional[bytes]) -> None:
+        previous = self._entries.get(key, b"")
+        if key in self._entries:
+            self._bytes -= len(previous or b"")
+        else:
+            self._bytes += len(key) + _ENTRY_OVERHEAD
+        self._bytes += len(value or b"")
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """``(found, value)``; ``(True, None)`` means tombstoned."""
+        if key in self._entries:
+            return True, self._entries[key]
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    @property
+    def approximate_bytes(self) -> int:
+        """The flush-budget charge of the current contents."""
+        return self._bytes
+
+    @property
+    def tombstone_bytes(self) -> int:
+        """Bytes charged to tombstoned keys (storage accounting)."""
+        return sum(
+            len(key) + _ENTRY_OVERHEAD
+            for key, value in self._entries.items()
+            if value is None
+        )
+
+    def sorted_entries(self) -> List[Tuple[bytes, Optional[bytes]]]:
+        """All entries in key order (tombstones included)."""
+        return sorted(self._entries.items())

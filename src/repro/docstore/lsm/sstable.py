@@ -1,0 +1,272 @@
+"""Immutable sorted runs: data blocks, sparse index, bloom filter.
+
+One SSTable is one file, written once and never modified::
+
+    [entries, key-sorted]  [sparse index]  [bloom filter]  [footer]
+
+    entry : u8 flags | u32 key-len | key | u32 value-len | value
+    index : u32 count | (u32 key-len | key | u64 file-offset) ...
+    bloom : u32 nbits | u8 nhashes | bit bytes
+    footer: u64 index-off | u64 bloom-off | u64 n-entries |
+            u64 tombstone-bytes | u64 magic
+
+The sparse index holds every ``interval``-th key, so a point lookup
+seeks to the greatest indexed key ≤ target and scans at most
+``interval`` entries; the bloom filter rejects most absent keys
+without touching the data section at all.  Tombstones are entries
+whose flag bit 0 is set (their value is empty); they persist the
+deletion until compaction can drop them.
+
+Files become visible atomically: the writer builds ``path + ".tmp"``,
+fsyncs, then ``os.replace``\\ s into place — a crash mid-write leaves
+only a temp file the engine removes on open.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import DocumentStoreError
+
+__all__ = ["BloomFilter", "SSTable", "write_sstable"]
+
+_ENTRY_HEADER = struct.Struct("<BII")
+_INDEX_COUNT = struct.Struct("<I")
+_INDEX_ENTRY = struct.Struct("<I")
+_INDEX_OFFSET = struct.Struct("<Q")
+_BLOOM_HEADER = struct.Struct("<IB")
+_FOOTER = struct.Struct("<QQQQQ")
+_MAGIC = 0x5354524E_4C534D31  # "STRN LSM1"
+
+_FLAG_TOMBSTONE = 0x01
+
+
+class BloomFilter:
+    """A classic double-hashed bloom filter over byte keys."""
+
+    def __init__(self, nbits: int, nhashes: int) -> None:
+        if nbits <= 0 or nhashes <= 0:
+            raise DocumentStoreError("bloom filter needs positive sizing")
+        self.nbits = nbits
+        self.nhashes = nhashes
+        self._bits = bytearray((nbits + 7) // 8)
+
+    @classmethod
+    def sized(cls, n_keys: int, bits_per_key: int) -> "BloomFilter":
+        """A filter budgeted at ``bits_per_key`` (k ≈ 0.7·bits/key)."""
+        nbits = max(8, n_keys * bits_per_key)
+        nhashes = max(1, min(12, int(round(bits_per_key * 0.7))))
+        return cls(nbits, nhashes)
+
+    def _probes(self, key: bytes) -> Iterator[int]:
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        for i in range(self.nhashes):
+            yield (h1 + i * h2) % self.nbits
+
+    def add(self, key: bytes) -> None:
+        """Insert a key."""
+        for bit in self._probes(key):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[bit >> 3] & (1 << (bit & 7))
+            for bit in self._probes(key)
+        )
+
+    def serialize(self) -> bytes:
+        """Header + bit bytes."""
+        return _BLOOM_HEADER.pack(self.nbits, self.nhashes) + bytes(
+            self._bits
+        )
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "BloomFilter":
+        """Rebuild a filter from :meth:`serialize` output."""
+        nbits, nhashes = _BLOOM_HEADER.unpack_from(raw, 0)
+        out = cls(nbits, nhashes)
+        bits = raw[_BLOOM_HEADER.size :]
+        if len(bits) != len(out._bits):
+            raise DocumentStoreError("corrupt bloom filter block")
+        out._bits = bytearray(bits)
+        return out
+
+
+def write_sstable(
+    path: str,
+    entries: Iterable[Tuple[bytes, Optional[bytes]]],
+    sparse_interval: int = 16,
+    bloom_bits_per_key: int = 10,
+) -> "SSTable":
+    """Write key-sorted entries (value ``None`` = tombstone) to disk.
+
+    Returns the opened :class:`SSTable`.  The input must already be
+    sorted by key with at most one entry per key (memtable flushes and
+    compaction merges both guarantee this).
+    """
+    materialized = list(entries)
+    tmp_path = path + ".tmp"
+    index: List[Tuple[bytes, int]] = []
+    bloom = BloomFilter.sized(max(1, len(materialized)), bloom_bits_per_key)
+    tombstone_bytes = 0
+    previous: Optional[bytes] = None
+    with open(tmp_path, "wb") as fh:
+        for position, (key, value) in enumerate(materialized):
+            if previous is not None and key <= previous:
+                raise DocumentStoreError(
+                    "SSTable input not strictly key-sorted"
+                )
+            previous = key
+            if position % sparse_interval == 0:
+                index.append((key, fh.tell()))
+            bloom.add(key)
+            flags = 0
+            payload = value if value is not None else b""
+            if value is None:
+                flags |= _FLAG_TOMBSTONE
+                tombstone_bytes += len(key) + _ENTRY_HEADER.size
+            fh.write(_ENTRY_HEADER.pack(flags, len(key), len(payload)))
+            fh.write(key)
+            fh.write(payload)
+        index_off = fh.tell()
+        fh.write(_INDEX_COUNT.pack(len(index)))
+        for key, offset in index:
+            fh.write(_INDEX_ENTRY.pack(len(key)))
+            fh.write(key)
+            fh.write(_INDEX_OFFSET.pack(offset))
+        bloom_off = fh.tell()
+        fh.write(bloom.serialize())
+        fh.write(
+            _FOOTER.pack(
+                index_off,
+                bloom_off,
+                len(materialized),
+                tombstone_bytes,
+                _MAGIC,
+            )
+        )
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    _fsync_directory(os.path.dirname(path) or ".")
+    return SSTable(path)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort directory fsync so a rename survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SSTable:
+    """A reader over one immutable run file.
+
+    All reads go through ``os.pread`` (positioned, stateless), so any
+    number of threads — point lookups racing a compaction scan of the
+    same run — can share one reader without a lock.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "rb")
+        self._fd = self._file.fileno()
+        self.size_bytes = os.fstat(self._fd).st_size
+        if self.size_bytes < _FOOTER.size:
+            raise DocumentStoreError("SSTable %s too small" % path)
+        footer = os.pread(
+            self._fd, _FOOTER.size, self.size_bytes - _FOOTER.size
+        )
+        (
+            self._index_off,
+            bloom_off,
+            self.n_entries,
+            self.tombstone_bytes,
+            magic,
+        ) = _FOOTER.unpack(footer)
+        if magic != _MAGIC:
+            raise DocumentStoreError("SSTable %s has a bad footer" % path)
+        raw_index = os.pread(
+            self._fd, bloom_off - self._index_off, self._index_off
+        )
+        self._index_keys: List[bytes] = []
+        self._index_offsets: List[int] = []
+        (count,) = _INDEX_COUNT.unpack_from(raw_index, 0)
+        cursor = _INDEX_COUNT.size
+        for _ in range(count):
+            (key_len,) = _INDEX_ENTRY.unpack_from(raw_index, cursor)
+            cursor += _INDEX_ENTRY.size
+            self._index_keys.append(raw_index[cursor : cursor + key_len])
+            cursor += key_len
+            (offset,) = _INDEX_OFFSET.unpack_from(raw_index, cursor)
+            cursor += _INDEX_OFFSET.size
+            self._index_offsets.append(offset)
+        bloom_len = self.size_bytes - _FOOTER.size - bloom_off
+        self.bloom = BloomFilter.deserialize(
+            os.pread(self._fd, bloom_len, bloom_off)
+        )
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """``(found, value)``; ``(True, None)`` means tombstoned here."""
+        if self.n_entries == 0 or key not in self.bloom:
+            return False, None
+        slot = bisect_right(self._index_keys, key) - 1
+        if slot < 0:
+            return False, None
+        offset = self._index_offsets[slot]
+        for entry_key, value in self._iter_from(offset):
+            if entry_key == key:
+                return True, value
+            if entry_key > key:
+                return False, None
+        return False, None
+
+    def _iter_from(
+        self, offset: int
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        while offset < self._index_off:
+            header = os.pread(self._fd, _ENTRY_HEADER.size, offset)
+            if len(header) < _ENTRY_HEADER.size:
+                raise DocumentStoreError(
+                    "SSTable %s truncated mid-entry" % self.path
+                )
+            flags, key_len, value_len = _ENTRY_HEADER.unpack(header)
+            offset += _ENTRY_HEADER.size
+            body = os.pread(self._fd, key_len + value_len, offset)
+            offset += key_len + value_len
+            key = body[:key_len]
+            if flags & _FLAG_TOMBSTONE:
+                yield key, None
+            else:
+                yield key, body[key_len:]
+
+    def iter_entries(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """All entries in key order, tombstones included."""
+        return self._iter_from(0)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the file handle."""
+        self._file.close()
+
+    def remove(self) -> None:
+        """Close and delete the run file (post-compaction cleanup)."""
+        self.close()
+        if os.path.exists(self.path):
+            os.remove(self.path)

@@ -36,7 +36,15 @@ PER_ENTRY_OVERHEAD = 6
 
 
 def collection_data_size(documents: Iterable[Mapping[str, Any]]) -> int:
-    """Total uncompressed BSON bytes of a document collection."""
+    """Total uncompressed BSON bytes of a document collection.
+
+    Single-pass: a generator is safe here.  Callers that need both the
+    data size and the storage size of the same iterable must compute
+    this once and derive the storage size via
+    :meth:`StorageModel.storage_size_from_data` — passing a generator
+    to ``data_size`` and then again to ``storage_size`` would silently
+    count the second pass as empty.
+    """
     return sum(bson_document_size(doc) for doc in documents)
 
 
@@ -86,9 +94,34 @@ class StorageModel:
         """Logical (uncompressed) collection size in bytes."""
         return collection_data_size(documents)
 
-    def storage_size(self, documents: Iterable[Mapping[str, Any]]) -> int:
-        """On-disk collection size after block compression."""
-        return int(self.data_size(documents) * self.block_compression)
+    def storage_size(
+        self,
+        documents: Iterable[Mapping[str, Any]],
+        tombstone_bytes: int = 0,
+    ) -> int:
+        """On-disk collection size after block compression.
+
+        ``tombstone_bytes`` accounts for deleted documents that still
+        occupy storage as tombstone markers (the durable LSM engine
+        keeps them until compaction drops them); the in-memory engine
+        reclaims deletions immediately, so its callers pass 0.
+        """
+        return self.storage_size_from_data(
+            self.data_size(documents), tombstone_bytes=tombstone_bytes
+        )
+
+    def storage_size_from_data(
+        self, data_size: int, tombstone_bytes: int = 0
+    ) -> int:
+        """Storage size from an already-computed data size.
+
+        Use this when the document iterable was a generator that has
+        already been consumed for ``data_size`` — recomputing from the
+        exhausted iterable would return 0.  Tombstones are raw markers
+        (key + header), not compressible document blocks, so they are
+        added after the compression factor.
+        """
+        return int(data_size * self.block_compression) + tombstone_bytes
 
     def index_size(self, index: Index) -> int:
         """Prefix-compressed size of an index in bytes."""

@@ -18,9 +18,14 @@ from repro.sanitizer.core import (
 from repro.sanitizer.crossval import CrossValidationReport, cross_validate
 from repro.sanitizer.instrument import (
     INSTRUMENTED_KEYS,
+    LSM_INSTRUMENTED_KEYS,
+    LSM_MANIFEST_LOCK_KEY,
+    LSM_WRITE_LOCK_KEY,
     PLAN_CACHE_LOCK_KEY,
     SHARD_LOCKS_KEY,
     TARGETING_CACHE_LOCK_KEY,
+    WAL_LOCK_KEY,
+    instrument_lsm_engine,
     instrument_query_service,
 )
 from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
@@ -28,6 +33,9 @@ from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
 __all__ = [
     "CrossValidationReport",
     "INSTRUMENTED_KEYS",
+    "LSM_INSTRUMENTED_KEYS",
+    "LSM_MANIFEST_LOCK_KEY",
+    "LSM_WRITE_LOCK_KEY",
     "LockOrderSanitizer",
     "ObservedEdge",
     "PLAN_CACHE_LOCK_KEY",
@@ -36,6 +44,8 @@ __all__ = [
     "SanitizedReadWriteLock",
     "SanitizerViolation",
     "TARGETING_CACHE_LOCK_KEY",
+    "WAL_LOCK_KEY",
     "cross_validate",
+    "instrument_lsm_engine",
     "instrument_query_service",
 ]

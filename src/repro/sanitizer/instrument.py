@@ -1,4 +1,4 @@
-"""Swap a QueryService's shard locks for sanitized ones.
+"""Swap a QueryService's (or LSM engine's) locks for sanitized ones.
 
 The per-shard RW locks are the service's deadlock surface: they are
 the only locks acquired in multiples, across functions, under
@@ -6,10 +6,19 @@ concurrency.  Instrumenting them keys every wrapper with the *static*
 registry symbol of the collection and ranks members by sorted shard
 id — the same order the service itself must acquire them in — so the
 observed graph lines up key-for-key with the analyzer's.
+
+The LSM engine adds a second surface (PR-5): writer threads nest
+``_write_lock`` → ``_manifest_lock`` / WAL lock while a background
+compaction worker takes ``_manifest_lock`` on its own schedule.
+:func:`instrument_lsm_engine` swaps those three for sanitized
+wrappers so the runtime graph covers flush-vs-compaction ordering.
 """
 
 from __future__ import annotations
 
+import threading
+
+from repro.docstore.lsm.engine import LSMEngine
 from repro.sanitizer.core import LockOrderSanitizer
 from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
 from repro.service.service import QueryService
@@ -18,8 +27,13 @@ __all__ = [
     "SHARD_LOCKS_KEY",
     "PLAN_CACHE_LOCK_KEY",
     "TARGETING_CACHE_LOCK_KEY",
+    "LSM_WRITE_LOCK_KEY",
+    "LSM_MANIFEST_LOCK_KEY",
+    "WAL_LOCK_KEY",
     "INSTRUMENTED_KEYS",
+    "LSM_INSTRUMENTED_KEYS",
     "instrument_query_service",
+    "instrument_lsm_engine",
 ]
 
 #: The static lock-registry symbols of the instrumented locks; each
@@ -28,6 +42,9 @@ __all__ = [
 SHARD_LOCKS_KEY = "repro.service.service.QueryService._shard_locks"
 PLAN_CACHE_LOCK_KEY = "repro.service.plan_cache.PlanCache._lock"
 TARGETING_CACHE_LOCK_KEY = "repro.cluster.router.TargetingCache._lock"
+LSM_WRITE_LOCK_KEY = "repro.docstore.lsm.engine.LSMEngine._write_lock"
+LSM_MANIFEST_LOCK_KEY = "repro.docstore.lsm.engine.LSMEngine._manifest_lock"
+WAL_LOCK_KEY = "repro.docstore.lsm.wal.WriteAheadLog._lock"
 
 #: Every key :func:`instrument_query_service` can wire up — the set to
 #: hand :func:`~repro.sanitizer.crossval.cross_validate`.
@@ -35,6 +52,13 @@ INSTRUMENTED_KEYS = (
     SHARD_LOCKS_KEY,
     PLAN_CACHE_LOCK_KEY,
     TARGETING_CACHE_LOCK_KEY,
+)
+
+#: Every key :func:`instrument_lsm_engine` can wire up.
+LSM_INSTRUMENTED_KEYS = (
+    LSM_WRITE_LOCK_KEY,
+    LSM_MANIFEST_LOCK_KEY,
+    WAL_LOCK_KEY,
 )
 
 
@@ -67,3 +91,27 @@ def instrument_query_service(
         sanitizer, TARGETING_CACHE_LOCK_KEY
     )
     return service
+
+
+def instrument_lsm_engine(
+    engine: LSMEngine, sanitizer: LockOrderSanitizer
+) -> LSMEngine:
+    """Replace an LSM engine's locks with sanitized wrappers.
+
+    Must run *before* ``engine.recover()``: recovery starts the compaction
+    worker and the first WAL segment, and a lock swapped while someone
+    holds it would split its waiters across two objects.  The engine's
+    condition variables are rebuilt over the wrapped locks
+    (``threading.Condition`` accepts any acquire/release object), and a
+    lock factory is installed so every WAL segment the engine creates —
+    including ones born inside a flush — carries the instrumented key.
+    """
+    if getattr(engine, "_opened", False):
+        raise RuntimeError(
+            "instrument_lsm_engine must run before engine.recover()"
+        )
+    engine._write_lock = SanitizedLock(sanitizer, LSM_WRITE_LOCK_KEY)
+    engine._manifest_lock = SanitizedLock(sanitizer, LSM_MANIFEST_LOCK_KEY)
+    engine._compact_cond = threading.Condition(engine._manifest_lock)
+    engine._wal_lock_factory = lambda: SanitizedLock(sanitizer, WAL_LOCK_KEY)
+    return engine

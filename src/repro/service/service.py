@@ -203,6 +203,18 @@ class QueryService:
             shard_id: ReadWriteLock() for shard_id in cluster.shards
         }
         self._closed = False
+        # Storage-epoch contract (PR-5): a memtable flush or a
+        # compaction changes which storage structures back a
+        # collection, so cached compiled plans are invalidated exactly
+        # like the write-threshold and DDL paths.  Storage listeners
+        # fire with no engine lock held, so calling into the plan cache
+        # here adds no lock-order edge.
+        for shard in cluster.shards.values():
+            shard.database.add_storage_listener(self._on_storage_event)
+
+    def _on_storage_event(self, event) -> None:
+        if self.plan_cache is not None and event.collection is not None:
+            self.plan_cache.invalidate_collection(event.collection)
 
     # -- lifecycle -------------------------------------------------------------
 

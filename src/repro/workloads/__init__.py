@@ -1,6 +1,7 @@
 """Query workloads matching the paper's evaluation."""
 
 from repro.workloads.generator import WorkloadConfig, WorkloadGenerator
+from repro.workloads.ingest import IngestConfig, IngestReport, StreamingIngest
 from repro.workloads.queries import (
     BIG_BBOX,
     QUERY_WINDOWS,
@@ -11,6 +12,9 @@ from repro.workloads.queries import (
 )
 
 __all__ = [
+    "IngestConfig",
+    "IngestReport",
+    "StreamingIngest",
     "WorkloadConfig",
     "WorkloadGenerator",
     "BIG_BBOX",

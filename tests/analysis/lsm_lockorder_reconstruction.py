@@ -1,0 +1,75 @@
+"""A flush-vs-compaction lock inversion, reconstructed.
+
+The shipped engine (:mod:`repro.docstore.lsm.engine`) keeps one
+nesting direction: writers hold ``_write_lock`` and take
+``_manifest_lock`` inside it (flush swaps the run list mid-write),
+while the compaction worker takes ``_manifest_lock`` *alone* and does
+its merging with no lock held.  This module reconstructs the tempting
+wrong design the discipline rules out — a compactor that, still
+holding the manifest lock, reaches back into the write side (here: to
+snapshot the memtable so the merge can drop keys the memtable already
+shadows).  Each function is impeccable in isolation — every
+acquisition a ``with`` statement, every attribute mutated under its
+own lock — so the intraprocedural LD rules stay silent.  The deadlock
+only exists between the functions:
+
+* ``flush``    holds ``write_lock``    → calls ``_install_run``,
+  which takes ``manifest_lock``       (edge write → manifest)
+* ``compact``  holds ``manifest_lock`` → calls ``_live_snapshot``,
+  which takes ``write_lock``          (edge manifest → write)
+
+A writer flushing while the background compactor runs can deadlock.
+LK001 finds the cycle statically; the runtime sanitizer finds it from
+a single-threaded, sequential execution of both paths, because the
+observed acquisition graph is cumulative (lockdep-style).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class ShadowingCompactor:
+    """A toy LSM core whose compactor consults the memtable."""
+
+    def __init__(self) -> None:
+        self.write_lock = threading.Lock()
+        self.manifest_lock = threading.Lock()
+        self.memtable: Dict[bytes, Optional[bytes]] = {}
+        self.runs: List[Dict[bytes, Optional[bytes]]] = []
+
+    def put(self, key: bytes, value: bytes) -> None:
+        with self.write_lock:
+            self.memtable[key] = value
+
+    def flush(self) -> None:
+        """Freeze the memtable and install it as a run."""
+        with self.write_lock:
+            frozen = dict(self.memtable)
+            self.memtable = {}
+            self._install_run(frozen)
+
+    def _install_run(self, run: Dict[bytes, Optional[bytes]]) -> None:
+        with self.manifest_lock:
+            self.runs.append(run)
+
+    def compact(self) -> None:
+        """Merge all runs — dropping keys the memtable shadows.
+
+        The shadow check is the design mistake: it needs the memtable,
+        the memtable needs ``write_lock``, and we are already inside
+        ``manifest_lock`` — the reverse of flush's nesting.
+        """
+        with self.manifest_lock:
+            shadowed = self._live_snapshot()
+            merged: Dict[bytes, Optional[bytes]] = {}
+            for run in self.runs:
+                merged.update(run)
+            for key in shadowed:
+                merged.pop(key, None)
+            self.runs = [merged]
+
+    def _live_snapshot(self) -> List[bytes]:
+        with self.write_lock:
+            return list(self.memtable)

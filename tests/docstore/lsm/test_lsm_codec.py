@@ -1,0 +1,92 @@
+"""The value codec: reversibility over the store's BSON value set."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.bson import MAXKEY, MINKEY, ObjectId
+from repro.docstore.lsm import decode_document, encode_document
+from repro.errors import DocumentStoreError
+
+UTC = dt.timezone.utc
+
+
+def roundtrip(doc):
+    return decode_document(encode_document(doc))
+
+
+class TestRoundTrip:
+    def test_every_scalar_type(self):
+        doc = {
+            "null": None,
+            "f": False,
+            "t": True,
+            "int": -(2**40),
+            "float": 3.25,
+            "str": "καλημέρα",
+            "bytes": b"\x00\xff",
+            "aware": dt.datetime(2018, 7, 1, 12, 30, tzinfo=UTC),
+            "naive": dt.datetime(2018, 7, 1, 12, 30),
+            "oid": ObjectId(),
+            "min": MINKEY,
+            "max": MAXKEY,
+        }
+        assert roundtrip(doc) == doc
+
+    def test_nested_containers(self):
+        doc = {
+            "list": [1, "two", [3.0, None], {"deep": True}],
+            "doc": {"a": {"b": {"c": [b"x"]}}},
+            "empty_list": [],
+            "empty_doc": {},
+        }
+        assert roundtrip(doc) == doc
+
+    def test_aware_datetimes_normalize_to_utc(self):
+        athens = dt.timezone(dt.timedelta(hours=3))
+        doc = {"ts": dt.datetime(2018, 7, 1, 15, 0, tzinfo=athens)}
+        back = roundtrip(doc)["ts"]
+        assert back.tzinfo == UTC
+        assert back == doc["ts"]
+
+    def test_unsupported_value_raises(self):
+        with pytest.raises(DocumentStoreError):
+            encode_document({"bad": object()})
+
+    def test_truncated_payload_raises(self):
+        raw = encode_document({"x": "hello"})
+        with pytest.raises(DocumentStoreError):
+            decode_document(raw[: len(raw) - 2])
+
+
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.datetimes(
+        min_value=dt.datetime(2000, 1, 1),
+        max_value=dt.datetime(2030, 1, 1),
+        timezones=st.just(UTC),
+    ),
+)
+_value = st.recursive(
+    _scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+_document = st.dictionaries(st.text(max_size=8), _value, max_size=6)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(_document)
+    def test_arbitrary_documents_roundtrip(self, doc):
+        assert roundtrip(doc) == doc

@@ -1,0 +1,185 @@
+"""Crash recovery, property-style.
+
+The contract under test: killing the engine at *any* WAL byte offset
+— including mid-frame, the torn tail a real crash leaves — recovers
+exactly the state produced by some prefix of the acknowledged
+operations, namely every operation whose frame survived in full.
+Frame boundaries are recomputed here from first principles (the record
+encoding is deterministic), so the expectation never goes through the
+replay code it is checking.
+"""
+
+import os
+import shutil
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.lsm import DurabilityConfig, LSMEngine
+from repro.docstore.lsm.wal import OP_DELETE, OP_PUT, SYNC_OFF, WalRecord, frame
+
+
+def make_operations(seed, n):
+    """A deterministic op stream mixing puts, updates, and deletes."""
+    import random
+
+    rng = random.Random(seed)
+    ops = []
+    for i in range(n):
+        key = b"key-%03d" % rng.randrange(n // 2 + 1)
+        if rng.random() < 0.25:
+            ops.append((OP_DELETE, key, None))
+        else:
+            ops.append((OP_PUT, key, b"v%04d-" % i + b"x" * rng.randrange(40)))
+    return ops
+
+
+def expected_state(ops):
+    """Fold an op prefix into the live key/value map."""
+    state = {}
+    for op, key, value in ops:
+        if op == OP_PUT:
+            state[key] = value
+        else:
+            state.pop(key, None)
+    return state
+
+
+def frame_ends(ops):
+    """Cumulative WAL byte offset after each op's frame."""
+    ends, offset = [], 0
+    for op, key, value in ops:
+        offset += len(frame(WalRecord(op, key, value or b"").encode()))
+        ends.append(offset)
+    return ends
+
+
+def write_and_abandon(directory, ops):
+    """Apply ops and close; the single WAL segment holds all of them."""
+    engine = LSMEngine(
+        DurabilityConfig(
+            directory=directory,
+            sync=SYNC_OFF,
+            memtable_max_bytes=1 << 30,  # never flush: all state in WAL
+            compaction=False,
+        )
+    )
+    engine.recover()
+    engine.apply_batch(ops)
+    engine.close()
+    (wal,) = [
+        os.path.join(directory, n)
+        for n in os.listdir(directory)
+        if n.endswith(".log")
+    ]
+    return wal
+
+
+def recover_state(directory):
+    engine = LSMEngine(
+        DurabilityConfig(
+            directory=directory,
+            sync=SYNC_OFF,
+            memtable_max_bytes=1 << 30,
+            compaction=False,
+        )
+    )
+    engine.recover()
+    state = dict(engine.scan())
+    engine.close()
+    return engine, state
+
+
+class TestCrashAtArbitraryOffsets:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_truncation_recovers_a_frame_prefix(self, seed, cut):
+        ops = make_operations(seed, 40)
+        ends = frame_ends(ops)
+        offset = int(cut * ends[-1])
+        workdir = tempfile.mkdtemp(prefix="lsm_crash_")
+        try:
+            wal = write_and_abandon(workdir, ops)
+            with open(wal, "r+b") as fh:
+                fh.truncate(offset)
+            survivors = sum(1 for end in ends if end <= offset)
+            _, state = recover_state(workdir)
+            assert state == expected_state(ops[:survivors])
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_torn_final_record(self, tmp_path):
+        # The canonical crash shape: the last frame is cut mid-payload.
+        ops = make_operations(7, 20)
+        ends = frame_ends(ops)
+        wal = write_and_abandon(str(tmp_path), ops)
+        with open(wal, "r+b") as fh:
+            fh.truncate(ends[-1] - 1)
+        _, state = recover_state(str(tmp_path))
+        assert state == expected_state(ops[:-1])
+
+    def test_flushed_state_survives_wal_loss(self, tmp_path):
+        # Once checkpointed, the data lives in a run: deleting every
+        # WAL segment afterwards must lose nothing.
+        engine = LSMEngine(
+            DurabilityConfig(
+                directory=str(tmp_path), sync=SYNC_OFF, compaction=False
+            )
+        )
+        engine.recover()
+        ops = make_operations(11, 30)
+        engine.apply_batch(ops)
+        engine.checkpoint()
+        engine.close()
+        for name in os.listdir(tmp_path):
+            if name.endswith(".log"):
+                os.remove(tmp_path / name)
+        _, state = recover_state(str(tmp_path))
+        assert state == expected_state(ops)
+
+    def test_writes_after_torn_recovery_are_durable(self, tmp_path):
+        # Regression: recovery must open a *fresh* WAL segment, never
+        # append behind a torn tail (replay stops at the tear, so
+        # records behind it would be acknowledged yet unrecoverable).
+        ops = make_operations(3, 20)
+        ends = frame_ends(ops)
+        wal = write_and_abandon(str(tmp_path), ops)
+        with open(wal, "r+b") as fh:
+            fh.truncate(ends[-1] - 1)
+        engine = LSMEngine(
+            DurabilityConfig(
+                directory=str(tmp_path),
+                sync=SYNC_OFF,
+                memtable_max_bytes=1 << 30,
+                compaction=False,
+            )
+        )
+        engine.recover()
+        engine.put_one(b"post-crash", b"must-survive")
+        engine.close()
+        _, state = recover_state(str(tmp_path))
+        expected = expected_state(ops[:-1])
+        expected[b"post-crash"] = b"must-survive"
+        assert state == expected
+
+    def test_orphan_run_and_tmp_files_are_swept(self, tmp_path):
+        engine = LSMEngine(
+            DurabilityConfig(
+                directory=str(tmp_path), sync=SYNC_OFF, compaction=False
+            )
+        )
+        engine.recover()
+        engine.apply_batch(make_operations(5, 10))
+        engine.checkpoint()
+        engine.close()
+        # Simulate a crash mid-flush: an uncommitted run + temp file.
+        (tmp_path / "run-00000099.sst").write_bytes(b"junk")
+        (tmp_path / "run-00000098.sst.tmp").write_bytes(b"junk")
+        engine2, _ = recover_state(str(tmp_path))
+        names = set(os.listdir(tmp_path))
+        assert "run-00000099.sst" not in names
+        assert "run-00000098.sst.tmp" not in names

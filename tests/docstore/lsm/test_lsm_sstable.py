@@ -1,0 +1,110 @@
+"""SSTable writing, point lookup, scanning, and the bloom filter."""
+
+import os
+
+import pytest
+
+from repro.docstore.lsm.sstable import BloomFilter, SSTable, write_sstable
+from repro.errors import DocumentStoreError
+
+
+def entries(n, tombstone_every=0):
+    out = []
+    for i in range(n):
+        key = b"key-%05d" % i
+        if tombstone_every and i % tombstone_every == 0:
+            out.append((key, None))
+        else:
+            out.append((key, b"value-%05d" % i))
+    return out
+
+
+def build(tmp_path, data, **kwargs):
+    path = str(tmp_path / "run-0.sst")
+    write_sstable(path, data, **kwargs)
+    return SSTable(path)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.sized(500, bits_per_key=10)
+        keys = [b"key-%d" % i for i in range(500)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_is_sane(self):
+        bloom = BloomFilter.sized(1000, bits_per_key=10)
+        for i in range(1000):
+            bloom.add(b"present-%d" % i)
+        false_hits = sum(
+            1 for i in range(10_000) if b"absent-%d" % i in bloom
+        )
+        assert false_hits < 500  # ~1% expected at 10 bits/key
+
+    def test_serialize_roundtrip(self):
+        bloom = BloomFilter.sized(100, bits_per_key=10)
+        bloom.add(b"alpha")
+        back = BloomFilter.deserialize(bloom.serialize())
+        assert b"alpha" in back
+        assert back.nbits == bloom.nbits
+
+
+class TestReadPath:
+    def test_every_key_is_found(self, tmp_path):
+        data = entries(300)
+        table = build(tmp_path, data, sparse_interval=16)
+        for key, value in data:
+            assert table.get(key) == (True, value)
+        table.close()
+
+    def test_missing_keys_miss(self, tmp_path):
+        table = build(tmp_path, entries(100))
+        assert table.get(b"nope") == (False, None)
+        assert table.get(b"key-99999") == (False, None)
+        table.close()
+
+    def test_tombstones_read_back_as_present_none(self, tmp_path):
+        data = entries(64, tombstone_every=4)
+        table = build(tmp_path, data)
+        assert table.get(b"key-00000") == (True, None)
+        assert table.get(b"key-00001") == (True, b"value-00001")
+        table.close()
+
+    def test_iter_entries_preserves_order_and_tombstones(self, tmp_path):
+        data = entries(128, tombstone_every=5)
+        table = build(tmp_path, data, sparse_interval=8)
+        assert list(table.iter_entries()) == data
+        table.close()
+
+    def test_sparse_interval_one_still_works(self, tmp_path):
+        data = entries(40)
+        table = build(tmp_path, data, sparse_interval=1)
+        for key, value in data:
+            assert table.get(key) == (True, value)
+        table.close()
+
+
+class TestWritePath:
+    def test_unsorted_entries_are_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.sst")
+        with pytest.raises(DocumentStoreError):
+            write_sstable(path, [(b"b", b"1"), (b"a", b"2")])
+
+    def test_no_orphan_tmp_file_after_write(self, tmp_path):
+        build(tmp_path, entries(10)).close()
+        assert not [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+
+    def test_tombstone_bytes_accounted(self, tmp_path):
+        clean = build(tmp_path, entries(50))
+        assert clean.tombstone_bytes == 0
+        clean.close()
+        mixed = build(tmp_path, entries(50, tombstone_every=2))
+        assert mixed.tombstone_bytes > 0
+        mixed.close()
+
+    def test_remove_deletes_the_file(self, tmp_path):
+        table = build(tmp_path, entries(5))
+        path = table.path
+        table.remove()
+        assert not os.path.exists(path)

@@ -1,0 +1,108 @@
+"""StreamingIngest: the live-ingest-plus-queries scenario."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology
+from repro.core.approaches import deploy_approach, make_approach
+from repro.datagen import FleetConfig, FleetGenerator
+from repro.docstore.lsm import DurabilityConfig
+from repro.workloads import IngestConfig, IngestReport, StreamingIngest
+from repro.workloads.queries import big_queries
+
+
+def small_deployment(durability=None, n_docs=200):
+    docs = FleetGenerator(FleetConfig(n_vehicles=8)).generate_list(n_docs)
+    return deploy_approach(
+        make_approach("hil"),
+        docs,
+        topology=ClusterTopology(n_shards=2),
+        chunk_max_bytes=64 * 1024,
+        durability=durability,
+    )
+
+
+class TestReportMath:
+    def test_docs_per_second(self):
+        report = IngestReport(docs_ingested=500, ingest_seconds=2.0)
+        assert report.docs_per_second == 250.0
+        assert IngestReport().docs_per_second == 0.0
+
+    def test_latency_summary_orders_percentiles(self):
+        report = IngestReport(
+            read_latency_ms={"Qb1": [5.0, 1.0, 3.0, 2.0, 4.0]}
+        )
+        summary = report.latency_summary_ms()["Qb1"]
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["min"] <= summary["p50"] <= summary["p95"]
+        assert summary["n"] == 5.0
+
+    def test_as_dict_shape(self):
+        keys = set(IngestReport().as_dict())
+        assert {
+            "docsIngested",
+            "docsPerSecond",
+            "readLatencyMs",
+            "liveCounts",
+            "finalCounts",
+        } <= keys
+
+
+class TestScenario:
+    def test_needs_at_least_one_query(self):
+        deployment = small_deployment()
+        try:
+            with pytest.raises(ValueError):
+                StreamingIngest(deployment, queries=[])
+        finally:
+            deployment.cluster.close()
+
+    def test_streams_and_queries_in_memory(self):
+        deployment = small_deployment()
+        try:
+            scenario = StreamingIngest(
+                deployment,
+                IngestConfig(
+                    n_docs=600, batch_size=200, n_vehicles=8, seed=3
+                ),
+                queries=big_queries(),
+            )
+            report = scenario.run()
+            assert report.docs_ingested == 600
+            assert len(report.batch_seconds) == 3
+            assert report.ingest_seconds > 0
+            # Three batches x one query each, round-robin over four.
+            assert sum(
+                len(v) for v in report.read_latency_ms.values()
+            ) == 3
+            # The quiesced pass covers the whole workload.
+            assert set(report.final_counts) == {
+                q.label for q in big_queries()
+            }
+        finally:
+            deployment.cluster.close()
+
+    def test_durable_and_memory_agree_on_final_counts(self, tmp_path):
+        config = IngestConfig(
+            n_docs=400, batch_size=100, n_vehicles=8, seed=5
+        )
+        in_memory = small_deployment()
+        try:
+            memory_report = StreamingIngest(
+                in_memory, config, queries=big_queries()
+            ).run()
+        finally:
+            in_memory.cluster.close()
+        durable = small_deployment(
+            durability=DurabilityConfig(
+                directory=str(tmp_path), memtable_max_bytes=256 * 1024
+            )
+        )
+        try:
+            durable_report = StreamingIngest(
+                durable, config, queries=big_queries()
+            ).run()
+        finally:
+            durable.cluster.close()
+        assert durable_report.final_counts == memory_report.final_counts
+        assert durable_report.docs_ingested == memory_report.docs_ingested
