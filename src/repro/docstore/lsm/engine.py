@@ -12,19 +12,28 @@ One :class:`LSMEngine` owns one directory::
 
 **Write path.**  ``apply_batch`` appends the batch to the WAL (which
 blocks for fsync under the ``always`` policy), applies it to the
-memtable, and — if the memtable exceeded its budget — flushes inline:
-the memtable is frozen, written out as a new run, the manifest is
-swapped, and the now-covered WAL segments are deleted.
+memtable, and — if the memtable exceeded its budget — flushes inline.
+A flush is failure-first: the memtable is written out as a new run and
+the manifest swapped *while the memtable and its WAL segments are
+still live*, so an error anywhere before the manifest commit (ENOSPC
+mid-run, a failed rename) leaves the engine exactly as it was.  Only
+after the commit point is the memtable replaced and are the
+now-covered WAL segments deleted.
 
 **Read path.**  ``get`` consults the memtable first, then runs newest
 to oldest; the first hit (value or tombstone) wins.  Runs are immutable
 and read via ``pread``, so reads never block compaction or each other.
+Compaction retires its inputs by *unlinking without closing*: a reader
+that snapshotted the run list just before the swap keeps reading the
+unlinked files safely, and the descriptors close once the last
+reference drops.
 
 **Locks** (ranks registered with the lock-order sanitizer):
 
 * ``_write_lock``    serializes writers, flushes, and memtable reads;
-* ``_manifest_lock`` guards the run list; the compactor's condition
-  variable rides it.
+* ``_manifest_lock`` guards the run list and the ``_next_file``
+  counter (flushes and the compactor allocate file numbers
+  concurrently); the compactor's condition variable rides it.
 
 The only nesting is ``_write_lock`` -> ``_manifest_lock`` (flush swaps
 the manifest while holding the write lock) and ``_write_lock`` ->
@@ -53,7 +62,11 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.docstore.lsm.compaction import merge_runs, pick_compaction
 from repro.docstore.lsm.memtable import Memtable
-from repro.docstore.lsm.sstable import SSTable, write_sstable
+from repro.docstore.lsm.sstable import (
+    SSTable,
+    _fsync_directory,
+    write_sstable,
+)
 from repro.docstore.lsm.wal import (
     OP_DELETE,
     OP_PUT,
@@ -193,7 +206,7 @@ class LSMEngine:
             live = set(manifest["runs"])
             for name in sorted(os.listdir(self.directory)):
                 path = os.path.join(self.directory, name)
-                if name.endswith(".tmp"):
+                if name.endswith((".tmp", ".manifest-tmp")):
                     os.remove(path)  # crashed mid-write; never visible
                 elif name.endswith(".sst") and name not in live:
                     # Flushed/compacted but never committed.
@@ -203,7 +216,7 @@ class LSMEngine:
                     SSTable(os.path.join(self.directory, name))
                     for name in manifest["runs"]
                 ]
-            self._next_file = manifest["next_file"]
+                self._next_file = manifest["next_file"]
             segments = sorted(
                 name
                 for name in os.listdir(self.directory)
@@ -224,14 +237,19 @@ class LSMEngine:
             # reaches them.  The manifest's counter alone cannot
             # guarantee that — it is only written on flush — so advance
             # past every file number present on disk.
-            for name in segments:
-                self._next_file = max(self._next_file, int(name[4:12]) + 1)
-            for name in live:
-                self._next_file = max(self._next_file, int(name[4:12]) + 1)
-            wal_path = os.path.join(
-                self.directory, "wal-%08d.log" % self._next_file
-            )
-            self._next_file += 1
+            with self._manifest_lock:
+                for name in segments:
+                    self._next_file = max(
+                        self._next_file, int(name[4:12]) + 1
+                    )
+                for name in live:
+                    self._next_file = max(
+                        self._next_file, int(name[4:12]) + 1
+                    )
+                wal_path = os.path.join(
+                    self.directory, "wal-%08d.log" % self._next_file
+                )
+                self._next_file += 1
             self._wal_segments.append(wal_path)
             self._wal = self._make_wal(wal_path)
             if self.config.compaction:
@@ -309,6 +327,26 @@ class LSMEngine:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # The rename itself must be durable before the caller deletes
+        # the WAL segments the new manifest supersedes: with only the
+        # old manifest on disk after a crash, recovery would sweep the
+        # new run as an orphan — and the WAL that could rebuild it
+        # would already be gone.
+        _fsync_directory(self.directory)
+
+    def _allocate_file_numbers(self, count: int) -> int:
+        """Reserve ``count`` consecutive file numbers; returns the first.
+
+        Every read-modify-write of ``_next_file`` happens under
+        ``_manifest_lock``: a flush (holding ``_write_lock``) and the
+        background compactor allocate concurrently, and racing
+        allocations of the same number would have both sides write —
+        and one silently clobber — the same run path.
+        """
+        with self._manifest_lock:
+            first = self._next_file
+            self._next_file += count
+            return first
 
     # -- write path --------------------------------------------------------------
 
@@ -364,11 +402,19 @@ class LSMEngine:
             self._emit(event)
 
     def _flush(self, force: bool) -> Optional[StorageEvent]:
-        """Freeze and flush the memtable to a new run.
+        """Write the memtable out as a new run, then swap engine state.
 
         Returns the flush event, or None if there was nothing to do —
         the budget check re-runs under the lock, so concurrent writers
         racing toward the same trigger produce exactly one flush.
+
+        Ordering is failure-first: the run is written and the manifest
+        committed while the memtable and WAL segments are still live,
+        so an error at any point up to the commit (ENOSPC mid-run, a
+        failed manifest rename) leaves the engine exactly as it was —
+        the data stays readable from the memtable and replayable from
+        the old WAL.  Only past the commit point does the memtable
+        swap out and do the covered segments get deleted.
         """
         with self._write_lock:
             assert self._wal is not None
@@ -379,34 +425,50 @@ class LSMEngine:
                 < self.config.memtable_max_bytes
             ):
                 return None
-            frozen = self._memtable
-            old_segments = list(self._wal_segments)
-            old_wal = self._wal
-            self._memtable = Memtable()
+            first = self._allocate_file_numbers(2)
             run_path = os.path.join(
-                self.directory, "run-%08d.sst" % self._next_file
+                self.directory, "run-%08d.sst" % first
             )
-            self._next_file += 1
             wal_path = os.path.join(
-                self.directory, "wal-%08d.log" % self._next_file
+                self.directory, "wal-%08d.log" % (first + 1)
             )
-            self._next_file += 1
-            self._wal_segments = [wal_path]
-            self._wal = self._make_wal(wal_path)
             run = write_sstable(
                 run_path,
-                frozen.sorted_entries(),
+                self._memtable.sorted_entries(),
                 sparse_interval=self.config.sparse_interval,
                 bloom_bits_per_key=self.config.bloom_bits_per_key,
             )
-            with self._manifest_lock:
-                self._runs.append(run)
-                self._write_manifest_locked()
-                self._storage_epoch += 1
-                self._flushes += 1
-                epoch = self._storage_epoch
-                self._compact_cond.notify_all()
-            # The run is committed; the old segments are now redundant.
+            try:
+                new_wal = self._make_wal(wal_path)
+            except BaseException:
+                run.close()
+                run.remove()
+                raise
+            try:
+                with self._manifest_lock:
+                    self._runs.append(run)
+                    try:
+                        self._write_manifest_locked()
+                    except BaseException:
+                        self._runs.pop()
+                        raise
+                    self._storage_epoch += 1
+                    self._flushes += 1
+                    epoch = self._storage_epoch
+                    self._compact_cond.notify_all()
+            except BaseException:
+                new_wal.delete()
+                run.close()
+                run.remove()
+                raise
+            # Commit point passed: swap in a fresh memtable and WAL —
+            # pure in-memory bookkeeping — and drop the segments the
+            # committed run now covers.
+            old_segments = list(self._wal_segments)
+            old_wal = self._wal
+            self._memtable = Memtable()
+            self._wal_segments = [wal_path]
+            self._wal = new_wal
             old_wal.delete()
             for path in old_segments:
                 if path != old_wal.path and os.path.exists(path):
@@ -512,6 +574,9 @@ class LSMEngine:
             ]
             if len(positions) != len(inputs):
                 # Lost a race with a concurrent compact_now; discard.
+                # Never published, so no reader can hold it: closing
+                # before the unlink is safe here.
+                merged.close()
                 merged.remove()
                 return None
             keep_before = [
@@ -532,6 +597,10 @@ class LSMEngine:
             self._compactions += 1
             epoch = self._storage_epoch
         for run in inputs:
+            # Unlink without closing: a get()/scan() that snapshotted
+            # the run list before the swap may still be pread()ing
+            # these files; the descriptors close when the last
+            # reference to each reader drops.
             run.remove()
         return StorageEvent("compaction", epoch)
 

@@ -266,7 +266,17 @@ class SSTable:
         self._file.close()
 
     def remove(self) -> None:
-        """Close and delete the run file (post-compaction cleanup)."""
-        self.close()
+        """Unlink the run file (post-compaction retirement).
+
+        The descriptor deliberately stays open: readers that
+        snapshotted the engine's run list before retirement keep
+        ``pread``-ing this reader safely, because POSIX keeps the
+        inode alive until the last open descriptor goes away.
+        Closing here instead would hand a racing reader a dead fd —
+        or, if the number got recycled for a new file, bytes from the
+        wrong file.  The fd is released by an explicit :meth:`close`
+        once no reader can hold the run, or when the last reference
+        to this object is garbage-collected.
+        """
         if os.path.exists(self.path):
             os.remove(self.path)

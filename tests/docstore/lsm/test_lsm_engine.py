@@ -1,5 +1,8 @@
 """LSMEngine behaviour: writes, flush, compaction, events, stats."""
 
+import os
+import threading
+
 import pytest
 
 from repro.docstore.lsm import DurabilityConfig, LSMEngine
@@ -83,6 +86,38 @@ class TestFlush:
         assert engine.stats().flushes == before
         engine.close()
 
+    def test_failed_run_write_leaves_state_intact(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: a flush that dies mid-run-write (ENOSPC shape)
+        # must not swap the memtable or drop WAL segments — the data
+        # stays visible and a later flush succeeds cleanly.
+        import repro.docstore.lsm.engine as engine_mod
+
+        engine = make_engine(tmp_path, memtable_max_bytes=1 << 20)
+        fill(engine, 20)
+
+        def boom(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(engine_mod, "write_sstable", boom)
+        with pytest.raises(OSError):
+            engine.checkpoint()
+        monkeypatch.undo()
+        stats = engine.stats()
+        assert stats.flushes == 0
+        assert stats.n_runs == 0
+        assert stats.memtable_entries == 20
+        assert engine.get(b"key-00000") == b"value-00000" * 4
+        engine.checkpoint()
+        assert engine.stats().n_runs == 1
+        logs = [p for p in tmp_path.iterdir() if p.suffix == ".log"]
+        assert len(logs) == 1  # old segments deleted only on success
+        engine.close()
+        engine2 = make_engine(tmp_path, memtable_max_bytes=1 << 20)
+        assert engine2.get(b"key-00019") == b"value-00019" * 4
+        engine2.close()
+
 
 class TestCompaction:
     def test_compact_now_merges_runs(self, tmp_path):
@@ -121,6 +156,70 @@ class TestCompaction:
         live = dict(engine.scan())
         assert len(live) == 30
         assert all(key.startswith(b"new-") for key in live)
+        engine.close()
+
+    def test_retired_runs_stay_readable_for_snapshots(self, tmp_path):
+        # Regression: compaction retires inputs by unlinking only, so
+        # a reader that snapshotted the run list just before the swap
+        # keeps pread()ing them — closing would hand it a dead fd (or
+        # a recycled one pointing at the wrong file).
+        engine = make_engine(tmp_path, memtable_max_bytes=1 << 20)
+        for round_ in range(2):
+            fill(engine, 20, start=round_ * 20)
+            engine.checkpoint()
+        with engine._manifest_lock:
+            snapshot = list(engine._runs)
+        assert engine.compact_now() is True
+        assert not os.path.exists(snapshot[0].path)
+        found, value = snapshot[0].get(b"key-00000")
+        assert found and value == b"value-00000" * 4
+        for run in snapshot:
+            run.close()
+        engine.close()
+
+    def test_no_loss_under_concurrent_writers_and_compaction(
+        self, tmp_path
+    ):
+        # Flushes (under the write lock) and background compactions
+        # allocate file numbers and retire runs concurrently; racing
+        # allocations or eager fd closes would lose or corrupt data.
+        engine = make_engine(
+            tmp_path,
+            memtable_max_bytes=1_500,
+            compaction=True,
+            compaction_min_runs=2,
+            sync="off",
+        )
+        n_threads, per_thread = 4, 150
+        errors = []
+
+        def writer(t):
+            try:
+                for i in range(per_thread):
+                    key = b"t%d-%05d" % (t, i)
+                    engine.put_one(key, key * 6)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        # Reads race flushes and run retirement the whole time.
+        for _ in range(50):
+            engine.get(b"t0-00000")
+            dict(engine.scan())
+        for thread in threads:
+            thread.join()
+        assert not errors
+        live = dict(engine.scan())
+        assert len(live) == n_threads * per_thread
+        for t in range(n_threads):
+            for i in range(per_thread):
+                key = b"t%d-%05d" % (t, i)
+                assert live[key] == key * 6
         engine.close()
 
     def test_compact_now_requires_background_off(self, tmp_path):

@@ -176,10 +176,14 @@ class TestCrashAtArbitraryOffsets:
         engine.apply_batch(make_operations(5, 10))
         engine.checkpoint()
         engine.close()
-        # Simulate a crash mid-flush: an uncommitted run + temp file.
+        # Simulate a crash mid-flush: an uncommitted run + temp file,
+        # plus a manifest rewrite cut before its os.replace.
         (tmp_path / "run-00000099.sst").write_bytes(b"junk")
         (tmp_path / "run-00000098.sst.tmp").write_bytes(b"junk")
+        (tmp_path / "MANIFEST.json.manifest-tmp").write_bytes(b"junk")
         engine2, _ = recover_state(str(tmp_path))
         names = set(os.listdir(tmp_path))
         assert "run-00000099.sst" not in names
         assert "run-00000098.sst.tmp" not in names
+        assert "MANIFEST.json.manifest-tmp" not in names
+        assert "MANIFEST.json" in names
