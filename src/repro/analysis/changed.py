@@ -1,0 +1,107 @@
+"""Scope an analysis run to a change and its call-graph blast radius.
+
+``--changed-only`` mode still parses and checks the whole tree — the
+project checkers need every module to resolve the call graph — but
+reports only findings in files the change can actually affect: the
+files that differ from a git ref (default ``origin/main``), plus every
+module that transitively *calls into* a changed module.  Callers are
+the right closure direction: editing a callee can change the effects a
+caller inlines (lock sets, fs-effect summaries), so the caller's
+findings may appear or disappear even though its text did not move.
+
+The scope is module-granular.  Symbol-level slicing would be tighter,
+but fingerprints are per (rule, path, symbol, ordinal) and dropping
+whole files keeps every surviving ordinal identical to the full run's,
+so baselines match either way.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import CallGraph
+
+__all__ = [
+    "DEFAULT_REF",
+    "ChangedFilesError",
+    "changed_files",
+    "dependent_modules",
+]
+
+DEFAULT_REF = "origin/main"
+
+
+class ChangedFilesError(RuntimeError):
+    """Raised when git cannot produce the changed-file list."""
+
+
+def _git_lines(root: Path, argv: List[str]) -> List[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *argv],
+            cwd=str(root),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except FileNotFoundError as exc:
+        raise ChangedFilesError("git is not available: %s" % exc) from exc
+    except subprocess.CalledProcessError as exc:
+        raise ChangedFilesError(
+            "git %s failed: %s" % (" ".join(argv), exc.stderr.strip())
+        ) from exc
+    return [line for line in proc.stdout.splitlines() if line]
+
+
+def changed_files(root: str | Path, ref: str = DEFAULT_REF) -> List[str]:
+    """Repo-relative posix paths that differ from ``ref``.
+
+    Covers the working tree against the ref (staged and unstaged edits
+    alike) plus untracked files git does not ignore — a new module is
+    "changed" even before its first ``git add``.
+    """
+    root_path = Path(root)
+    changed: Set[str] = set(
+        _git_lines(root_path, ["diff", "--name-only", ref])
+    )
+    changed.update(
+        _git_lines(
+            root_path, ["ls-files", "--others", "--exclude-standard"]
+        )
+    )
+    return sorted(changed)
+
+
+def dependent_modules(
+    changed: Iterable[str], callgraph: "CallGraph"
+) -> Set[str]:
+    """The changed paths plus their transitive reverse dependents.
+
+    A module depends on another when any of its functions calls (or
+    closes over, or spawns) a symbol defined there; the closure walks
+    caller-ward from every changed path.  Paths the call graph never
+    saw (tests, docs, deleted files) stay in the scope untouched — they
+    simply have no dependents.
+    """
+    module_of: Dict[str, str] = {
+        symbol: info.module.path
+        for symbol, info in callgraph.functions.items()
+    }
+    callers_of: Dict[str, Set[str]] = {}
+    for edge in callgraph.edges:
+        caller = module_of.get(edge.caller)
+        callee = module_of.get(edge.callee)
+        if caller and callee and caller != callee:
+            callers_of.setdefault(callee, set()).add(caller)
+    scope: Set[str] = set(changed)
+    frontier: List[str] = list(scope)
+    while frontier:
+        module = frontier.pop()
+        for caller in callers_of.get(module, ()):
+            if caller not in scope:
+                scope.add(caller)
+                frontier.append(caller)
+    return scope

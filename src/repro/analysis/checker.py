@@ -6,21 +6,34 @@ objects; :func:`run_analysis` walks the requested paths, parses every
 Python file once, and fans each module out to every registered
 checker.  Checkers register themselves with the :func:`register`
 decorator so the CLI and tests discover them the same way.
+
+Project-wide checkers share one :class:`ProjectContext` per run: the
+call graph and lock analysis are computed lazily, once, and handed to
+every :class:`ProjectChecker` — the lock-order and fs-consistency
+families both walk the PR-3 call graph, and resolving it twice would
+double the most expensive phase of the run.
 """
 
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.analysis.findings import Finding, Severity, assign_ordinals
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.fsmodel import FsModel
+    from repro.analysis.lockgraph import LockAnalysis
 
 __all__ = [
     "Checker",
     "ModuleInfo",
     "ProjectChecker",
+    "ProjectContext",
     "register",
     "registered_checkers",
     "run_analysis",
@@ -49,10 +62,55 @@ class Checker:
     name: str = ""
     description: str = ""
     rules: Dict[str, str] = {}
+    #: Rule id → a paragraph explaining the failure mode and the fix;
+    #: surfaced as the SARIF ``fullDescription``.
+    rule_details: Dict[str, str] = {}
+    #: Rule id → the severity a fresh finding gets; surfaced as the
+    #: SARIF ``defaultConfiguration.level``.
+    rule_levels: Dict[str, Severity] = {}
+    #: Documentation anchor for the family (SARIF ``helpUri``).
+    help_uri: str = ""
 
     def check(self, module: ModuleInfo) -> List[Finding]:
         """Findings this checker raises against one module."""
         raise NotImplementedError
+
+
+class ProjectContext:
+    """Lazily-computed whole-project analyses, shared per run.
+
+    Each property is computed on first use and cached, so a run where
+    no project checker is selected pays nothing, and a run with several
+    resolves the call graph exactly once.
+    """
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self._locks: Optional["LockAnalysis"] = None
+        self._fs: Optional["FsModel"] = None
+
+    @property
+    def locks(self) -> "LockAnalysis":
+        """The PR-3 lock analysis (registry, held sets, order graph)."""
+        if self._locks is None:
+            from repro.analysis.lockgraph import analyze_locks
+
+            self._locks = analyze_locks(self.modules)
+        return self._locks
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        """The resolved project call graph (owned by the lock pass)."""
+        return self.locks.callgraph
+
+    @property
+    def fs_model(self) -> "FsModel":
+        """Filesystem-effect summaries over the shared call graph."""
+        if self._fs is None:
+            from repro.analysis.fsmodel import build_fs_model
+
+            self._fs = build_fs_model(self.modules, self.callgraph)
+        return self._fs
 
 
 class ProjectChecker(Checker):
@@ -61,7 +119,9 @@ class ProjectChecker(Checker):
     Per-module checkers cannot reason about locks acquired in one
     function and released in another file; subclasses implement
     :meth:`check_project` and receive every parsed module together,
-    after all per-module checkers ran.
+    after all per-module checkers ran, plus the shared
+    :class:`ProjectContext` (built on the fly when a test drives the
+    checker directly without one).
     """
 
     def check(self, module: ModuleInfo) -> List[Finding]:
@@ -69,7 +129,9 @@ class ProjectChecker(Checker):
         return []
 
     def check_project(
-        self, modules: Sequence[ModuleInfo]
+        self,
+        modules: Sequence[ModuleInfo],
+        context: Optional[ProjectContext] = None,
     ) -> List[Finding]:
         """Findings raised against the whole module set."""
         raise NotImplementedError
@@ -145,17 +207,49 @@ def load_module(path: Path, root: Path) -> ModuleInfo | Finding:
     )
 
 
+def _analyze_one(
+    path_str: str, root_str: str, checker_names: Sequence[str]
+) -> Tuple[Optional[ModuleInfo], List[Finding]]:
+    """Parse one file and run the per-module checkers on it.
+
+    Module-level (and argument-picklable) so ``--jobs`` can ship it to
+    a worker process; the parsed :class:`ModuleInfo` travels back for
+    the project checkers, so each file is still parsed exactly once.
+    """
+    registry = registered_checkers()
+    loaded = load_module(Path(path_str), Path(root_str))
+    if isinstance(loaded, Finding):
+        return None, [loaded]
+    findings: List[Finding] = []
+    for name in checker_names:
+        checker = registry[name]()
+        if not isinstance(checker, ProjectChecker):
+            findings.extend(checker.check(loaded))
+    return loaded, findings
+
+
 def run_analysis(
     paths: Sequence[str],
     root: str | Path = ".",
     select: Optional[Sequence[str]] = None,
     checker_names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    changed_scope: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
     """Run checkers over the given paths and return ordered findings.
 
     ``select`` keeps only rule ids starting with one of the given
     prefixes (e.g. ``["LD", "DT001"]``); ``checker_names`` restricts
-    which checkers run.
+    which checkers run.  ``jobs > 1`` fans the per-file phase (parse +
+    per-module checkers) out to that many worker processes; project
+    checkers always run in-process afterwards, over the shared
+    :class:`ProjectContext`.
+
+    ``changed_scope`` (a list of repo-relative changed paths) keeps
+    only findings in those files or their transitive call-graph
+    dependents; the analysis itself still covers everything, so
+    project checkers see the same world as a full run and surviving
+    fingerprints are bit-identical to the full run's.
     """
     root_path = Path(root).resolve()
     registry = registered_checkers()
@@ -164,25 +258,44 @@ def run_analysis(
         if unknown:
             raise ValueError("unknown checkers: %s" % sorted(unknown))
         registry = {name: registry[name] for name in checker_names}
-    checkers = [cls() for _name, cls in sorted(registry.items())]
+    selected_names = sorted(registry)
+    files = list(iter_python_files(paths, root_path))
     findings: List[Finding] = []
     modules: List[ModuleInfo] = []
-    for path in iter_python_files(paths, root_path):
-        loaded = load_module(path, root_path)
-        if isinstance(loaded, Finding):
-            findings.append(loaded)
-            continue
-        modules.append(loaded)
-        for checker in checkers:
-            if not isinstance(checker, ProjectChecker):
-                findings.extend(checker.check(loaded))
-    for checker in checkers:
+    if jobs > 1 and len(files) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = pool.map(
+                _analyze_one,
+                [str(p) for p in files],
+                [str(root_path)] * len(files),
+                [selected_names] * len(files),
+            )
+            for module, module_findings in results:
+                findings.extend(module_findings)
+                if module is not None:
+                    modules.append(module)
+    else:
+        for path in files:
+            module, module_findings = _analyze_one(
+                str(path), str(root_path), selected_names
+            )
+            findings.extend(module_findings)
+            if module is not None:
+                modules.append(module)
+    context = ProjectContext(modules)
+    for name in selected_names:
+        checker = registry[name]()
         if isinstance(checker, ProjectChecker):
-            findings.extend(checker.check_project(modules))
+            findings.extend(checker.check_project(modules, context))
     if select:
         findings = [
             f
             for f in findings
             if any(f.rule_id.startswith(prefix) for prefix in select)
         ]
+    if changed_scope is not None:
+        from repro.analysis.changed import dependent_modules
+
+        scope = dependent_modules(changed_scope, context.callgraph)
+        findings = [f for f in findings if f.path in scope]
     return assign_ordinals(findings)

@@ -7,6 +7,7 @@ from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.docstore_invariants import (
     DocstoreInvariantsChecker,
 )
+from repro.analysis.checkers.fsconsistency import FsConsistencyChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
 from repro.analysis.checkers.lockorder import LockOrderChecker
 
@@ -14,6 +15,7 @@ __all__ = [
     "ConcurrencyChecker",
     "DeterminismChecker",
     "DocstoreInvariantsChecker",
+    "FsConsistencyChecker",
     "LockDisciplineChecker",
     "LockOrderChecker",
 ]

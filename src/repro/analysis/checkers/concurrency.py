@@ -59,6 +59,40 @@ class ConcurrencyChecker(Checker):
             "the caller forever"
         ),
     }
+    rule_details = {
+        "CH001": (
+            "Reading shared state to decide whether to write it is "
+            "only atomic under the lock that guards the state; two "
+            "threads passing the check concurrently both act, and the "
+            "second silently clobbers the first.  Hold the class's "
+            "lock across the check and the act."
+        ),
+        "CH002": (
+            "Lazy initialisation outside the lock lets two threads "
+            "observe the attribute unset and both build it; one "
+            "build (and anything registered against it) is lost.  "
+            "Initialise under the lock or eagerly in __init__."
+        ),
+        "CH003": (
+            "A non-daemon thread that is never joined outlives the "
+            "function that spawned it and can keep the process alive "
+            "at shutdown.  Either join it on every exit path or mark "
+            "it daemon=True so interpreter exit is not blocked."
+        ),
+        "CH004": (
+            "Future.result() with no timeout turns a stuck worker "
+            "into a stuck caller.  Pass a timeout, or wait on the "
+            "future's completion first so the result call cannot "
+            "block."
+        ),
+    }
+    rule_levels = {
+        "CH001": Severity.ERROR,
+        "CH002": Severity.ERROR,
+        "CH003": Severity.WARNING,
+        "CH004": Severity.WARNING,
+    }
+    help_uri = "DESIGN.md#rule-catalog"
 
     def check(self, module: ModuleInfo) -> List[Finding]:
         """Run all CH rules over one module."""

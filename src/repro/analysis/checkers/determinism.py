@@ -113,6 +113,32 @@ class DeterminismChecker(Checker):
             "time.time() only for reported timestamps"
         ),
     }
+    rule_details = {
+        "DT001": (
+            "Set iteration order depends on hash seeding, so any "
+            "output derived from it differs between runs and Python "
+            "versions — benchmark tables are diffed across both.  "
+            "Wrap the set in sorted() unless the result is consumed "
+            "whole (sum, min, max, another set)."
+        ),
+        "DT002": (
+            "set.pop() removes an arbitrary element, so work order "
+            "and tie-breaking vary per run.  Pick deterministically: "
+            "sorted(s)[0], min(s), or max(s)."
+        ),
+        "DT003": (
+            "time.time() is wall-clock: NTP steps and DST make "
+            "durations computed from it wrong by arbitrary amounts.  "
+            "Use time.perf_counter() or time.monotonic() for "
+            "durations; time.time() is fine for reported timestamps."
+        ),
+    }
+    rule_levels = {
+        "DT001": Severity.ERROR,
+        "DT002": Severity.ERROR,
+        "DT003": Severity.WARNING,
+    }
+    help_uri = "DESIGN.md#rule-catalog"
 
     def check(self, module: ModuleInfo) -> List[Finding]:
         """Run all DT rules over one module."""

@@ -84,6 +84,26 @@ class DocstoreInvariantsChecker(Checker):
             "argument; copy before modifying"
         ),
     }
+    rule_details = {
+        "DS001": (
+            "repro.docstore is the storage engine; importing the "
+            "service or cluster layers above it inverts the "
+            "dependency arrow and makes the engine untestable in "
+            "isolation.  Move the shared code down, or pass the "
+            "dependency in."
+        ),
+        "DS002": (
+            "A public docstore entry point that mutates its argument "
+            "surprises every caller that reuses the document — the "
+            "service layer batches and retries inserts.  Copy before "
+            "modifying."
+        ),
+    }
+    rule_levels = {
+        "DS001": Severity.ERROR,
+        "DS002": Severity.ERROR,
+    }
+    help_uri = "DESIGN.md#rule-catalog"
 
     def check(self, module: ModuleInfo) -> List[Finding]:
         """Run all DS rules over one module."""

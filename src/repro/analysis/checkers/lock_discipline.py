@@ -172,6 +172,31 @@ class LockDisciplineChecker(Checker):
             "lock-holding scope"
         ),
     }
+    rule_details = {
+        "LD001": (
+            "An acquire with no release on some unwind path leaks the "
+            "lock the first time that path raises — the bug class "
+            "behind the PR-1 timeout-path leak.  Use a with-statement, "
+            "or release in a finally that covers every exit."
+        ),
+        "LD002": (
+            "Acquiring multiple locks in arbitrary order deadlocks "
+            "against any other multi-lock holder using a different "
+            "order.  Iterate the lock collection in sorted key order, "
+            "as the targeted-shard read path does."
+        ),
+        "LD003": (
+            "An attribute of a lock-owning class written outside any "
+            "lock scope races every reader that does take the lock.  "
+            "Mutate under the class's own lock."
+        ),
+    }
+    rule_levels = {
+        "LD001": Severity.ERROR,
+        "LD002": Severity.ERROR,
+        "LD003": Severity.WARNING,
+    }
+    help_uri = "DESIGN.md#rule-catalog"
 
     def check(self, module: ModuleInfo) -> List[Finding]:
         """Run all LD rules over one module."""

@@ -11,11 +11,15 @@ the balancing ``finally``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.checker import ModuleInfo, ProjectChecker, register
+from repro.analysis.checker import (
+    ModuleInfo,
+    ProjectChecker,
+    ProjectContext,
+    register,
+)
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.lockgraph import analyze_locks
 
 __all__ = ["LockOrderChecker"]
 
@@ -49,11 +53,44 @@ class LockOrderChecker(ProjectChecker):
             "a reachable release on the caller's unwind path."
         ),
     }
+    rule_details = {
+        "LK001": (
+            "Two code paths acquiring the same locks in opposite "
+            "orders deadlock the first time they interleave; no "
+            "single function shows the cycle, only the call-graph "
+            "propagation of held-lock sets does.  Fix by imposing one "
+            "global acquisition order."
+        ),
+        "LK002": (
+            "A blocking call with no timeout made while locks are "
+            "held turns a slow peer into a lock convoy — and into a "
+            "deadlock if the awaited work needs one of the held "
+            "locks.  Pass a timeout or move the wait outside the "
+            "lock."
+        ),
+        "LK003": (
+            "A callee that returns with locks still held transfers "
+            "release responsibility to its caller; a caller without a "
+            "release on every unwind path leaks the lock on the first "
+            "exception.  Release where you acquire, or wrap the pair "
+            "in a context manager."
+        ),
+    }
+    rule_levels = {
+        "LK001": Severity.ERROR,
+        "LK002": Severity.WARNING,
+        "LK003": Severity.ERROR,
+    }
+    help_uri = "DESIGN.md#rule-catalog"
 
     def check_project(
-        self, modules: Sequence[ModuleInfo]
+        self,
+        modules: Sequence[ModuleInfo],
+        context: Optional[ProjectContext] = None,
     ) -> List[Finding]:
-        analysis = analyze_locks(modules)
+        if context is None:
+            context = ProjectContext(modules)
+        analysis = context.locks
         findings: List[Finding] = []
         findings.extend(self._cycles(analysis))
         findings.extend(self._blocking(analysis))

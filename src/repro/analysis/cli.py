@@ -14,6 +14,11 @@ from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
 
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.changed import (
+    DEFAULT_REF,
+    ChangedFilesError,
+    changed_files,
+)
 from repro.analysis.checker import registered_checkers, run_analysis
 from repro.analysis.findings import Finding
 from repro.analysis.sarif import to_sarif
@@ -71,6 +76,33 @@ def build_parser() -> argparse.ArgumentParser:
         dest="checkers",
         default=None,
         help="run only this checker (repeatable)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "parse files and run per-module checkers in N worker "
+            "processes (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report only findings in files changed against "
+            "--changed-ref, plus their transitive call-graph dependents"
+        ),
+    )
+    parser.add_argument(
+        "--changed-ref",
+        default=DEFAULT_REF,
+        metavar="REF",
+        help=(
+            "git ref --changed-only diffs the working tree against "
+            "(default: %s)" % DEFAULT_REF
+        ),
     )
     parser.add_argument(
         "--fail-on-stale",
@@ -171,8 +203,29 @@ def main(
     select = (
         [s for s in args.select.split(",") if s] if args.select else None
     )
+    changed_scope = None
+    if args.changed_only:
+        if args.write_baseline:
+            # A scoped run cannot see every finding, so rewriting the
+            # baseline from it would silently drop the out-of-scope
+            # entries.
+            stream.write(
+                "--write-baseline cannot be combined with "
+                "--changed-only\n"
+            )
+            return 2
+        try:
+            changed_scope = changed_files(root, args.changed_ref)
+        except ChangedFilesError as exc:
+            stream.write("error: %s\n" % exc)
+            return 2
     findings = run_analysis(
-        args.paths, root=root, select=select, checker_names=args.checkers
+        args.paths,
+        root=root,
+        select=select,
+        checker_names=args.checkers,
+        jobs=args.jobs,
+        changed_scope=changed_scope,
     )
     baseline = Baseline()
     baseline_path: Optional[Path] = None
@@ -182,7 +235,13 @@ def main(
             baseline_path = root / baseline_path
         baseline = Baseline.load(baseline_path)
     new, suppressed, stale_entries = baseline.split(findings)
-    stale = [entry.fingerprint for entry in stale_entries]
+    # A scoped run never saw the out-of-scope files, so their baseline
+    # entries are not evidence of staleness.
+    stale = (
+        []
+        if args.changed_only
+        else [entry.fingerprint for entry in stale_entries]
+    )
     missing = baseline.missing_file_entries(root)
     unjustified = (
         baseline.unjustified_entries()

@@ -72,7 +72,7 @@ Held = Tuple[str, str]
 
 FACTORY_KINDS: Dict[str, str] = {
     "Lock": "mutex",
-    "RLock": "mutex",
+    "RLock": "rmutex",
     "Condition": "condition",
     "Semaphore": "semaphore",
     "BoundedSemaphore": "semaphore",
@@ -107,7 +107,7 @@ class LockKey:
     """One lock-like object (or collection of them) in the project."""
 
     symbol: str
-    kind: str  # mutex | rwlock | condition | semaphore
+    kind: str  # mutex | rmutex | rwlock | condition | semaphore
     collection: bool = False
 
 
@@ -159,9 +159,12 @@ class LockOrderGraph:
         """Lock-order cycles, each as a sorted list of key symbols.
 
         Ordered self-edges (sorted-collection acquisition) are not
-        cycles; unordered self-edges are.  ``restrict`` limits the
-        graph to the given keys (used by runtime cross-validation,
-        which can only observe instrumented locks).
+        cycles; unordered self-edges are — unless the key is a
+        re-entrant mutex (``threading.RLock``), where re-acquiring
+        while held is the documented contract, not a deadlock.
+        ``restrict`` limits the graph to the given keys (used by
+        runtime cross-validation, which can only observe instrumented
+        locks).
         """
         nodes: Set[str] = set()
         adjacency: Dict[str, Set[str]] = {}
@@ -174,7 +177,9 @@ class LockOrderGraph:
             nodes.add(edge.src)
             nodes.add(edge.dst)
             if edge.src == edge.dst:
-                if not edge.ordered:
+                key = self.keys.get(edge.src)
+                reentrant = key is not None and key.kind == "rmutex"
+                if not edge.ordered and not reentrant:
                     self_cycles.add(edge.src)
                 continue
             adjacency.setdefault(edge.src, set()).add(edge.dst)

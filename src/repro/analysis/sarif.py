@@ -31,18 +31,34 @@ _LEVELS = {
 
 
 def _rule_catalog() -> List[dict]:
-    """Every registered rule as a SARIF reportingDescriptor."""
+    """Every registered rule as a SARIF reportingDescriptor.
+
+    Beyond the id and one-liner, each descriptor carries the rule's
+    full failure-mode paragraph, its default severity, and the
+    documentation anchor — code-scanning UIs render these on the
+    rule page, so a finding is actionable without opening the
+    checker source.
+    """
     rules: List[dict] = []
     for _name, cls in sorted(registered_checkers().items()):
         for rule_id, text in sorted(cls.rules.items()):
-            rules.append(
-                {
-                    "id": rule_id,
-                    "name": rule_id,
-                    "shortDescription": {"text": text},
-                    "properties": {"checker": cls.name},
+            descriptor: Dict[str, object] = {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {"text": text},
+                "properties": {"checker": cls.name},
+            }
+            detail = cls.rule_details.get(rule_id)
+            if detail:
+                descriptor["fullDescription"] = {"text": detail}
+            level = cls.rule_levels.get(rule_id)
+            if level is not None:
+                descriptor["defaultConfiguration"] = {
+                    "level": _LEVELS[level]
                 }
-            )
+            if cls.help_uri:
+                descriptor["helpUri"] = cls.help_uri
+            rules.append(descriptor)
     return rules
 
 

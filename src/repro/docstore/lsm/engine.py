@@ -312,12 +312,18 @@ class LSMEngine:
             raise DocumentStoreError("corrupt manifest at %s" % path)
         return manifest
 
-    def _write_manifest_locked(self) -> None:
-        """Atomically rewrite MANIFEST.json; caller holds _manifest_lock."""
+    def _write_manifest_locked(self, runs: List[SSTable]) -> None:
+        """Atomically commit ``runs`` as the new manifest.
+
+        Caller holds ``_manifest_lock``.  Takes the *prospective* run
+        list rather than reading ``self._runs`` so callers can commit
+        first and mutate engine state only once the new manifest is
+        durable — the commit point stays ahead of every state swap.
+        """
         path = os.path.join(self.directory, _MANIFEST)
         payload = json.dumps(
             {
-                "runs": [os.path.basename(r.path) for r in self._runs],
+                "runs": [os.path.basename(r.path) for r in runs],
                 "next_file": self._next_file,
             }
         )
@@ -446,12 +452,10 @@ class LSMEngine:
                 raise
             try:
                 with self._manifest_lock:
+                    # Commit first: the run list only changes once the
+                    # new manifest is durable on disk.
+                    self._write_manifest_locked(self._runs + [run])
                     self._runs.append(run)
-                    try:
-                        self._write_manifest_locked()
-                    except BaseException:
-                        self._runs.pop()
-                        raise
                     self._storage_epoch += 1
                     self._flushes += 1
                     epoch = self._storage_epoch
@@ -591,8 +595,12 @@ class LSMEngine:
             ]
             # The merged run replaces its inputs at the oldest input's
             # position, preserving the oldest->newest manifest order.
-            self._runs = keep_before + [merged] + keep_after
-            self._write_manifest_locked()
+            # Commit the swap to disk before rebinding the run list: a
+            # failed manifest write must leave the engine on the old
+            # (still fully durable) run set.
+            new_runs = keep_before + [merged] + keep_after
+            self._write_manifest_locked(new_runs)
+            self._runs = new_runs
             self._storage_epoch += 1
             self._compactions += 1
             epoch = self._storage_epoch

@@ -124,7 +124,15 @@ def iter_wal_records(path: str) -> Iterator[WalRecord]:
         payload = data[start:end]
         if zlib.crc32(payload) != crc:
             return  # corrupt frame: stop replay here
-        yield WalRecord.decode(payload)
+        try:
+            record = WalRecord.decode(payload)
+        except DocumentStoreError:
+            # The frame checks out but its content is not a record — a
+            # CRC collision on torn or garbage bytes.  That is the same
+            # corruption boundary as a failed CRC: stop replay rather
+            # than poison recovery with an exception.
+            return
+        yield record
         offset = end
 
 

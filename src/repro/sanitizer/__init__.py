@@ -1,13 +1,16 @@
-"""Runtime lock-order sanitizer.
+"""Runtime sanitizers: lock order and filesystem crash consistency.
 
-The static lock-order analysis (:mod:`repro.analysis.lockgraph`) and
-this package check each other: instrumented locks record the per-thread
-acquisition graph while tests and stress runs execute, the sanitizer
-flags cycles, inversions, and long-held read locks live, and
-:func:`~repro.sanitizer.crossval.cross_validate` compares the observed
-graph against the static one.  A runtime edge the analyzer cannot
-explain is an analyzer blind spot and fails the run; a static cycle
-the tests never reproduce must be justified.
+The static analyses (:mod:`repro.analysis.lockgraph`,
+:mod:`repro.analysis.fsmodel`) and this package check each other.
+Instrumented locks record the per-thread acquisition graph while tests
+and stress runs execute, and :func:`cross_validate` compares the
+observed graph against the static one.  The filesystem-trace oracle
+(:class:`FsTracer`) records the write path's syscall-level effects,
+flags ordering violations live, replays crash prefixes at effect
+boundaries, and :func:`cross_validate_fs` holds the trace and the
+static FS model to account for each other: a runtime ordering the
+model claimed impossible fails the run, and so does a static finding
+no trace or justification can back.
 """
 
 from repro.sanitizer.core import (
@@ -15,7 +18,23 @@ from repro.sanitizer.core import (
     ObservedEdge,
     SanitizerViolation,
 )
-from repro.sanitizer.crossval import CrossValidationReport, cross_validate
+from repro.sanitizer.crossval import (
+    CrossValidationReport,
+    FsCrossValidationReport,
+    cross_validate,
+    cross_validate_fs,
+)
+from repro.sanitizer.fstrace import (
+    LSM_FS_PATHS,
+    MUTATING_OPS,
+    CrashReplayResult,
+    FsEvent,
+    FsTracer,
+    FsViolation,
+    InjectedCrash,
+    lsm_fs_modules,
+    sweep_crash_boundaries,
+)
 from repro.sanitizer.instrument import (
     INSTRUMENTED_KEYS,
     LSM_INSTRUMENTED_KEYS,
@@ -31,12 +50,20 @@ from repro.sanitizer.instrument import (
 from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
 
 __all__ = [
+    "CrashReplayResult",
     "CrossValidationReport",
+    "FsCrossValidationReport",
+    "FsEvent",
+    "FsTracer",
+    "FsViolation",
     "INSTRUMENTED_KEYS",
+    "InjectedCrash",
+    "LSM_FS_PATHS",
     "LSM_INSTRUMENTED_KEYS",
     "LSM_MANIFEST_LOCK_KEY",
     "LSM_WRITE_LOCK_KEY",
     "LockOrderSanitizer",
+    "MUTATING_OPS",
     "ObservedEdge",
     "PLAN_CACHE_LOCK_KEY",
     "SHARD_LOCKS_KEY",
@@ -46,6 +73,9 @@ __all__ = [
     "TARGETING_CACHE_LOCK_KEY",
     "WAL_LOCK_KEY",
     "cross_validate",
+    "cross_validate_fs",
     "instrument_lsm_engine",
     "instrument_query_service",
+    "lsm_fs_modules",
+    "sweep_crash_boundaries",
 ]

@@ -17,13 +17,25 @@ test of the other:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Set
 
+from repro.analysis.findings import Finding
 from repro.analysis.lockgraph import LockOrderGraph
 from repro.sanitizer.core import LockOrderSanitizer, ObservedEdge
+from repro.sanitizer.fstrace import (
+    LSM_FS_PATHS,
+    CrashReplayResult,
+    FsViolation,
+)
 
-__all__ = ["CrossValidationReport", "cross_validate"]
+__all__ = [
+    "CrossValidationReport",
+    "FsCrossValidationReport",
+    "cross_validate",
+    "cross_validate_fs",
+]
 
 
 @dataclass
@@ -106,4 +118,138 @@ def cross_validate(
         if any(key in reproduced_keys for key in cycle):
             continue
         report.unreproduced_static_cycles.append(cycle)
+    return report
+
+
+#: The static FS rules the runtime oracle can observe.  FS005 (sweep
+#: coverage) and FS006 (lock-hold perf note) have no runtime event
+#: shape — a *missing* sweep or a merely-slow fsync never shows up in
+#: a trace — so cross-validation does not demand them back.
+_OBSERVABLE_FS_RULES = ("FS001", "FS002", "FS003", "FS004")
+
+
+@dataclass
+class FsCrossValidationReport:
+    """The outcome of one static-vs-trace FS comparison."""
+
+    unexplained_runtime_violations: List[FsViolation] = field(
+        default_factory=list
+    )
+    unmanifested_static_findings: List[Finding] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the static model and the trace explain each other."""
+        return (
+            not self.unexplained_runtime_violations
+            and not self.unmanifested_static_findings
+        )
+
+    def render(self) -> str:
+        """Human-readable report, one line per discrepancy."""
+        if self.ok:
+            return (
+                "fs cross-validation OK: trace and static model agree"
+            )
+        lines: List[str] = []
+        for violation in self.unexplained_runtime_violations:
+            lines.append(
+                "runtime %s violation (%s, seq %d) has no static %s "
+                "finding in the traced modules — analyzer blind spot: "
+                "%s"
+                % (
+                    violation.family,
+                    violation.kind,
+                    violation.seq,
+                    violation.family,
+                    violation.detail,
+                )
+            )
+        for finding in self.unmanifested_static_findings:
+            lines.append(
+                "static finding %s never manifested in the trace and "
+                "is not justified: %s:%d %s"
+                % (
+                    finding.fingerprint,
+                    finding.path,
+                    finding.line,
+                    finding.message,
+                )
+            )
+        return "\n".join(lines)
+
+
+def _in_scope(path: str, instrumented: Sequence[str]) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(
+        normalized == traced or normalized.endswith("/" + traced)
+        for traced in instrumented
+    )
+
+
+def cross_validate_fs(
+    static_findings: Sequence[Finding],
+    violations: Sequence[FsViolation],
+    instrumented_paths: Iterable[str] = LSM_FS_PATHS,
+    justified: Iterable[str] = (),
+    replay_results: Sequence[CrashReplayResult] = (),
+) -> FsCrossValidationReport:
+    """Compare the trace oracle's record against the static FS model.
+
+    Both directions fail the run:
+
+    * a **runtime violation with no same-family static finding** in
+      the traced modules means the static model claimed an ordering
+      impossible that the trace just performed — an analyzer blind
+      spot;
+    * a **static FS001–FS004 finding on a traced path that never
+      manifested** as a runtime violation of its family must be
+      listed in ``justified`` (by fingerprint) or the run fails.
+
+    ``replay_results`` feeds crash-replay evidence in: any boundary
+    that lost an acknowledged write counts as runtime FS004.
+    """
+    instrumented = [
+        path.replace(os.sep, "/") for path in instrumented_paths
+    ]
+    merged: List[FsViolation] = list(violations)
+    for result in replay_results:
+        if result.lost:
+            merged.append(
+                FsViolation(
+                    kind="acked-write-loss",
+                    family="FS004",
+                    detail=(
+                        "crash at boundary %d lost acknowledged "
+                        "write(s): %s"
+                        % (
+                            result.boundary,
+                            ", ".join(
+                                repr(key) for key in result.lost[:5]
+                            ),
+                        )
+                    ),
+                    seq=result.boundary,
+                )
+            )
+    in_scope = [
+        finding
+        for finding in static_findings
+        if finding.rule_id in _OBSERVABLE_FS_RULES
+        and _in_scope(finding.path, instrumented)
+    ]
+    static_families = {finding.rule_id for finding in in_scope}
+    runtime_families = {violation.family for violation in merged}
+    justified_set = set(justified)
+    report = FsCrossValidationReport()
+    for violation in merged:
+        if violation.family not in static_families:
+            report.unexplained_runtime_violations.append(violation)
+    for finding in in_scope:
+        if finding.fingerprint in justified_set:
+            continue
+        if finding.rule_id not in runtime_families:
+            report.unmanifested_static_findings.append(finding)
     return report

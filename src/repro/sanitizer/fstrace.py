@@ -1,0 +1,593 @@
+"""The filesystem-trace oracle: record, check, and crash the write path.
+
+:class:`FsTracer` installs a shim over the LSM modules' filesystem
+surface — the module-level ``os`` reference and the builtin ``open`` —
+the same way :func:`~repro.sanitizer.instrument.instrument_lsm_engine`
+swaps locks: by rebinding names in the target modules' namespaces, so
+the engine's own code is untouched and a monkeypatched symbol (tests
+stub ``write_sstable``, for example) keeps working.
+
+While installed, every filesystem effect the engine performs — open,
+write, flush, fsync, directory fsync, replace, unlink, close, pread —
+is recorded as an :class:`FsEvent` in execution order, and three
+online checkers mirror the static FS rule families live:
+
+* **FS001** — ``os.replace`` of a file with bytes written since its
+  last fsync publishes unsynced data;
+* **FS002** — an unlink in a directory with a rename not yet covered
+  by a directory fsync deletes state the old directory entry still
+  needs;
+* **FS003** — ``os.pread`` of a descriptor the traced code already
+  closed (the retire-then-read race, caught deterministically here
+  even when the OS has not yet recycled the number).
+
+**Crash model.**  With ``crash_after=N`` the tracer counts *mutating*
+effects (write, fsync, dirfsync, replace, unlink); immediately before
+applying the Nth it snapshots ``crash_dir`` and raises
+:class:`InjectedCrash` on the installing thread, then goes inert.  The
+snapshot holds exactly the effects that preceded the boundary, so
+recovering from it answers "what survives a crash *here*?" for every
+prefix of the trace.  Applied syscalls are treated as durable — the
+model detects *ordering* bugs among durable operations (the FS004
+swap-before-commit class: an acknowledged write whose run file was
+swept as an orphan because the manifest rename never happened);
+page-cache loss of never-fsynced bytes is FS001's territory, caught by
+the unsynced-rename checker above without any crash.
+
+:func:`sweep_crash_boundaries` drives the full sweep: one fresh
+workload run per boundary, recovery from each snapshot, and a
+:class:`CrashReplayResult` naming any acknowledged key the recovered
+engine lost.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CrashReplayResult",
+    "FsEvent",
+    "FsTracer",
+    "FsViolation",
+    "InjectedCrash",
+    "LSM_FS_PATHS",
+    "MUTATING_OPS",
+    "lsm_fs_modules",
+    "sweep_crash_boundaries",
+]
+
+#: Effects that change what a crash could observe on disk.
+MUTATING_OPS = ("write", "fsync", "dirfsync", "replace", "unlink")
+
+#: Repo-relative paths of the modules :func:`lsm_fs_modules` shims —
+#: the scope handed to :func:`~repro.sanitizer.crossval.cross_validate_fs`
+#: so static findings outside the traced surface are not demanded back.
+LSM_FS_PATHS = (
+    "src/repro/docstore/lsm/engine.py",
+    "src/repro/docstore/lsm/sstable.py",
+    "src/repro/docstore/lsm/wal.py",
+)
+
+
+class InjectedCrash(BaseException):
+    """Raised at a crash boundary; derives from ``BaseException`` so the
+    engine's cleanup handlers re-raise it like a real process death."""
+
+
+@dataclass(frozen=True)
+class FsEvent:
+    """One filesystem effect, in global execution order."""
+
+    seq: int
+    op: str  # open | write | flush | fsync | dirfsync | replace |
+    #        # unlink | close | pread
+    path: str
+    path2: str = ""  # replace destination
+    fd: int = -1
+    size: int = 0
+    thread: str = ""
+
+
+@dataclass(frozen=True)
+class FsViolation:
+    """One runtime crash-consistency violation.
+
+    ``family`` names the static FS rule the violation corresponds to,
+    which is what cross-validation matches on.
+    """
+
+    kind: str  # unsynced-rename | unlink-before-dirfsync |
+    #          # pread-after-close | acked-write-loss
+    family: str  # FS001..FS004
+    detail: str
+    seq: int
+
+
+@dataclass
+class CrashReplayResult:
+    """Recovery outcome for one crash boundary."""
+
+    boundary: int
+    acked: List[bytes]
+    recovered: Set[bytes] = field(default_factory=set)
+    lost: List[bytes] = field(default_factory=list)
+
+
+def lsm_fs_modules() -> List[ModuleType]:
+    """The LSM modules whose filesystem surface the shim covers."""
+    from repro.docstore.lsm import engine, sstable, wal
+
+    return [engine, sstable, wal]
+
+
+class _TracedFile:
+    """Wraps a file object opened through the shimmed builtin ``open``.
+
+    Only the effectful methods are intercepted; everything else
+    (``read``, ``tell``, ``seek``, iteration via ``read`` — all the
+    shapes ``json.load`` and WAL replay use) delegates untouched.
+    """
+
+    def __init__(self, tracer: "FsTracer", fh: Any, path: str) -> None:
+        self._tracer = tracer
+        self._fh = fh
+        self._path = path
+        self._fd = fh.fileno()
+        self._closed = False
+        tracer._note_open(path, self._fd, is_dir=False)
+
+    def write(self, data: Any) -> int:
+        self._tracer._effect(
+            "write", self._path, fd=self._fd, size=len(data)
+        )
+        return int(self._fh.write(data))
+
+    def flush(self) -> None:
+        self._tracer._effect("flush", self._path, fd=self._fd)
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._tracer._effect("close", self._path, fd=self._fd)
+            self._tracer._note_close(self._fd)
+        self._fh.close()
+
+    def fileno(self) -> int:
+        return self._fd
+
+    def __enter__(self) -> "_TracedFile":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Any:
+        return iter(self._fh)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._fh, name)
+
+
+class _TracedOs:
+    """A recording proxy for the ``os`` module.
+
+    Installed as the target module's ``os`` attribute; anything not
+    explicitly wrapped (``os.path``, ``makedirs``, ``listdir``,
+    ``fstat``, the ``O_*`` constants) falls through unchanged.
+    """
+
+    def __init__(self, tracer: "FsTracer") -> None:
+        self._tracer = tracer
+
+    # -- descriptor lifecycle ----------------------------------------------------
+
+    def open(self, path: str, flags: int, *args: Any) -> int:
+        fd = os.open(path, flags, *args)
+        self._tracer._note_open(
+            path, fd, is_dir=os.path.isdir(path)
+        )
+        self._tracer._effect("open", path, fd=fd)
+        return fd
+
+    def close(self, fd: int) -> None:
+        self._tracer._effect(
+            "close", self._tracer._path_of(fd), fd=fd
+        )
+        self._tracer._note_close(fd)
+        os.close(fd)
+
+    # -- durability --------------------------------------------------------------
+
+    def fsync(self, fd: int) -> None:
+        path = self._tracer._path_of(fd)
+        if self._tracer._is_dir_fd(fd):
+            self._tracer._effect("dirfsync", path, fd=fd)
+        else:
+            self._tracer._effect("fsync", path, fd=fd)
+        os.fsync(fd)
+
+    # -- directory entries -------------------------------------------------------
+
+    def replace(self, src: str, dst: str) -> None:
+        self._tracer._effect("replace", src, path2=dst)
+        os.replace(src, dst)
+
+    def rename(self, src: str, dst: str) -> None:
+        self._tracer._effect("replace", src, path2=dst)
+        os.rename(src, dst)
+
+    def remove(self, path: str) -> None:
+        self._tracer._effect("unlink", path)
+        os.remove(path)
+
+    def unlink(self, path: str) -> None:
+        self._tracer._effect("unlink", path)
+        os.unlink(path)
+
+    # -- reads -------------------------------------------------------------------
+
+    def pread(self, fd: int, size: int, offset: int) -> bytes:
+        self._tracer._effect(
+            "pread", self._tracer._path_of(fd), fd=fd, size=size
+        )
+        return os.pread(fd, size, offset)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(os, name)
+
+
+class FsTracer:
+    """Records and checks the filesystem effects of shimmed modules.
+
+    Use as a context manager, or call :meth:`install` /
+    :meth:`uninstall` directly.  One tracer instruments one set of
+    modules for one workload; make a fresh tracer per run.
+    """
+
+    def __init__(
+        self,
+        crash_after: Optional[int] = None,
+        crash_dir: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+    ) -> None:
+        if crash_after is not None and (
+            crash_dir is None or snapshot_dir is None
+        ):
+            raise ValueError(
+                "crash_after requires crash_dir and snapshot_dir"
+            )
+        self.crash_after = crash_after
+        self.crash_dir = crash_dir
+        self.snapshot_dir = snapshot_dir
+        self.crash_triggered = False
+        self.events: List[FsEvent] = []
+        self._violations: List[FsViolation] = []
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._mutations = 0
+        self._inert = False
+        self._installed: List[Tuple[ModuleType, bool, Any]] = []
+        self._owner_thread: Optional[int] = None
+        # fd -> (path, is_dir, open?); entries persist after close so a
+        # pread of a retired descriptor is attributable.
+        self._fds: Dict[int, Tuple[str, bool, bool]] = {}
+        # path -> bytes written since the last fsync of its fd.
+        self._dirty: Dict[str, int] = {}
+        # (thread id, directory) -> replace event awaiting a directory
+        # fsync.  Keyed per thread: the ordering contract binds a
+        # rename to the *same thread's* dependent deletes — another
+        # thread unlinking an unrelated file in the window between a
+        # compactor's rename and its dirfsync is not a violation.
+        self._pending_dirfsync: Dict[Tuple[int, str], FsEvent] = {}
+
+    # -- install / uninstall -----------------------------------------------------
+
+    def install(
+        self, modules: Optional[Sequence[ModuleType]] = None
+    ) -> "FsTracer":
+        """Shim ``os`` and ``open`` in each target module's namespace."""
+        with self._lock:
+            if self._installed:
+                raise RuntimeError("FsTracer is already installed")
+            self._owner_thread = threading.get_ident()
+            proxy = _TracedOs(self)
+            for module in modules or lsm_fs_modules():
+                had_open = "open" in module.__dict__
+                previous_open = module.__dict__.get("open")
+                module.os = proxy  # type: ignore[attr-defined]
+                module.open = (  # type: ignore[attr-defined]
+                    self._traced_open
+                )
+                self._installed.append(
+                    (module, had_open, previous_open)
+                )
+        return self
+
+    def uninstall(self) -> None:
+        """Restore every shimmed name and stop recording.
+
+        Live :class:`_TracedFile` objects the engine still holds (the
+        WAL file, SSTable readers) keep delegating; with the tracer
+        inert they no longer record, so a background syncer outliving
+        the traced window cannot append to a finished trace.
+        """
+        with self._lock:
+            for module, had_open, previous_open in self._installed:
+                module.os = os  # type: ignore[attr-defined]
+                if had_open:
+                    module.open = (  # type: ignore[attr-defined]
+                        previous_open
+                    )
+                else:
+                    del module.open  # type: ignore[attr-defined]
+            self._installed = []
+            self._inert = True
+
+    def __enter__(self) -> "FsTracer":
+        return self.install()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.uninstall()
+
+    # -- read API ----------------------------------------------------------------
+
+    def violations(self) -> List[FsViolation]:
+        """Every violation recorded so far, in detection order."""
+        with self._lock:
+            return list(self._violations)
+
+    def record_violation(self, violation: FsViolation) -> None:
+        """Append an externally-detected violation (crash replay)."""
+        with self._lock:
+            self._violations.append(violation)
+
+    def assert_clean(self) -> None:
+        """Raise AssertionError when any violation was recorded."""
+        found = self.violations()
+        if found:
+            raise AssertionError(
+                "fs trace oracle recorded %d violation(s):\n%s"
+                % (
+                    len(found),
+                    "\n".join(
+                        "  [%s/%s] %s" % (v.family, v.kind, v.detail)
+                        for v in found
+                    ),
+                )
+            )
+
+    @property
+    def mutation_count(self) -> int:
+        """Mutating effects recorded so far (crash-boundary count)."""
+        with self._lock:
+            return self._mutations
+
+    # -- shim internals ----------------------------------------------------------
+
+    def _traced_open(self, path: str, *args: Any, **kwargs: Any) -> Any:
+        fh = open(path, *args, **kwargs)
+        if self._inert:
+            return fh
+        traced = _TracedFile(self, fh, path)
+        self._effect("open", path, fd=traced.fileno())
+        return traced
+
+    def _note_open(self, path: str, fd: int, is_dir: bool) -> None:
+        if self._inert:
+            return
+        with self._lock:
+            self._fds[fd] = (path, is_dir, True)
+
+    def _note_close(self, fd: int) -> None:
+        if self._inert:
+            return
+        with self._lock:
+            entry = self._fds.get(fd)
+            if entry is not None:
+                self._fds[fd] = (entry[0], entry[1], False)
+
+    def _path_of(self, fd: int) -> str:
+        with self._lock:
+            entry = self._fds.get(fd)
+            return entry[0] if entry is not None else "<fd %d>" % fd
+
+    def _is_dir_fd(self, fd: int) -> bool:
+        with self._lock:
+            entry = self._fds.get(fd)
+            return entry is not None and entry[1]
+
+    def _effect(
+        self,
+        op: str,
+        path: str,
+        path2: str = "",
+        fd: int = -1,
+        size: int = 0,
+    ) -> None:
+        if self._inert:
+            return
+        with self._lock:
+            if self._inert:  # re-check: a crash may have landed
+                return
+            if op in MUTATING_OPS:
+                self._mutations += 1
+                if (
+                    self.crash_after is not None
+                    and self._mutations >= self.crash_after
+                ):
+                    self._crash_locked()
+                    return
+            event = FsEvent(
+                seq=self._seq,
+                op=op,
+                path=path,
+                path2=path2,
+                fd=fd,
+                size=size,
+                thread=threading.current_thread().name,
+            )
+            self._seq += 1
+            self.events.append(event)
+            self._check_locked(event)
+
+    def _crash_locked(self) -> None:
+        """Snapshot the crash directory and die before the Nth effect.
+
+        Called from :meth:`_effect` with the lock held; the re-entrant
+        acquire below makes the guard explicit in this scope too.
+        """
+        assert self.crash_dir is not None
+        assert self.snapshot_dir is not None
+        os.makedirs(self.snapshot_dir, exist_ok=True)
+        for name in os.listdir(self.crash_dir):
+            source = os.path.join(self.crash_dir, name)
+            if os.path.isfile(source):
+                shutil.copy2(
+                    source, os.path.join(self.snapshot_dir, name)
+                )
+        with self._lock:
+            self.crash_triggered = True
+            self._inert = True
+        if threading.get_ident() == self._owner_thread:
+            raise InjectedCrash(
+                "injected crash at mutation boundary %d"
+                % self._mutations
+            )
+        # A background thread (the WAL syncer) hit the boundary: the
+        # snapshot is taken and the tracer is inert, but only the
+        # owning thread raises — killing a daemon thread would leave
+        # the workload deadlocked on a condition that never signals.
+
+    # -- online checkers ---------------------------------------------------------
+
+    def _check_locked(self, event: FsEvent) -> None:
+        # Called from _effect with the lock held; the re-entrant
+        # acquire makes the guard explicit in this scope too.
+        with self._lock:
+            if event.op == "write":
+                self._dirty[event.path] = (
+                    self._dirty.get(event.path, 0) + event.size
+                )
+            elif event.op == "fsync":
+                self._dirty[event.path] = 0
+            elif event.op == "dirfsync":
+                self._pending_dirfsync.pop(
+                    (threading.get_ident(), event.path), None
+                )
+            elif event.op == "replace":
+                if self._dirty.get(event.path, 0) > 0:
+                    self._violations.append(
+                        FsViolation(
+                            kind="unsynced-rename",
+                            family="FS001",
+                            detail=(
+                                "%s renamed to %s with %d byte(s) "
+                                "written since its last fsync; the "
+                                "published file can lose data the old "
+                                "one never held"
+                                % (
+                                    event.path,
+                                    event.path2,
+                                    self._dirty[event.path],
+                                )
+                            ),
+                            seq=event.seq,
+                        )
+                    )
+                directory = os.path.dirname(event.path2) or "."
+                self._pending_dirfsync[
+                    (threading.get_ident(), directory)
+                ] = event
+            elif event.op == "unlink":
+                directory = os.path.dirname(event.path) or "."
+                key = (threading.get_ident(), directory)
+                pending = self._pending_dirfsync.get(key)
+                if pending is not None:
+                    self._violations.append(
+                        FsViolation(
+                            kind="unlink-before-dirfsync",
+                            family="FS002",
+                            detail=(
+                                "%s unlinked while the rename %s -> %s "
+                                "(seq %d) awaits a directory fsync; a "
+                                "crash can resurrect the old directory "
+                                "entry after this file is gone"
+                                % (
+                                    event.path,
+                                    pending.path,
+                                    pending.path2,
+                                    pending.seq,
+                                )
+                            ),
+                            seq=event.seq,
+                        )
+                    )
+                    self._pending_dirfsync.pop(key, None)
+            elif event.op == "pread":
+                entry = self._fds.get(event.fd)
+                if entry is not None and not entry[2]:
+                    self._violations.append(
+                        FsViolation(
+                            kind="pread-after-close",
+                            family="FS003",
+                            detail=(
+                                "pread of fd %d (%s) after the traced "
+                                "code closed it; a recycled descriptor "
+                                "would return bytes from the wrong "
+                                "file" % (event.fd, entry[0])
+                            ),
+                            seq=event.seq,
+                        )
+                    )
+
+
+def sweep_crash_boundaries(
+    workload: Callable[[str, FsTracer], List[bytes]],
+    recover: Callable[[str], Set[bytes]],
+    make_dirs: Callable[[int], Tuple[str, str]],
+    modules: Optional[Sequence[ModuleType]] = None,
+    max_boundaries: int = 200,
+) -> List[CrashReplayResult]:
+    """Replay a workload's crash prefix at every mutation boundary.
+
+    ``workload(directory, tracer)`` runs the write path against
+    ``directory`` and returns the keys acknowledged *before* the crash
+    triggered (it must stop appending once ``tracer.crash_triggered``
+    is set, and swallow :class:`InjectedCrash`).  ``recover(snapshot)``
+    opens a fresh engine over the snapshot directory and returns every
+    readable key.  ``make_dirs(boundary)`` yields a fresh
+    ``(work_dir, snapshot_dir)`` pair per boundary, so runs never see
+    each other's files.
+
+    A boundary that the workload survives without triggering (the
+    trace was shorter than the boundary index) ends the sweep: every
+    later boundary would be a plain, crash-free run.
+    """
+    results: List[CrashReplayResult] = []
+    for boundary in range(1, max_boundaries + 1):
+        work_dir, snapshot_dir = make_dirs(boundary)
+        tracer = FsTracer(
+            crash_after=boundary,
+            crash_dir=work_dir,
+            snapshot_dir=snapshot_dir,
+        )
+        tracer.install(modules)
+        try:
+            acked = workload(work_dir, tracer)
+        finally:
+            tracer.uninstall()
+        if not tracer.crash_triggered:
+            break
+        result = CrashReplayResult(boundary=boundary, acked=list(acked))
+        result.recovered = recover(snapshot_dir)
+        result.lost = [
+            key for key in result.acked if key not in result.recovered
+        ]
+        results.append(result)
+    return results

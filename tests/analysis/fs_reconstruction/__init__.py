@@ -1,0 +1,10 @@
+"""Runnable reconstructions of the three PR-6 crash-consistency bugs.
+
+Each module is a miniature durable store with exactly one of the
+review's bug classes re-introduced, structured so it is *executable*
+(the runtime trace oracle drives it against a real directory) as well
+as *analyzable* (the static FS checkers parse the same file).  The
+tests in ``test_fs_reconstruction.py`` require both oracles to catch
+every bug, and the shipped engine to pass both clean — that agreement
+is what the cross-validation pass enforces.
+"""

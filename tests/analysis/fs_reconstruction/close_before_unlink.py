@@ -1,0 +1,65 @@
+"""PR-6 bug class 2: retiring runs by closing before unlinking.
+
+Readers snapshot the run list under the lock and then ``pread``
+outside it — that is the whole point of immutable runs.  Retirement
+that *closes* the descriptor hands every snapshot holder a dead fd,
+or, if the number is recycled first, bytes from an unrelated file.
+The correct retirement unlinks without closing and lets the inode
+die with the last descriptor.
+
+Expected: static FS003 on ``RunSet.retire_all``; runtime
+``pread-after-close`` when a snapshot holder reads after retirement.
+"""
+
+import os
+import threading
+
+
+class Run:
+    """One immutable run file, read via positioned ``os.pread``."""
+
+    def __init__(self, path):
+        self.path = path
+        self._file = open(path, "rb")
+        self.fd = self._file.fileno()
+
+    def read_at(self, size, offset):
+        return os.pread(self.fd, size, offset)
+
+    def close(self):
+        self._file.close()
+
+    def remove(self):
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+
+class RunSet:
+    """A lock-guarded run list with snapshotting readers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._runs = []
+
+    def add(self, run):
+        with self._lock:
+            self._runs.append(run)
+
+    def snapshot(self):
+        """The reader-side view: a copy taken under the lock."""
+        with self._lock:
+            return list(self._runs)
+
+    def read_all(self, size):
+        return [run.read_at(size, 0) for run in self.snapshot()]
+
+    def retire_all(self):
+        """Drop every run from the set and delete its file."""
+        with self._lock:
+            victims = list(self._runs)
+            self._runs = []
+        for run in victims:
+            # BUG: a reader holding a pre-swap snapshot still preads
+            # this fd; only the unlink belongs here.
+            run.close()
+            run.remove()

@@ -1,0 +1,35 @@
+"""PR-6 bug class 1: WAL deleted before the manifest rename is durable.
+
+The publish path builds the manifest atomically — temp file, fsync,
+``os.replace`` — but then deletes the WAL segment the new manifest
+supersedes *without* fsyncing the directory first.  The rename is only
+a page-cache update until the directory entry is flushed: a crash in
+the window leaves the *old* manifest on disk with the WAL that could
+rebuild the missing state already gone.
+
+Expected: static FS002 on ``publish_manifest``; runtime
+``unlink-before-dirfsync`` when the trace oracle drives it.
+"""
+
+import os
+
+
+def publish_manifest(directory, payload, wal_path):
+    """Commit ``payload`` as the manifest, then drop the covered WAL."""
+    manifest = os.path.join(directory, "MANIFEST.json")
+    tmp = manifest + ".manifest-tmp"
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, manifest)
+    # BUG: the directory fsync belongs here.  Without it the rename
+    # may not survive a crash, but the WAL below is already gone.
+    os.remove(wal_path)
+
+
+def recover_sweep(directory):
+    """Remove temp files a crashed publish left behind."""
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".manifest-tmp"):
+            os.remove(os.path.join(directory, name))

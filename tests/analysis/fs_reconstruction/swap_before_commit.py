@@ -1,0 +1,144 @@
+"""PR-6 bug class 3: engine state swapped before the commit point.
+
+The flush writes the new run durably, but then swaps the in-memory
+state and deletes the WAL *before* committing the manifest.  Crash
+between the two and recovery sees a run file the manifest never heard
+of — which the orphan sweep deletes — and the WAL that could rebuild
+it is already gone: acknowledged writes vanish.
+
+Expected: static FS004 on ``MiniEngine.flush``; at runtime,
+:func:`repro.sanitizer.fstrace.sweep_crash_boundaries` finds
+boundaries where acknowledged keys do not survive recovery.
+"""
+
+import json
+import os
+
+
+def _fsync_dir(directory):
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class MiniEngine:
+    """A one-run LSM caricature: WAL, memtable, manifest, flush."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        self._manifest_path = os.path.join(directory, "MANIFEST.json")
+        self._memtable = {}
+        self._entries = {}
+        self._next_file = 0
+        self._wal_path = None
+        self._wal = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def recover(self):
+        """Sweep temp/orphan files, load runs, replay the WAL."""
+        os.makedirs(self.directory, exist_ok=True)
+        manifest = self._load_manifest()
+        live = set(manifest["runs"])
+        for name in sorted(os.listdir(self.directory)):
+            path = os.path.join(self.directory, name)
+            if name.endswith(".tmp"):
+                os.remove(path)
+            elif name.endswith(".run") and name not in live:
+                os.remove(path)
+        for name in manifest["runs"]:
+            with open(os.path.join(self.directory, name), "r") as fh:
+                self._entries.update(json.load(fh))
+        self._next_file = manifest["next_file"]
+        for name in sorted(os.listdir(self.directory)):
+            if name.startswith("wal-"):
+                with open(os.path.join(self.directory, name), "r") as fh:
+                    for line in fh.read().splitlines():
+                        key, value = json.loads(line)
+                        self._memtable[key] = value
+                self._next_file = max(
+                    self._next_file, int(name[4:8]) + 1
+                )
+        self._open_wal()
+
+    def close(self):
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def _open_wal(self):
+        self._wal_path = os.path.join(
+            self.directory, "wal-%04d.log" % self._next_file
+        )
+        self._next_file += 1
+        self._wal = open(self._wal_path, "a")
+
+    def _load_manifest(self):
+        if not os.path.exists(self._manifest_path):
+            return {"runs": [], "next_file": 0}
+        with open(self._manifest_path, "r") as fh:
+            return json.load(fh)
+
+    # -- writes ------------------------------------------------------------------
+
+    def put(self, key, value):
+        """Durably record one key; acknowledged once the WAL is synced."""
+        self._wal.write(json.dumps([key, value]) + "\n")
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        self._memtable[key] = value
+
+    def get(self, key):
+        if key in self._memtable:
+            return self._memtable[key]
+        return self._entries.get(key)
+
+    def keys(self):
+        merged = dict(self._entries)
+        merged.update(self._memtable)
+        return set(merged)
+
+    # -- flush -------------------------------------------------------------------
+
+    def flush(self):
+        """Write the memtable out as a run and truncate the WAL."""
+        if not self._memtable:
+            return
+        run_name = "run-%04d.run" % self._next_file
+        self._next_file += 1
+        run_path = os.path.join(self.directory, run_name)
+        merged = dict(self._entries)
+        merged.update(self._memtable)
+        tmp = run_path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(merged))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, run_path)
+        _fsync_dir(self.directory)
+        # BUG: the manifest commit below is the durability point, but
+        # the in-memory swap and the WAL delete happen first.  Crash
+        # in between: recovery sweeps the run as an orphan and the
+        # WAL that could rebuild it is gone.
+        self._entries = merged
+        self._memtable = {}
+        old_wal = self._wal
+        old_path = self._wal_path
+        old_wal.close()
+        os.remove(old_path)
+        self._write_manifest([run_name])
+        self._open_wal()
+
+    def _write_manifest(self, runs):
+        payload = json.dumps(
+            {"runs": runs, "next_file": self._next_file}
+        )
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path)
+        _fsync_dir(self.directory)

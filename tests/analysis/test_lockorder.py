@@ -321,3 +321,46 @@ class TestShippedTree:
             "QueryService._shard_mapper.mapper",
             "QueryService._shard_mapper.run_one",
         ]
+
+
+class TestReentrantSelfEdges:
+    """Re-acquiring a held RLock is its contract, not a deadlock."""
+
+    SOURCE_TEMPLATE = """
+        import threading
+
+        class Tracer:
+            def __init__(self):
+                self._lock = threading.%s()
+
+            def record(self):
+                with self._lock:
+                    self._check()
+
+            def _check(self):
+                with self._lock:
+                    pass
+    """
+
+    def test_rlock_reacquired_while_held_is_not_a_cycle(
+        self, check_project
+    ):
+        assert check_project(self.SOURCE_TEMPLATE % "RLock") == []
+
+    def test_plain_lock_reacquired_while_held_is_a_cycle(
+        self, check_project
+    ):
+        findings = check_project(self.SOURCE_TEMPLATE % "Lock")
+        assert [f.rule_id for f in findings] == ["LK001"]
+        assert "Tracer._lock" in findings[0].message
+
+    def test_the_self_edge_is_still_in_the_graph(self, parse_modules):
+        # The exemption is in cycle detection only: the edge itself
+        # stays recorded, so runtime cross-validation can still match
+        # an observed re-entrant acquisition against it.
+        analysis = analyze_locks(
+            parse_modules(self.SOURCE_TEMPLATE % "RLock")
+        )
+        key = "repro.service.fixture.Tracer._lock"
+        assert analysis.graph.has_edge(key, key)
+        assert analysis.graph.cycles() == []

@@ -135,6 +135,35 @@ class TestSarifFormat:
         rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
         assert {"LD001", "LK001", "CH001", "DT001", "DS001"} <= rule_ids
 
+    def test_every_rule_carries_full_metadata(self):
+        # Code-scanning rule pages are only self-explanatory when every
+        # rule ships a fullDescription, a default level, and a help link.
+        out = io.StringIO()
+        code = main(
+            [
+                "src/repro/service",
+                "--root",
+                str(REPO_ROOT),
+                "--baseline",
+                str(BASELINE),
+                "--format",
+                "sarif",
+            ],
+            out=out,
+        )
+        assert code == 0
+        (run,) = json.loads(out.getvalue())["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} >= {"FS001", "FS006"}
+        for rule in rules:
+            assert rule["fullDescription"]["text"].strip(), rule["id"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+                "note",
+            ), rule["id"]
+            assert rule["helpUri"].startswith("DESIGN.md#"), rule["id"]
+
     def test_baselined_findings_are_suppressed_results(self):
         out = io.StringIO()
         main(

@@ -1,0 +1,31 @@
+"""Every LSM test runs under the filesystem-trace oracle.
+
+The shim records each test's syscall-level effect trace over the
+engine, WAL, and SSTable modules and applies the online ordering
+checkers (unsynced rename, unlink before directory fsync, pread of a
+closed descriptor) live.  A violation anywhere in the suite fails
+that test at teardown — the whole suite doubles as the oracle's
+workload, so any write-path regression the static FS rules describe
+must also show up here or the cross-validation tests lose their
+other half.
+
+Tests that monkeypatch engine symbols (``write_sstable`` fault
+injection) are unaffected: the shim rebinds only the ``os`` and
+``open`` names, never the engine's own functions.
+"""
+
+import pytest
+
+from repro.sanitizer import FsTracer
+
+
+@pytest.fixture(autouse=True)
+def fs_trace_oracle():
+    """Trace the LSM modules for the duration of one test."""
+    tracer = FsTracer()
+    tracer.install()
+    try:
+        yield tracer
+    finally:
+        tracer.uninstall()
+    tracer.assert_clean()

@@ -1,0 +1,306 @@
+"""The fs-trace shim itself: recording, checkers, crash injection.
+
+The reconstruction suite (``tests/analysis/test_fs_reconstruction.py``)
+proves the oracle catches the PR-6 bug classes end to end; this module
+pins down the mechanics those tests rely on — namespace installation
+and restoration, event ordering, the online checkers' exact trigger
+conditions, and the crash boundary's snapshot semantics.
+"""
+
+import os
+import types
+
+import pytest
+
+from repro.sanitizer import (
+    MUTATING_OPS,
+    FsTracer,
+    FsViolation,
+    InjectedCrash,
+    cross_validate_fs,
+)
+
+
+def make_module(name, source):
+    """A throwaway module the tracer can shim, built from source."""
+    module = types.ModuleType(name)
+    module.__dict__["os"] = os
+    exec(compile(source, name, "exec"), module.__dict__)
+    return module
+
+
+WRITER = """
+import os
+
+def publish(path, payload, fsync=True):
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+def dirsync(directory):
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+"""
+
+
+class TestInstallation:
+    def test_install_shims_and_uninstall_restores(self):
+        module = make_module("fstrace_fixture_install", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        assert module.os is not os
+        assert "open" in module.__dict__
+        tracer.uninstall()
+        assert module.os is os
+        assert "open" not in module.__dict__
+
+    def test_double_install_is_rejected(self):
+        module = make_module("fstrace_fixture_double", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        try:
+            # A second install must fail rather than stack proxies on
+            # proxies (uninstall could then never reach the real os).
+            with pytest.raises(RuntimeError):
+                tracer.install([module])
+        finally:
+            tracer.uninstall()
+
+    def test_uninstalled_tracer_records_nothing_further(self, tmp_path):
+        module = make_module("fstrace_fixture_inert", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        module.publish(str(tmp_path / "a"), b"data")
+        recorded = len(tracer.events)
+        tracer.uninstall()
+        module.publish(str(tmp_path / "b"), b"data")
+        assert len(tracer.events) == recorded
+
+
+class TestRecording:
+    def test_events_arrive_in_execution_order(self, tmp_path):
+        module = make_module("fstrace_fixture_order", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        module.publish(str(tmp_path / "doc"), b"payload")
+        module.dirsync(str(tmp_path))
+        tracer.uninstall()
+        ops = [event.op for event in tracer.events]
+        assert ops == [
+            "open",
+            "write",
+            "flush",
+            "fsync",
+            "close",
+            "replace",
+            "open",
+            "dirfsync",
+            "close",
+        ]
+        assert [e.seq for e in tracer.events] == list(range(len(ops)))
+        write = tracer.events[1]
+        assert write.size == len(b"payload")
+        assert write.path.endswith("doc.tmp")
+
+    def test_directory_fds_classify_fsync_as_dirfsync(self, tmp_path):
+        module = make_module("fstrace_fixture_dirfd", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        module.dirsync(str(tmp_path))
+        tracer.uninstall()
+        assert [e.op for e in tracer.events] == [
+            "open",
+            "dirfsync",
+            "close",
+        ]
+
+    def test_mutation_count_tracks_only_mutating_ops(self, tmp_path):
+        module = make_module("fstrace_fixture_count", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        module.publish(str(tmp_path / "doc"), b"payload")
+        tracer.uninstall()
+        expected = sum(
+            1 for e in tracer.events if e.op in MUTATING_OPS
+        )
+        assert tracer.mutation_count == expected == 3
+
+
+class TestOnlineCheckers:
+    def test_unsynced_rename_is_fs001(self, tmp_path):
+        module = make_module("fstrace_fixture_fs001", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        module.publish(str(tmp_path / "doc"), b"payload", fsync=False)
+        tracer.uninstall()
+        (violation,) = tracer.violations()
+        assert violation.family == "FS001"
+        assert violation.kind == "unsynced-rename"
+
+    def test_fsync_covered_rename_is_clean(self, tmp_path):
+        module = make_module("fstrace_fixture_fs001c", WRITER)
+        tracer = FsTracer()
+        tracer.install([module])
+        module.publish(str(tmp_path / "doc"), b"payload", fsync=True)
+        tracer.uninstall()
+        tracer.assert_clean()
+
+    def test_same_thread_unlink_after_dirfsync_is_clean(self, tmp_path):
+        source = WRITER + """
+def commit(path, stale):
+    publish(path, b"new state")
+    dirsync(os.path.dirname(path))
+    os.remove(stale)
+"""
+        module = make_module("fstrace_fixture_fs002c", source)
+        stale = tmp_path / "stale"
+        stale.write_bytes(b"old")
+        tracer = FsTracer()
+        tracer.install([module])
+        module.commit(str(tmp_path / "doc"), str(stale))
+        tracer.uninstall()
+        tracer.assert_clean()
+
+    def test_unlink_before_dirfsync_is_fs002(self, tmp_path):
+        source = WRITER + """
+def commit(path, stale):
+    publish(path, b"new state")
+    os.remove(stale)
+"""
+        module = make_module("fstrace_fixture_fs002", source)
+        stale = tmp_path / "stale"
+        stale.write_bytes(b"old")
+        tracer = FsTracer()
+        tracer.install([module])
+        module.commit(str(tmp_path / "doc"), str(stale))
+        tracer.uninstall()
+        (violation,) = tracer.violations()
+        assert violation.family == "FS002"
+        assert violation.kind == "unlink-before-dirfsync"
+
+    def test_pread_after_close_is_fs003(self, tmp_path):
+        source = """
+import os
+
+def read_then_retire(path):
+    fh = open(path, "rb")
+    fd = fh.fileno()
+    first = os.pread(fd, 4, 0)
+    fh.close()
+    try:
+        os.pread(fd, 4, 0)
+    except OSError:
+        pass
+    return first
+"""
+        module = make_module("fstrace_fixture_fs003", source)
+        path = tmp_path / "run"
+        path.write_bytes(b"payload")
+        tracer = FsTracer()
+        tracer.install([module])
+        assert module.read_then_retire(str(path)) == b"payl"
+        tracer.uninstall()
+        (violation,) = tracer.violations()
+        assert violation.family == "FS003"
+        assert violation.kind == "pread-after-close"
+
+    def test_assert_clean_names_every_violation(self):
+        tracer = FsTracer()
+        tracer.record_violation(
+            FsViolation(
+                kind="unsynced-rename",
+                family="FS001",
+                detail="synthetic",
+                seq=0,
+            )
+        )
+        with pytest.raises(AssertionError, match="FS001/unsynced-rename"):
+            tracer.assert_clean()
+
+
+class TestCrashInjection:
+    def test_boundary_snapshots_before_the_nth_mutation(self, tmp_path):
+        module = make_module("fstrace_fixture_crash", WRITER)
+        work = tmp_path / "work"
+        snap = tmp_path / "snap"
+        work.mkdir()
+        # Mutations in publish(): write(1) fsync(2) replace(3).  Crash
+        # at boundary 3: the temp file exists with its payload, the
+        # rename never happened.
+        tracer = FsTracer(
+            crash_after=3, crash_dir=str(work), snapshot_dir=str(snap)
+        )
+        tracer.install([module])
+        with pytest.raises(InjectedCrash):
+            module.publish(str(work / "doc"), b"payload")
+        tracer.uninstall()
+        assert tracer.crash_triggered
+        assert sorted(p.name for p in snap.iterdir()) == ["doc.tmp"]
+        assert (snap / "doc.tmp").read_bytes() == b"payload"
+
+    def test_crash_requires_snapshot_configuration(self):
+        with pytest.raises(ValueError):
+            FsTracer(crash_after=3)
+
+    def test_tracer_is_inert_after_the_crash(self, tmp_path):
+        module = make_module("fstrace_fixture_inert2", WRITER)
+        work = tmp_path / "work"
+        snap = tmp_path / "snap"
+        work.mkdir()
+        tracer = FsTracer(
+            crash_after=1, crash_dir=str(work), snapshot_dir=str(snap)
+        )
+        tracer.install([module])
+        with pytest.raises(InjectedCrash):
+            module.publish(str(work / "doc"), b"payload")
+        before = len(tracer.events)
+        module.publish(str(work / "doc"), b"payload")  # survives: inert
+        tracer.uninstall()
+        assert len(tracer.events) == before
+        assert (work / "doc").read_bytes() == b"payload"
+
+
+class TestCrossValidationScope:
+    def test_untraced_paths_are_out_of_scope(self):
+        from repro.analysis.findings import Finding, Severity
+
+        finding = Finding(
+            rule_id="FS002",
+            severity=Severity.ERROR,
+            message="synthetic",
+            path="src/repro/service/service.py",
+            line=1,
+            col=0,
+            symbol="x",
+        )
+        report = cross_validate_fs(
+            [finding], [], ["src/repro/docstore/lsm/engine.py"]
+        )
+        assert report.ok
+
+    def test_fs005_and_fs006_are_never_demanded_back(self):
+        from repro.analysis.findings import Finding, Severity
+
+        findings = [
+            Finding(
+                rule_id=rule,
+                severity=Severity.INFO,
+                message="synthetic",
+                path="src/repro/docstore/lsm/engine.py",
+                line=1,
+                col=0,
+                symbol="x",
+            )
+            for rule in ("FS005", "FS006")
+        ]
+        report = cross_validate_fs(
+            findings, [], ["src/repro/docstore/lsm/engine.py"]
+        )
+        assert report.ok
