@@ -1,0 +1,1476 @@
+"""Static dataflow over cache-coherence effects (the stale-cache model).
+
+PR 4 grew a web of derived-state caches — the plan cache, the
+targeting cache, the Hilbert range-decomposition memo — each kept
+coherent with its source of truth by a *version token*: a monotonic
+counter (``metadata_version``, the storage epoch) bumped on every
+mutation of the state the cached values derive from.  A missing bump,
+a key built from the wrong version, or a bump published before the
+mutation it covers does not crash: it silently serves wrong query
+results.  This module extracts the vocabulary those bugs are made of,
+so the CC checkers (:mod:`repro.analysis.checkers.cachecoherence`) can
+judge orderings the same way the FS rules judge the write path.
+
+The model discovers three kinds of declaration:
+
+* **version tokens** — a ``self`` attribute whose name mentions
+  ``version``/``epoch``/``generation`` and that some method bumps with
+  an augmented assignment (``self.metadata_version += 1``); the
+  methods containing the bump are its *bump methods*;
+* **cache classes** — a class whose name contains ``cache`` holding a
+  dict-like store attribute with a read method (``get``-then-return),
+  a fill method (subscript assignment), and optionally invalidation
+  methods (``del``/``clear``/``pop`` on the store).  A method that is
+  both read and fill marks the cache *pure-memo* (keys capture the
+  full input, like the range LRU); a read method that compares the
+  entry against other instance state is *stamp-validated* (the plan
+  cache's write-volume rule);
+* **key builders** — module-level functions with a version-named
+  parameter flowing into their return value
+  (:func:`repro.cluster.router.targeting_cache_key`).
+
+Per function, the model records an ordered :class:`CacheEffect`
+sequence — cache ``read``/``fill``/``invalidate`` operations with
+their key classification, version ``bump``\\ s, explicit version
+``vcheck`` comparisons, ``mutate``\\ s of instance state, and resolved
+``call`` markers the inliner expands through the PR-3 call graph.
+Effects in ``except`` handlers are failure-path compensations;
+effects in ``finally`` blocks are unwind-safe and recorded as such,
+because "the bump runs even when the mutation's tail throws" is
+exactly the property CC003 demands.
+
+Which mutations matter is not hard-coded: a field is *governed* by a
+token when functions that fill caches (or their callees) read it and
+functions adjacent to the token's bump mutate it.  The intersection is
+small and precise — for ``metadata_version`` it is the chunk list and
+chunk placement, not the statistics counters riding alongside.
+
+Like the rest of ``repro.analysis`` this is deliberately heuristic
+and source-ordered; the runtime epoch tracer
+(:mod:`repro.sanitizer.cachetrace`) cross-validates what the
+approximation misses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.astutil import (
+    collect_lock_attrs,
+    dotted_name,
+    walk_within_function,
+)
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.analysis.checker import ModuleInfo
+
+__all__ = [
+    "CacheClassInfo",
+    "CacheEffect",
+    "CacheFunctionSummary",
+    "CacheModel",
+    "VersionToken",
+    "build_cache_model",
+]
+
+#: Attribute / parameter names that look like a version token.
+TOKEN_RE = re.compile(r"version|epoch|generation", re.IGNORECASE)
+
+#: Constructor expressions that make an attribute a dict-like store.
+_STORE_FACTORIES = {"dict", "OrderedDict", "collections.OrderedDict"}
+
+#: Container methods that mutate in place (feed ``mutate`` effects).
+_MUTATING_CONTAINER_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "clear",
+}
+
+
+@dataclass(frozen=True)
+class CacheEffect:
+    """One cache-coherence effect (or resolved call site) in order."""
+
+    #: ``read`` / ``fill`` / ``invalidate`` / ``bump`` / ``vcheck`` /
+    #: ``mutate`` / ``call``.
+    kind: str
+    #: Cache class name, token key, mutated field, or callee text.
+    target: str
+    line: int
+    col: int
+    #: Inside an ``except`` handler (failure-path compensation).
+    in_handler: bool = False
+    #: Inside a ``finally`` block — runs on unwind too.
+    in_finally: bool = False
+    #: Kind-specific detail: ``bump`` token key, ``mutate`` owner text
+    #: (``"fresh"`` for mutation of a just-constructed local), ``call``
+    #: callee symbols (comma-joined).
+    detail: str = ""
+    #: Spliced in from a callee by :meth:`CacheModel.inlined_effects`.
+    inlined: bool = False
+    #: Lock attribute whose ``with self.X:`` encloses the effect.
+    under_lock: str = ""
+    #: Splice depth: 0 in the function itself, +1 per inlining level.
+    depth: int = 0
+    #: Symbol of the function the effect was extracted from.
+    origin: str = ""
+    #: For ``read``/``fill``: whether the key expression carries a
+    #: version token, and where it came from (``"param"`` or
+    #: ``"attr:<line>"`` of the ``v = self.token`` capture).
+    keyed: bool = False
+    key_source: str = ""
+
+
+@dataclass
+class VersionToken:
+    """One discovered version counter and its bump sites."""
+
+    #: ``ClassName.attr`` (or ``module.attr`` for globals).
+    key: str
+    attr: str
+    class_symbol: Optional[str]
+    #: Function symbols containing the ``+=`` bump.
+    bump_methods: Set[str] = field(default_factory=set)
+    #: Fields whose mutation this token governs (computed late).
+    governed_fields: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class CacheClassInfo:
+    """One discovered cache class and its classified methods."""
+
+    #: Bare class name (``PlanCache``).
+    name: str
+    class_symbol: str
+    #: Dict-like store attribute names.
+    store_attrs: Set[str] = field(default_factory=set)
+    #: Method name → role sets.
+    read_methods: Set[str] = field(default_factory=set)
+    fill_methods: Set[str] = field(default_factory=set)
+    invalidate_methods: Set[str] = field(default_factory=set)
+    #: One method is both read and fill: keys capture the full input.
+    pure_memo: bool = False
+    #: A read method validates the entry against other instance state.
+    stamp_validated: bool = False
+    #: The instance attributes the stamp validation consults.
+    stamp_source_attrs: Set[str] = field(default_factory=set)
+    #: Methods that feed the stamp sources (``note_writes``).
+    stamp_feeder_methods: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class CacheFunctionSummary:
+    """Everything the CC rules need to know about one function."""
+
+    symbol: str
+    info: FunctionInfo
+    effects: List[CacheEffect] = field(default_factory=list)
+    #: Every attribute load (self or not): ``(attr, line)``.
+    field_reads: List[Tuple[str, int]] = field(default_factory=list)
+    #: Locals derived from one shard's state but referenced inside a
+    #: nested function or lambda (the cross-shard sharing shape).
+    shared_shard_derived: List[Tuple[str, int]] = field(
+        default_factory=list
+    )
+
+
+class CacheModel:
+    """The project-wide cache-coherence model."""
+
+    def __init__(
+        self,
+        summaries: Dict[str, CacheFunctionSummary],
+        tokens: Dict[str, VersionToken],
+        caches: Dict[str, CacheClassInfo],
+        callgraph: CallGraph,
+    ) -> None:
+        self.summaries = summaries
+        self.tokens = tokens
+        self.caches = caches
+        self.callgraph = callgraph
+        #: Field name → keys of tokens governing it.
+        self.governing_tokens: Dict[str, Set[str]] = {}
+        for token in tokens.values():
+            for fname in token.governed_fields:
+                self.governing_tokens.setdefault(fname, set()).add(
+                    token.key
+                )
+
+    def inlined_effects(
+        self, symbol: str, depth: int = 3
+    ) -> List[CacheEffect]:
+        """The function's effect sequence with resolved calls expanded.
+
+        ``call`` effects whose callee has a summary are replaced by the
+        callee's own (recursively inlined) effects, spliced at the call
+        position.  Cycles and unknown callees keep the call marker —
+        load-bearing for the unwind-window rule, which needs to know a
+        *call* (a potential raise) sits between a mutation and its
+        bump.
+        """
+        return self._inline(symbol, depth, frozenset((symbol,)))
+
+    def _inline(
+        self, symbol: str, depth: int, seen: FrozenSet[str]
+    ) -> List[CacheEffect]:
+        summary = self.summaries.get(symbol)
+        if summary is None:
+            return []
+        out: List[CacheEffect] = []
+        for effect in summary.effects:
+            if effect.kind != "call" or depth <= 0:
+                out.append(effect)
+                continue
+            spliced = False
+            for callee in effect.detail.split(","):
+                if not callee or callee in seen:
+                    continue
+                inner = self._inline(callee, depth - 1, seen | {callee})
+                for inner_effect in inner:
+                    out.append(
+                        CacheEffect(
+                            kind=inner_effect.kind,
+                            target=inner_effect.target,
+                            line=effect.line,
+                            col=effect.col,
+                            in_handler=(
+                                effect.in_handler
+                                or inner_effect.in_handler
+                            ),
+                            in_finally=(
+                                effect.in_finally
+                                or inner_effect.in_finally
+                            ),
+                            detail=inner_effect.detail,
+                            inlined=True,
+                            under_lock=effect.under_lock,
+                            depth=inner_effect.depth + 1,
+                            origin=inner_effect.origin,
+                            keyed=inner_effect.keyed,
+                            key_source=inner_effect.key_source,
+                        )
+                    )
+                    spliced = True
+            if not spliced:
+                out.append(effect)
+        return out
+
+    def callers_of(self, symbol: str) -> List[str]:
+        """Distinct caller symbols with a summary, via call effects."""
+        out: Set[str] = set()
+        for caller, summary in self.summaries.items():
+            for effect in summary.effects:
+                if effect.kind != "call":
+                    continue
+                if symbol in effect.detail.split(","):
+                    out.add(caller)
+                    break
+        return sorted(out)
+
+
+# -- declaration discovery ---------------------------------------------------
+
+
+def _is_store_factory(value: ast.expr) -> bool:
+    """``OrderedDict()`` / ``dict()`` / ``{}`` — a dict-like store."""
+    if isinstance(value, ast.Dict):
+        return not value.keys
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name in _STORE_FACTORIES
+    return False
+
+
+def _method_defs(cls: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [
+        item
+        for item in cls.body
+        if isinstance(item, ast.FunctionDef)
+    ]
+
+
+def _store_get_locals(
+    func: ast.FunctionDef, stores: Set[str]
+) -> Set[str]:
+    """Locals assigned from ``self.<store>.get(...)``."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+            and isinstance(value.func.value, ast.Attribute)
+            and isinstance(value.func.value.value, ast.Name)
+            and value.func.value.value.id == "self"
+            and value.func.value.attr in stores
+        ):
+            out.add(node.targets[0].id)
+    return out
+
+
+def _returns_name(func: ast.FunctionDef, names: Set[str]) -> bool:
+    """Whether any return value mentions one of ``names``.
+
+    Attribute access on the name counts (``return entry.index_name``),
+    which is what distinguishes a read method from bookkeeping that
+    merely compares the got value.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id in names:
+                    return True
+    return False
+
+
+def _returns_store_get(
+    func: ast.FunctionDef, stores: Set[str]
+) -> bool:
+    """``return self.<store>.get(...)`` directly."""
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Return) and node.value is not None
+        ):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+            and isinstance(value.func.value, ast.Attribute)
+            and isinstance(value.func.value.value, ast.Name)
+            and value.func.value.value.id == "self"
+            and value.func.value.attr in stores
+        ):
+            return True
+    return False
+
+
+def _fills_store(func: ast.FunctionDef, stores: Set[str]) -> bool:
+    """``self.<store>[key] = value`` anywhere in the method."""
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and isinstance(target.value.value, ast.Name)
+                and target.value.value.id == "self"
+                and target.value.attr in stores
+            ):
+                return True
+    return False
+
+
+def _invalidates_store(
+    func: ast.FunctionDef, stores: Set[str]
+) -> bool:
+    """``del``/``clear``/``pop``/``popitem`` on a store attribute."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and isinstance(target.value.value, ast.Name)
+                    and target.value.value.id == "self"
+                    and target.value.attr in stores
+                ):
+                    return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("clear", "pop", "popitem")
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+            and node.func.value.attr in stores
+        ):
+            return True
+    return False
+
+
+def _stamp_sources(
+    func: ast.FunctionDef, got_locals: Set[str]
+) -> Set[str]:
+    """Instance attrs a read method compares the got entry against.
+
+    The plan cache's shape: ``written - entry.writes_at_creation >=
+    self.write_invalidation_threshold`` — a Compare whose subtree
+    touches both the entry local (via attribute access) and other
+    ``self`` state (directly or through a tainted local).
+    """
+    # Locals assigned from a self attribute (``written = self._writes
+    # .get(...)`` taints ``written`` with ``_writes``).
+    tainted: Dict[str, str] = {}
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            continue
+        for sub in ast.walk(node.value):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                tainted[node.targets[0].id] = sub.attr
+                break
+    sources: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        touches_entry = False
+        compared: Set[str] = set()
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in got_locals
+            ):
+                touches_entry = True
+            elif (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                compared.add(sub.attr)
+            elif isinstance(sub, ast.Name) and sub.id in tainted:
+                compared.add(tainted[sub.id])
+        if touches_entry and compared:
+            sources |= compared
+    return sources
+
+
+def _feeds_attrs(func: ast.FunctionDef, attrs: Set[str]) -> bool:
+    """Assign/subscript/augassign of one of ``attrs`` on ``self``."""
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        for target in targets:
+            base = target
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and base.attr in attrs
+            ):
+                return True
+    return False
+
+
+def _discover_cache_classes(
+    modules: Sequence[ModuleInfo], graph: CallGraph
+) -> Dict[str, CacheClassInfo]:
+    """Cache classes by class symbol."""
+    caches: Dict[str, CacheClassInfo] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if "cache" not in node.name.lower():
+                continue
+            methods = _method_defs(node)
+            init = next(
+                (m for m in methods if m.name == "__init__"), None
+            )
+            if init is None:
+                continue
+            stores: Set[str] = set()
+            for stmt in ast.walk(init):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                value = stmt.value
+                if value is None or not _is_store_factory(value):
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        stores.add(target.attr)
+            if not stores:
+                continue
+            info = CacheClassInfo(
+                name=node.name,
+                class_symbol=_class_symbol(module, node),
+            )
+            info.store_attrs = stores
+            for method in methods:
+                if method.name == "__init__":
+                    continue
+                got = _store_get_locals(method, stores)
+                is_read = _returns_store_get(method, stores) or (
+                    bool(got) and _returns_name(method, got)
+                )
+                is_fill = _fills_store(method, stores)
+                if is_read:
+                    info.read_methods.add(method.name)
+                    sources = _stamp_sources(method, got)
+                    if sources:
+                        info.stamp_validated = True
+                        info.stamp_source_attrs |= sources
+                if is_fill:
+                    info.fill_methods.add(method.name)
+                if is_read and is_fill:
+                    info.pure_memo = True
+            for method in methods:
+                if method.name == "__init__":
+                    continue
+                if (
+                    method.name not in info.read_methods
+                    and method.name not in info.fill_methods
+                    and _invalidates_store(method, stores)
+                ):
+                    info.invalidate_methods.add(method.name)
+                if info.stamp_source_attrs and _feeds_attrs(
+                    method, info.stamp_source_attrs
+                ):
+                    if method.name not in info.read_methods:
+                        info.stamp_feeder_methods.add(method.name)
+            if info.read_methods and info.fill_methods:
+                caches[info.class_symbol] = info
+    return caches
+
+
+def _class_symbol(module: ModuleInfo, node: ast.ClassDef) -> str:
+    if module.package:
+        return "%s.%s" % (module.package, node.name)
+    return node.name
+
+
+def _discover_tokens(
+    modules: Sequence[ModuleInfo], graph: CallGraph
+) -> Dict[str, VersionToken]:
+    """Version tokens by key (``ClassName.attr``)."""
+    tokens: Dict[str, VersionToken] = {}
+    for module in modules:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for method in _method_defs(cls):
+                for node in ast.walk(method):
+                    if not (
+                        isinstance(node, ast.AugAssign)
+                        and isinstance(node.target, ast.Attribute)
+                        and isinstance(node.target.value, ast.Name)
+                        and node.target.value.id == "self"
+                        and TOKEN_RE.search(node.target.attr)
+                    ):
+                        continue
+                    key = "%s.%s" % (cls.name, node.target.attr)
+                    token = tokens.get(key)
+                    if token is None:
+                        token = VersionToken(
+                            key=key,
+                            attr=node.target.attr,
+                            class_symbol=_class_symbol(module, cls),
+                        )
+                        tokens[key] = token
+                    method_symbol = _method_symbol(
+                        graph, module, cls, method
+                    )
+                    if method_symbol is not None:
+                        token.bump_methods.add(method_symbol)
+    return tokens
+
+
+def _method_symbol(
+    graph: CallGraph,
+    module: ModuleInfo,
+    cls: ast.ClassDef,
+    method: ast.FunctionDef,
+) -> Optional[str]:
+    for symbol, info in graph.functions.items():
+        if info.node is method and info.module is module:
+            return symbol
+    return None
+
+
+def _discover_builders(
+    modules: Sequence[ModuleInfo], graph: CallGraph
+) -> Dict[str, int]:
+    """Version-key builders: function symbol → version-param index.
+
+    A builder is a module-level function with a TOKEN_RE-named
+    parameter whose value flows (through simple local assignment or a
+    tuple literal) into a returned expression.
+    """
+    builders: Dict[str, int] = {}
+    for symbol, info in graph.functions.items():
+        node = info.node
+        if isinstance(node, ast.Lambda) or info.class_symbol is not None:
+            continue
+        if "." in info.qual:
+            continue  # nested functions are not shared key builders
+        version_params = [
+            (index, name)
+            for index, name in enumerate(info.params)
+            if TOKEN_RE.search(name)
+        ]
+        if not version_params:
+            continue
+        param_names = {name for _, name in version_params}
+        # Locals tainted by a version param through assignment.
+        tainted = set(param_names)
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+            ):
+                for leaf in ast.walk(sub.value):
+                    if (
+                        isinstance(leaf, ast.Name)
+                        and leaf.id in tainted
+                    ):
+                        tainted.add(sub.targets[0].id)
+                        break
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                for leaf in ast.walk(sub.value):
+                    if (
+                        isinstance(leaf, ast.Name)
+                        and leaf.id in tainted
+                    ):
+                        builders[symbol] = version_params[0][0]
+                        break
+    return builders
+
+
+def _module_global_caches(
+    modules: Sequence[ModuleInfo],
+    caches: Dict[str, CacheClassInfo],
+) -> Dict[str, str]:
+    """Module-global name → cache class symbol (``DEFAULT_RANGE_CACHE``)."""
+    by_name = {info.name: symbol for symbol, info in caches.items()}
+    out: Dict[str, str] = {}
+    for module in modules:
+        for stmt in module.tree.body:
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                continue
+            called = dotted_name(stmt.value.func)
+            if called is None:
+                continue
+            bare = called.split(".")[-1]
+            if bare in by_name:
+                out[stmt.targets[0].id] = by_name[bare]
+    return out
+
+
+# -- model construction ------------------------------------------------------
+
+
+def build_cache_model(
+    modules: Sequence[ModuleInfo],
+    callgraph: Optional[CallGraph] = None,
+) -> CacheModel:
+    """Extract per-function cache-effect summaries project-wide.
+
+    Unlike the FS model there is no domain gate: cache holders, version
+    owners, and the mutation sites they govern are spread across
+    cluster, service, and sfc modules, and the splicing needs all of
+    them summarized.
+    """
+    graph = callgraph if callgraph is not None else build_call_graph(modules)
+    caches = _discover_cache_classes(modules, graph)
+    tokens = _discover_tokens(modules, graph)
+    builders = _discover_builders(modules, graph)
+    globals_map = _module_global_caches(modules, caches)
+    token_attrs = {token.attr for token in tokens.values()}
+    summaries: Dict[str, CacheFunctionSummary] = {}
+    for symbol, info in graph.functions.items():
+        if isinstance(info.node, ast.Lambda):
+            continue
+        extractor = _CacheEffectExtractor(
+            info,
+            graph,
+            caches,
+            tokens,
+            token_attrs,
+            builders,
+            globals_map,
+        )
+        summaries[symbol] = extractor.run()
+    _compute_governed_fields(summaries, tokens)
+    return CacheModel(summaries, tokens, caches, graph)
+
+
+def _compute_governed_fields(
+    summaries: Dict[str, CacheFunctionSummary],
+    tokens: Dict[str, VersionToken],
+) -> None:
+    """Governed fields = fill-path reads ∩ bump-adjacent mutations.
+
+    The *reads side* is every attribute read by a function holding a
+    fill effect, plus its resolved callees two levels deep — the state
+    the cached value was derived from.  The *mutation side*, per
+    token, is every field mutated by a function adjacent to that
+    token's bump (it bumps locally or calls a bump method), plus its
+    direct callees.  Only fields on both sides are governed: counters
+    bumped next to a version bump but never read by a fill path do not
+    create obligations.
+    """
+    callees_of: Dict[str, Set[str]] = {}
+    for symbol, summary in summaries.items():
+        outs: Set[str] = set()
+        for effect in summary.effects:
+            if effect.kind == "call":
+                outs.update(
+                    callee
+                    for callee in effect.detail.split(",")
+                    if callee
+                )
+        callees_of[symbol] = outs
+
+    read_side: Set[str] = set()
+    for symbol, summary in summaries.items():
+        if not any(e.kind == "fill" for e in summary.effects):
+            continue
+        fill_module = summary.info.module.path
+        frontier = {symbol}
+        seen: Set[str] = set()
+        for _ in range(3):  # the function itself + 2 callee levels
+            next_frontier: Set[str] = set()
+            for current in frontier:
+                if current in seen:
+                    continue
+                seen.add(current)
+                current_summary = summaries.get(current)
+                if current_summary is None:
+                    continue
+                # Stay within the fill function's module: the derived
+                # value is computed from what the fill path reads
+                # *here*, and following service→cluster→docstore
+                # chains would govern half the project's fields.
+                if current_summary.info.module.path != fill_module:
+                    continue
+                read_side.update(
+                    attr for attr, _ in current_summary.field_reads
+                )
+                next_frontier |= callees_of.get(current, set())
+            frontier = next_frontier
+
+    for token in tokens.values():
+        adjacent: Set[str] = set(token.bump_methods)
+        for symbol, summary in summaries.items():
+            for effect in summary.effects:
+                if effect.kind == "bump" and effect.detail == token.key:
+                    adjacent.add(symbol)
+                elif effect.kind == "call" and any(
+                    callee in token.bump_methods
+                    for callee in effect.detail.split(",")
+                ):
+                    adjacent.add(symbol)
+        mutated: Set[str] = set()
+        for symbol in adjacent:
+            for scope in {symbol} | callees_of.get(symbol, set()):
+                scope_summary = summaries.get(scope)
+                if scope_summary is None:
+                    continue
+                for effect in scope_summary.effects:
+                    if (
+                        effect.kind == "mutate"
+                        and effect.detail != "fresh"
+                    ):
+                        mutated.add(effect.target)
+        token.governed_fields = mutated & read_side
+        # The token itself is bookkeeping, not governed state.
+        token.governed_fields.discard(token.attr)
+
+
+# -- effect extraction -------------------------------------------------------
+
+
+class _CacheEffectExtractor:
+    """Walks one function body in source order, emitting cache effects."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        graph: CallGraph,
+        caches: Dict[str, CacheClassInfo],
+        tokens: Dict[str, VersionToken],
+        token_attrs: Set[str],
+        builders: Dict[str, int],
+        globals_map: Dict[str, str],
+    ) -> None:
+        self.info = info
+        self.graph = graph
+        self.caches = caches
+        self.tokens = tokens
+        self.token_attrs = token_attrs
+        self.builders = builders
+        self.globals_map = globals_map
+        self.summary = CacheFunctionSummary(
+            symbol=info.symbol, info=info
+        )
+        self._handler_depth = 0
+        self._finally_depth = 0
+        self._lock_attrs = self._owner_lock_attrs()
+        self._lock_stack: List[str] = []
+        #: TOKEN_RE-named parameters of this function.
+        self._version_params: Set[str] = {
+            name for name in info.params if TOKEN_RE.search(name)
+        }
+        #: Local ``v = <obj>.token_attr`` captures: name → line.
+        self._version_locals: Dict[str, int] = {}
+        #: Locals keyed by a version (builder result / version tuple):
+        #: name → key source string.
+        self._keyed_locals: Dict[str, str] = {}
+        #: Locals constructed fresh in this function (mutations of
+        #: them are pre-publication and carry no bump obligation).
+        self._fresh_locals: Set[str] = set()
+        #: ``self.<attr>`` attrs whose declared type is a cache class.
+        self._own_class = (
+            info.class_symbol.rsplit(".", 1)[-1]
+            if info.class_symbol is not None
+            else None
+        )
+
+    def _owner_lock_attrs(self) -> Set[str]:
+        node = self.info.node
+        if self.info.class_symbol is None:
+            return set()
+        for candidate in ast.walk(self.info.module.tree):
+            if isinstance(candidate, ast.ClassDef) and any(
+                item is node for item in ast.walk(candidate)
+            ):
+                return collect_lock_attrs(candidate)
+        return set()
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> CacheFunctionSummary:
+        node = self.info.node
+        assert not isinstance(node, ast.Lambda)
+        self._visit_body(node.body)
+        self._collect_field_reads(node)
+        self._collect_shared_shard_derived(node)
+        return self.summary
+
+    def _visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested scopes are separate summaries
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, ast.With):
+            self._visit_with(stmt)
+            return
+        if isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self._handler_depth += 1
+                self._visit_body(handler.body)
+                self._handler_depth -= 1
+            self._visit_body(stmt.orelse)
+            self._finally_depth += 1
+            self._visit_body(stmt.finalbody)
+            self._finally_depth -= 1
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._scan_expr(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.For):
+            self._scan_expr(stmt.iter)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._visit_assign(stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._scan_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._visit_augassign(stmt)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._scan_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._scan_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._note_subscript_mutation(target, stmt)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child)
+
+    # -- statement shapes --------------------------------------------------------
+
+    def _visit_with(self, stmt: ast.With) -> None:
+        locks_here = 0
+        for item in stmt.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Attribute)
+                and isinstance(ctx.value, ast.Name)
+                and ctx.value.id == "self"
+                and ctx.attr in self._lock_attrs
+            ):
+                self._lock_stack.append(ctx.attr)
+                locks_here += 1
+            self._scan_expr(ctx)
+        self._visit_body(stmt.body)
+        for _ in range(locks_here):
+            self._lock_stack.pop()
+
+    def _visit_assign(self, stmt: ast.Assign) -> None:
+        value = stmt.value
+        name_target = (
+            stmt.targets[0].id
+            if len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            else None
+        )
+        # Key classification for locals feeding cache ops.
+        if name_target is not None:
+            self._classify_local(name_target, value)
+        # Instance-state mutations (non-__init__ scopes only).
+        if not self._in_init():
+            for target in stmt.targets:
+                self._note_attr_mutation(target, stmt)
+                self._note_subscript_mutation(target, stmt)
+        self._scan_expr(value)
+
+    def _visit_augassign(self, stmt: ast.AugAssign) -> None:
+        target = stmt.target
+        # self.token += 1 → bump
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and target.attr in self.token_attrs
+        ):
+            token_key = self._token_key_for(target.attr)
+            if token_key is not None:
+                self._emit(
+                    "bump",
+                    target.attr,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    detail=token_key,
+                )
+                self._scan_expr(stmt.value)
+                return
+        if not self._in_init():
+            self._note_attr_mutation(target, stmt)
+            self._note_subscript_mutation(target, stmt)
+        self._scan_expr(stmt.value)
+
+    def _token_key_for(self, attr: str) -> Optional[str]:
+        own = self._own_class
+        if own is not None:
+            key = "%s.%s" % (own, attr)
+            if key in self.tokens:
+                return key
+        for key, token in self.tokens.items():
+            if token.attr == attr:
+                return key
+        return None
+
+    def _in_init(self) -> bool:
+        return self.info.qual.endswith("__init__") or self.info.qual.endswith(
+            "__post_init__"
+        )
+
+    def _classify_local(self, name: str, value: ast.expr) -> None:
+        # v = self.metadata_version / v = cluster.metadata_version
+        if (
+            isinstance(value, ast.Attribute)
+            and TOKEN_RE.search(value.attr)
+        ):
+            self._version_locals[name] = value.lineno
+            return
+        # metadata = CollectionMetadata(...) — fresh construction.
+        if isinstance(value, ast.Call):
+            called = dotted_name(value.func)
+            if called is not None:
+                bare = called.split(".")[-1]
+                if bare[:1].isupper():
+                    self._fresh_locals.add(name)
+            resolved = self.graph.resolved.get(id(value))
+            builder_callee: Optional[str] = None
+            if resolved is not None:
+                for callee in resolved.callees:
+                    if callee in self.builders:
+                        builder_callee = callee
+                        break
+            if builder_callee is None and called is not None:
+                bare = called.split(".")[-1]
+                candidates = self.graph.types.functions_by_name.get(
+                    bare, []
+                )
+                if (
+                    len(candidates) == 1
+                    and candidates[0] in self.builders
+                ):
+                    builder_callee = candidates[0]
+            if builder_callee is not None:
+                index = self.builders[builder_callee]
+                source = self._version_arg_source(value, index)
+                if source is not None:
+                    self._keyed_locals[name] = source
+                return
+        # key = (collection, version, ...) — tuple carrying a version.
+        if isinstance(value, ast.Tuple):
+            source = self._version_expr_source(value)
+            if source is not None:
+                self._keyed_locals[name] = source
+
+    def _version_arg_source(
+        self, call: ast.Call, index: int
+    ) -> Optional[str]:
+        """Key source when the builder's version argument is versioned."""
+        args: List[ast.expr] = list(call.args)
+        if 0 <= index < len(args):
+            return self._version_expr_source(args[index])
+        for keyword in call.keywords:
+            if keyword.arg is not None and TOKEN_RE.search(keyword.arg):
+                return self._version_expr_source(keyword.value)
+        # Builder declared a version param; a call that omits it is
+        # not keyed.
+        return None
+
+    def _version_expr_source(self, expr: ast.expr) -> Optional[str]:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                if node.id in self._version_params:
+                    return "param"
+                if node.id in self._version_locals:
+                    return "attr:%d" % self._version_locals[node.id]
+                if node.id in self._keyed_locals:
+                    return self._keyed_locals[node.id]
+            elif isinstance(node, ast.Attribute) and TOKEN_RE.search(
+                node.attr
+            ):
+                return "attr:%d" % node.lineno
+        return None
+
+    def _note_attr_mutation(
+        self, target: ast.expr, stmt: ast.stmt
+    ) -> None:
+        """``obj.field = ...`` / ``obj.field += ...``."""
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+        ):
+            return
+        owner = target.value.id
+        if target.attr in self.token_attrs and owner == "self":
+            return  # plain (non-aug) token rebinds are init shapes
+        detail = "fresh" if owner in self._fresh_locals else owner
+        self._emit(
+            "mutate",
+            target.attr,
+            stmt.lineno,
+            stmt.col_offset,
+            detail=detail,
+        )
+
+    def _note_subscript_mutation(
+        self, target: ast.expr, stmt: ast.stmt
+    ) -> None:
+        """``obj.field[...] = ...`` (subscript or slice assignment)."""
+        if not isinstance(target, ast.Subscript):
+            return
+        base = target.value
+        if not isinstance(base, ast.Attribute):
+            return
+        owner_text = _expr_text(base.value)
+        owner_root = owner_text.split(".")[0].split("[")[0]
+        detail = (
+            "fresh" if owner_root in self._fresh_locals else owner_text
+        )
+        self._emit(
+            "mutate",
+            base.attr,
+            stmt.lineno,
+            stmt.col_offset,
+            detail=detail,
+        )
+
+    # -- expression scanning -----------------------------------------------------
+
+    def _scan_expr(self, expr: ast.expr) -> None:
+        self._note_vchecks(expr)
+        for node in _ordered_calls(expr):
+            self._visit_call(node)
+
+    def _note_vchecks(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Compare):
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and self._is_token_attr(sub.attr)
+                ) or (
+                    isinstance(sub, ast.Name)
+                    and (
+                        sub.id in self._version_locals
+                        or sub.id in self._version_params
+                    )
+                ):
+                    self._emit(
+                        "vcheck",
+                        _expr_text(node),
+                        node.lineno,
+                        node.col_offset,
+                    )
+                    break
+
+    def _is_token_attr(self, attr: str) -> bool:
+        stripped = attr.lstrip("_")
+        return any(
+            token.attr.lstrip("_") == stripped
+            for token in self.tokens.values()
+        )
+
+    def _visit_call(self, call: ast.Call) -> None:
+        func = call.func
+        line, col = call.lineno, call.col_offset
+
+        # Cache-operation detection by receiver type.
+        if isinstance(func, ast.Attribute):
+            cache = self._receiver_cache(func.value)
+            if cache is not None:
+                method = func.attr
+                if method in cache.read_methods:
+                    keyed, source = self._call_key(call)
+                    self._emit(
+                        "read",
+                        cache.name,
+                        line,
+                        col,
+                        keyed=keyed,
+                        key_source=source,
+                    )
+                    return
+                if method in cache.fill_methods:
+                    keyed, source = self._call_key(call)
+                    self._emit(
+                        "fill",
+                        cache.name,
+                        line,
+                        col,
+                        keyed=keyed,
+                        key_source=source,
+                    )
+                    return
+                if method in cache.invalidate_methods:
+                    self._emit("invalidate", cache.name, line, col)
+                    return
+                if method in cache.stamp_feeder_methods:
+                    self._emit(
+                        "invalidate",
+                        cache.name,
+                        line,
+                        col,
+                        detail="stamp-feed",
+                    )
+                    return
+
+        # Mutating container-method calls on instance attributes.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_CONTAINER_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and not self._in_init()
+        ):
+            base = func.value
+            owner_text = _expr_text(base.value)
+            owner_root = owner_text.split(".")[0].split("[")[0]
+            cache = self._receiver_cache(base.value)
+            if cache is None:
+                detail = (
+                    "fresh"
+                    if owner_root in self._fresh_locals
+                    else owner_text
+                )
+                self._emit(
+                    "mutate", base.attr, line, col, detail=detail
+                )
+                # fall through: the call may also resolve in-graph
+
+        # Resolved project call → bump (when the callee is a bump
+        # method) or call marker for inlining.
+        resolved = self.graph.resolved.get(id(call))
+        if resolved is not None and resolved.callees:
+            bump_token = self._bump_callee_token(resolved.callees)
+            if bump_token is not None:
+                self._emit(
+                    "bump",
+                    dotted_name(func) or "?",
+                    line,
+                    col,
+                    detail=bump_token,
+                )
+                return
+            self._emit(
+                "call",
+                dotted_name(func) or "?",
+                line,
+                col,
+                detail=",".join(resolved.callees),
+            )
+
+    def _bump_callee_token(
+        self, callees: Sequence[str]
+    ) -> Optional[str]:
+        """Token key when every callee is one token's bump method.
+
+        Calling the bump method *is* the bump: ``_bump_metadata_version``
+        does nothing else, and treating the call as an opaque marker
+        would hide the bump from ordering rules at depth limits.
+        """
+        for token in self.tokens.values():
+            if all(callee in token.bump_methods for callee in callees):
+                bump_only = True
+                for callee in callees:
+                    info = self.graph.functions.get(callee)
+                    if info is None or isinstance(
+                        info.node, ast.Lambda
+                    ):
+                        bump_only = False
+                        break
+                    body = [
+                        stmt
+                        for stmt in info.node.body
+                        if not isinstance(stmt, ast.Expr)
+                        or not isinstance(stmt.value, ast.Constant)
+                    ]
+                    if len(body) != 1 or not isinstance(
+                        body[0], ast.AugAssign
+                    ):
+                        bump_only = False
+                        break
+                if bump_only:
+                    return token.key
+        return None
+
+    def _receiver_cache(
+        self, node: ast.expr
+    ) -> Optional[CacheClassInfo]:
+        """The cache class a call receiver names, if any."""
+        if isinstance(node, ast.Name):
+            global_symbol = self.globals_map.get(node.id)
+            if global_symbol is not None:
+                return self.caches.get(global_symbol)
+        resolver = self.graph.resolvers.get(self.info.symbol)
+        if resolver is None:
+            return None
+        type_name = resolver.receiver_type_name(node)
+        if type_name is None:
+            return None
+        for cache in self.caches.values():
+            if cache.name == type_name:
+                return cache
+        return None
+
+    def _call_key(self, call: ast.Call) -> Tuple[bool, str]:
+        """Key classification of a cache read/fill call's arguments."""
+        for arg in list(call.args) + [
+            keyword.value
+            for keyword in call.keywords
+            if keyword.value is not None
+        ]:
+            source = self._version_expr_source(arg)
+            if source is not None:
+                return True, source
+        return False, ""
+
+    # -- summary data ------------------------------------------------------------
+
+    def _collect_field_reads(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Load
+            ):
+                self.summary.field_reads.append(
+                    (sub.attr, sub.lineno)
+                )
+
+    def _collect_shared_shard_derived(
+        self, node: ast.AST
+    ) -> None:
+        """Locals drawn from one shard, referenced in a nested scope.
+
+        ``first = self.shards[sid]`` then ``bounds = first.f(...)``
+        then ``def run(...): ... bounds ...`` — the cached-per-query
+        value computed from one shard's state but visible to every
+        shard's closure.  CC006 flags these (info) so the sharing is
+        consciously justified.
+        """
+        assert not isinstance(node, ast.Lambda)
+        per_shard: Dict[str, int] = {}
+        derived: Dict[str, int] = {}
+        # Only assignments in the function's own scope count: a value
+        # both derived and consumed inside the same nested closure is
+        # per-shard by construction, not shared.  Sorted by line so
+        # ``first = self.shards[...]`` registers before the assignment
+        # that derives from it.
+        assigns = sorted(
+            (
+                sub
+                for sub in walk_within_function(node)
+                if isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+            ),
+            key=lambda a: (a.lineno, a.col_offset),
+        )
+        for sub in assigns:
+            name_target = sub.targets[0]
+            if not isinstance(name_target, ast.Name):
+                continue
+            target = name_target.id
+            for leaf in ast.walk(sub.value):
+                if (
+                    isinstance(leaf, ast.Subscript)
+                    and isinstance(leaf.value, ast.Attribute)
+                    and leaf.value.attr == "shards"
+                ):
+                    per_shard[target] = sub.lineno
+                    break
+            else:
+                for leaf in ast.walk(sub.value):
+                    if (
+                        isinstance(leaf, ast.Name)
+                        and leaf.id in per_shard
+                    ):
+                        derived[target] = sub.lineno
+                        break
+        if not derived:
+            return
+        nested: List[ast.AST] = []
+        for sub in ast.walk(node):
+            if sub is node:
+                continue
+            if isinstance(
+                sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                nested.append(sub)
+        for scope in nested:
+            for leaf in ast.walk(scope):
+                if (
+                    isinstance(leaf, ast.Name)
+                    and leaf.id in derived
+                    and isinstance(leaf.ctx, ast.Load)
+                ):
+                    entry = (leaf.id, derived[leaf.id])
+                    if entry not in self.summary.shared_shard_derived:
+                        self.summary.shared_shard_derived.append(entry)
+
+    def _emit(
+        self,
+        kind: str,
+        target: str,
+        line: int,
+        col: int,
+        detail: str = "",
+        keyed: bool = False,
+        key_source: str = "",
+    ) -> None:
+        self.summary.effects.append(
+            CacheEffect(
+                kind=kind,
+                target=target,
+                line=line,
+                col=col,
+                in_handler=self._handler_depth > 0,
+                in_finally=self._finally_depth > 0,
+                detail=detail,
+                under_lock=(
+                    self._lock_stack[-1] if self._lock_stack else ""
+                ),
+                origin=self.info.symbol,
+                keyed=keyed,
+                key_source=key_source,
+            )
+        )
+
+
+# -- small AST utilities -----------------------------------------------------
+
+
+def _ordered_calls(expr: ast.expr) -> Iterator[ast.Call]:
+    """Calls within one expression, in (line, col) source order.
+
+    Lambda bodies are included: a call inside ``lambda: self.f(...)``
+    resolves through the global call-resolution table, and the effect
+    belongs at the lambda's use site in this function.
+    """
+    calls = [
+        node for node in ast.walk(expr) if isinstance(node, ast.Call)
+    ]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return iter(calls)
+
+
+def _expr_text(expr: ast.expr) -> str:
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on 3.10+
+        return "<expr>"

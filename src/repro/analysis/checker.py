@@ -17,6 +17,7 @@ double the most expensive phase of the run.
 from __future__ import annotations
 
 import ast
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -25,6 +26,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 from repro.analysis.findings import Finding, Severity, assign_ordinals
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.cachemodel import CacheModel
     from repro.analysis.callgraph import CallGraph
     from repro.analysis.fsmodel import FsModel
     from repro.analysis.lockgraph import LockAnalysis
@@ -88,6 +90,7 @@ class ProjectContext:
         self.modules = list(modules)
         self._locks: Optional["LockAnalysis"] = None
         self._fs: Optional["FsModel"] = None
+        self._cache: Optional["CacheModel"] = None
 
     @property
     def locks(self) -> "LockAnalysis":
@@ -111,6 +114,15 @@ class ProjectContext:
 
             self._fs = build_fs_model(self.modules, self.callgraph)
         return self._fs
+
+    @property
+    def cache_model(self) -> "CacheModel":
+        """Cache-coherence summaries over the shared call graph."""
+        if self._cache is None:
+            from repro.analysis.cachemodel import build_cache_model
+
+            self._cache = build_cache_model(self.modules, self.callgraph)
+        return self._cache
 
 
 class ProjectChecker(Checker):
@@ -235,6 +247,7 @@ def run_analysis(
     checker_names: Optional[Sequence[str]] = None,
     jobs: int = 1,
     changed_scope: Optional[Sequence[str]] = None,
+    stats_out: Optional[Dict[str, float]] = None,
 ) -> List[Finding]:
     """Run checkers over the given paths and return ordered findings.
 
@@ -245,11 +258,21 @@ def run_analysis(
     checkers always run in-process afterwards, over the shared
     :class:`ProjectContext`.
 
+    The serial path parses every file exactly once up front and hands
+    the shared ASTs to every checker phase — per-module checkers are
+    instantiated once per run and iterate the parsed modules, not the
+    other way around, so no phase ever re-parses a file.
+
     ``changed_scope`` (a list of repo-relative changed paths) keeps
     only findings in those files or their transitive call-graph
     dependents; the analysis itself still covers everything, so
     project checkers see the same world as a full run and surviving
     fingerprints are bit-identical to the full run's.
+
+    ``stats_out``, when given a dict, is filled with wall-clock
+    seconds per phase: one ``"<parse>"`` entry plus one entry per
+    checker name (per-module and project time combined) — the
+    ``--stats`` CLI surface CI uses to spot slow rules.
     """
     root_path = Path(root).resolve()
     registry = registered_checkers()
@@ -262,7 +285,13 @@ def run_analysis(
     files = list(iter_python_files(paths, root_path))
     findings: List[Finding] = []
     modules: List[ModuleInfo] = []
+
+    def _note(phase: str, seconds: float) -> None:
+        if stats_out is not None:
+            stats_out[phase] = stats_out.get(phase, 0.0) + seconds
+
     if jobs > 1 and len(files) > 1:
+        started = time.perf_counter()
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             results = pool.map(
                 _analyze_one,
@@ -274,19 +303,37 @@ def run_analysis(
                 findings.extend(module_findings)
                 if module is not None:
                     modules.append(module)
+        _note("<parse+module-checkers>", time.perf_counter() - started)
+        checkers = {
+            name: registry[name]() for name in selected_names
+        }
     else:
+        started = time.perf_counter()
         for path in files:
-            module, module_findings = _analyze_one(
-                str(path), str(root_path), selected_names
-            )
-            findings.extend(module_findings)
-            if module is not None:
-                modules.append(module)
+            loaded = load_module(path, root_path)
+            if isinstance(loaded, Finding):
+                findings.append(loaded)
+            else:
+                modules.append(loaded)
+        _note("<parse>", time.perf_counter() - started)
+        checkers = {
+            name: registry[name]() for name in selected_names
+        }
+        for name in selected_names:
+            checker = checkers[name]
+            if isinstance(checker, ProjectChecker):
+                continue
+            started = time.perf_counter()
+            for module in modules:
+                findings.extend(checker.check(module))
+            _note(name, time.perf_counter() - started)
     context = ProjectContext(modules)
     for name in selected_names:
-        checker = registry[name]()
+        checker = checkers[name]
         if isinstance(checker, ProjectChecker):
+            started = time.perf_counter()
             findings.extend(checker.check_project(modules, context))
+            _note(name, time.perf_counter() - started)
     if select:
         findings = [
             f

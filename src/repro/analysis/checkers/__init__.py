@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.analysis.checkers.cachecoherence import CacheCoherenceChecker
 from repro.analysis.checkers.concurrency import ConcurrencyChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.docstore_invariants import (
@@ -12,6 +13,7 @@ from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
 from repro.analysis.checkers.lockorder import LockOrderChecker
 
 __all__ = [
+    "CacheCoherenceChecker",
     "ConcurrencyChecker",
     "DeterminismChecker",
     "DocstoreInvariantsChecker",

@@ -118,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print wall-clock seconds per checker phase after the "
+            "report, so CI can spot slow rules"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list every checker and rule, then exit",
@@ -165,6 +173,15 @@ def _render_text(
             "y" if len(stale) == 1 else "ies",
         )
     )
+
+
+def _render_stats(out: TextIO, timings: dict) -> None:
+    """Per-phase wall-clock table, slowest first."""
+    out.write("per-checker timing (seconds):\n")
+    for phase, seconds in sorted(
+        timings.items(), key=lambda item: -item[1]
+    ):
+        out.write("  %-28s %8.3f\n" % (phase, seconds))
 
 
 def _render_json(
@@ -219,6 +236,7 @@ def main(
         except ChangedFilesError as exc:
             stream.write("error: %s\n" % exc)
             return 2
+    timings: Optional[dict] = {} if args.stats else None
     findings = run_analysis(
         args.paths,
         root=root,
@@ -226,6 +244,7 @@ def main(
         checker_names=args.checkers,
         jobs=args.jobs,
         changed_scope=changed_scope,
+        stats_out=timings,
     )
     baseline = Baseline()
     baseline_path: Optional[Path] = None
@@ -277,6 +296,8 @@ def main(
         _render_text(
             stream, new, len(suppressed), stale, missing, unjustified
         )
+    if timings is not None:
+        _render_stats(stream, timings)
     if new:
         return 1
     if unjustified:

@@ -283,10 +283,15 @@ class ShardedCluster:
         if split_key is None:
             metadata.mark_jumbo(chunk)
             return
-        left, right = metadata.split_chunk(chunk, split_key)
-        self._recount_chunk(metadata, left)
-        self._recount_chunk(metadata, right)
-        self._bump_metadata_version()
+        try:
+            left, right = metadata.split_chunk(chunk, split_key)
+            self._recount_chunk(metadata, left)
+            self._recount_chunk(metadata, right)
+        finally:
+            # split_chunk rewires the chunk list before the recounts
+            # run; an unwind out of a recount must not leave the new
+            # boundaries visible under the old metadata_version.
+            self._bump_metadata_version()
         if self.auto_balance:
             self._post_split_balance(metadata, right)
 
@@ -370,10 +375,15 @@ class ShardedCluster:
         for shard_id in sorted({z.shard_id for z in zone_set}):
             if shard_id not in self.shards:
                 raise ShardingError("zone references unknown shard %r" % shard_id)
-        for boundary in zone_set.boundaries():
-            self._split_at(metadata, boundary)
-        metadata.zone_set = zone_set
-        self._bump_metadata_version()
+        try:
+            for boundary in zone_set.boundaries():
+                self._split_at(metadata, boundary)
+            metadata.zone_set = zone_set
+        finally:
+            # Each boundary split mutates the chunk list; if a later
+            # split raises, the earlier splits are already visible and
+            # still need the version bump for cache invalidation.
+            self._bump_metadata_version()
         self.balancer.balance(metadata)
 
     def _split_at(self, metadata: CollectionMetadata, key: KeyBound) -> None:

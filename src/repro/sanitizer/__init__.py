@@ -10,18 +10,32 @@ flags ordering violations live, replays crash prefixes at effect
 boundaries, and :func:`cross_validate_fs` holds the trace and the
 static FS model to account for each other: a runtime ordering the
 model claimed impossible fails the run, and so does a static finding
-no trace or justification can back.
+no trace or justification can back.  The cache epoch tracer
+(:class:`CacheTracer`) does the same for the cache-coherence rules:
+it stamps every instrumented cache fill with the generation vector of
+its governing invalidation domains, rechecks the stamp at hit time,
+and :func:`cross_validate_cache` matches stale hits against static
+CC findings in both directions.
 """
 
+from repro.sanitizer.cachetrace import (
+    CACHE_INSTRUMENTED_PATHS,
+    CacheTracer,
+    CacheViolation,
+    instrument_plan_cache,
+    instrument_targeting_cache,
+)
 from repro.sanitizer.core import (
     LockOrderSanitizer,
     ObservedEdge,
     SanitizerViolation,
 )
 from repro.sanitizer.crossval import (
+    CacheCrossValidationReport,
     CrossValidationReport,
     FsCrossValidationReport,
     cross_validate,
+    cross_validate_cache,
     cross_validate_fs,
 )
 from repro.sanitizer.fstrace import (
@@ -50,6 +64,10 @@ from repro.sanitizer.instrument import (
 from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
 
 __all__ = [
+    "CACHE_INSTRUMENTED_PATHS",
+    "CacheCrossValidationReport",
+    "CacheTracer",
+    "CacheViolation",
     "CrashReplayResult",
     "CrossValidationReport",
     "FsCrossValidationReport",
@@ -73,9 +91,12 @@ __all__ = [
     "TARGETING_CACHE_LOCK_KEY",
     "WAL_LOCK_KEY",
     "cross_validate",
+    "cross_validate_cache",
     "cross_validate_fs",
     "instrument_lsm_engine",
+    "instrument_plan_cache",
     "instrument_query_service",
+    "instrument_targeting_cache",
     "lsm_fs_modules",
     "sweep_crash_boundaries",
 ]

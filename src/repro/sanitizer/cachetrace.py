@@ -1,0 +1,328 @@
+"""Runtime epoch tracer: stamp cache fills, recheck at hit time.
+
+The static cache-coherence pass (:mod:`repro.analysis.cachemodel`,
+rules CC001–CC006) proves invalidation discipline over every path the
+call graph admits; this module is its runtime counterpart.  A
+:class:`CacheTracer` keeps one monotonically increasing *generation*
+per invalidation **domain** (``"metadata"`` for chunk topology,
+``"ddl:<collection>"`` for index create/drop, ``"storage:<collection>"``
+for the PR-5 flush/compaction epoch).  Every cache fill is stamped
+with the generation vector in force at fill time — or, via the ``at=``
+snapshot, at *derivation* time, which is what catches keys computed
+from a different version than the data they guard (CC002).  Every hit
+rechecks the stamp: a hit whose stamp lags the current generation in
+any declared domain is a **stale hit**, recorded as a
+:class:`CacheViolation` carrying the CC rule family it manifests.
+
+Domains advance at the *mutation* sites, independently of the caches'
+own invalidation plumbing — that independence is the point: the tracer
+is ground truth the plumbing must keep up with, and
+:func:`~repro.sanitizer.crossval.cross_validate_cache` holds the trace
+and the static findings to account for each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import ShardedCluster
+from repro.service.service import QueryService
+
+__all__ = [
+    "CACHE_INSTRUMENTED_PATHS",
+    "CacheTracer",
+    "CacheViolation",
+    "instrument_plan_cache",
+    "instrument_targeting_cache",
+]
+
+#: The source files whose caches the tracer can observe — the scope
+#: handed to :func:`~repro.sanitizer.crossval.cross_validate_cache` so
+#: static CC findings outside the traced surface are not demanded back.
+CACHE_INSTRUMENTED_PATHS = (
+    "src/repro/service/plan_cache.py",
+    "src/repro/cluster/router.py",
+    "src/repro/cluster/cluster.py",
+    "src/repro/service/service.py",
+)
+
+
+@dataclass(frozen=True)
+class CacheViolation:
+    """One runtime stale-cache observation.
+
+    ``family`` names the static CC rule the violation corresponds to,
+    which is what cross-validation matches on.
+    """
+
+    kind: str  # stale-hit
+    family: str  # CC001..CC004
+    label: str  # which instrumented cache
+    detail: str
+    seq: int
+
+
+class CacheTracer:
+    """Per-domain generation counters plus fill-time stamps.
+
+    Thread-safe; one tracer per test or workload.  ``advance`` is
+    called at (or wrapped around) every mutation of governed state,
+    *before* the mutation becomes visible, so any cache entry that can
+    still be hit afterwards is provably stale.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._gens: Dict[str, int] = {}
+        self._stamps: Dict[Tuple[str, Hashable], Dict[str, int]] = {}
+        self._violations: List[CacheViolation] = []
+        self._seq = 0
+
+    # -- the epoch vector ------------------------------------------------------
+
+    def advance(self, domain: str) -> int:
+        """Bump a domain's generation; returns the new value.
+
+        Call *before* the mutation it describes becomes visible: the
+        pre-advance guarantees no window where stale data carries a
+        current-looking stamp.
+        """
+        with self._lock:
+            self._seq += 1
+            self._gens[domain] = self._gens.get(domain, 0) + 1
+            return self._gens[domain]
+
+    def generation(self, domain: str) -> int:
+        """The current generation of one domain (0 if never advanced)."""
+        with self._lock:
+            return self._gens.get(domain, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the full generation vector, for ``record_fill(at=)``.
+
+        Take it when the cached value's *derivation* starts; stamping
+        the fill with that snapshot (rather than the fill-time vector)
+        is what exposes keys built from a fresher version than the data
+        they guard — the CC002 shape.
+        """
+        with self._lock:
+            return dict(self._gens)
+
+    # -- fills and hits --------------------------------------------------------
+
+    def record_fill(
+        self,
+        label: str,
+        key: Hashable,
+        domains: Sequence[str],
+        at: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Stamp one cache entry with its governing generations."""
+        with self._lock:
+            self._seq += 1
+            source = at if at is not None else self._gens
+            self._stamps[(label, key)] = {
+                domain: source.get(domain, 0) for domain in domains
+            }
+
+    def check_hit(
+        self,
+        label: str,
+        key: Hashable,
+        domains: Sequence[str],
+        family: str = "CC003",
+    ) -> bool:
+        """Recheck a hit's stamp; returns True when the hit was stale.
+
+        Entries the tracer never saw filled (populated before
+        instrumentation) are skipped — only provably stale hits count.
+        """
+        with self._lock:
+            self._seq += 1
+            stamp = self._stamps.get((label, key))
+            if stamp is None:
+                return False
+            lagging = [
+                (domain, stamp.get(domain, 0), self._gens.get(domain, 0))
+                for domain in domains
+                if stamp.get(domain, 0) < self._gens.get(domain, 0)
+            ]
+            if not lagging:
+                return False
+            self._violations.append(
+                CacheViolation(
+                    kind="stale-hit",
+                    family=family,
+                    label=label,
+                    detail=(
+                        "%s hit key %r with stale stamp: %s"
+                        % (
+                            label,
+                            key,
+                            ", ".join(
+                                "%s filled@%d current@%d"
+                                % (domain, filled, current)
+                                for domain, filled, current in lagging
+                            ),
+                        )
+                    ),
+                    seq=self._seq,
+                )
+            )
+            return True
+
+    def forget(self, label: str, key: Hashable) -> None:
+        """Drop the stamp for one entry (mirror of an eviction)."""
+        with self._lock:
+            self._stamps.pop((label, key), None)
+
+    # -- reporting -------------------------------------------------------------
+
+    def violations(self) -> List[CacheViolation]:
+        """Every stale hit recorded so far, in detection order."""
+        with self._lock:
+            return list(self._violations)
+
+    def assert_clean(self) -> None:
+        """Raise AssertionError when any stale hit was recorded."""
+        found = self.violations()
+        if found:
+            raise AssertionError(
+                "cache tracer recorded %d stale hit(s):\n%s"
+                % (
+                    len(found),
+                    "\n".join(
+                        "  [%s/%s] %s" % (v.family, v.label, v.detail)
+                        for v in found
+                    ),
+                )
+            )
+
+
+# -- instrumentation of the shipped caches -----------------------------------
+
+
+def instrument_targeting_cache(
+    cluster: ShardedCluster,
+    tracer: CacheTracer,
+    label: str = "targeting",
+) -> CacheTracer:
+    """Wire the cluster's TargetingCache into a tracer.
+
+    The ``"metadata"`` domain advances inside
+    ``_bump_metadata_version`` — the same event that retires every
+    version-keyed entry — so a later *hit* of an entry filled before
+    the bump can only mean a read path whose key failed to incorporate
+    the new version.
+    """
+    cache = cluster.targeting_cache
+    orig_get = cache.get
+    orig_put = cache.put
+    orig_bump = cluster._bump_metadata_version
+
+    def traced_get(key):  # type: ignore[no-untyped-def]
+        result = orig_get(key)
+        if result is not None:
+            tracer.check_hit(label, key, ("metadata",), family="CC003")
+        return result
+
+    def traced_put(key, result):  # type: ignore[no-untyped-def]
+        tracer.record_fill(label, key, ("metadata",))
+        orig_put(key, result)
+
+    def traced_bump():  # type: ignore[no-untyped-def]
+        tracer.advance("metadata")
+        return orig_bump()
+
+    cache.get = traced_get  # type: ignore[method-assign]
+    cache.put = traced_put  # type: ignore[method-assign]
+    cluster._bump_metadata_version = traced_bump  # type: ignore[method-assign]
+    return tracer
+
+
+def instrument_plan_cache(
+    service: QueryService,
+    tracer: CacheTracer,
+    label: str = "plan",
+) -> CacheTracer:
+    """Wire a service's PlanCache into a tracer.
+
+    Two domains govern every entry, keyed by the entry's collection
+    (``key[0]`` for both the shape and the exact-query key spaces):
+    ``"ddl:<collection>"`` advances when the service's
+    ``create_index``/``drop_index`` run, *before* the catalog mutates;
+    ``"storage:<collection>"`` advances when a storage event (memtable
+    flush, compaction) fires for the collection.  Write-volume
+    invalidation is deliberately *not* a domain — the cache checks it
+    itself, stamp-style, on every read.
+    """
+    cache = service.plan_cache
+    if cache is None:
+        return tracer
+
+    def domains_for(key: Tuple[Any, ...]) -> Tuple[str, str]:
+        collection = key[0]
+        return ("ddl:%s" % collection, "storage:%s" % collection)
+
+    orig_get = cache.get
+    orig_put = cache.put
+    orig_get_compiled = cache.get_compiled
+    orig_put_compiled = cache.put_compiled
+
+    def traced_get(key):  # type: ignore[no-untyped-def]
+        result = orig_get(key)
+        if result is not None:
+            tracer.check_hit(
+                label, ("shape", key), domains_for(key), family="CC003"
+            )
+        return result
+
+    def traced_put(key, index_name):  # type: ignore[no-untyped-def]
+        tracer.record_fill(label, ("shape", key), domains_for(key))
+        orig_put(key, index_name)
+
+    def traced_get_compiled(key):  # type: ignore[no-untyped-def]
+        result = orig_get_compiled(key)
+        if result is not None:
+            tracer.check_hit(
+                label, ("exact", key), domains_for(key), family="CC003"
+            )
+        return result
+
+    def traced_put_compiled(  # type: ignore[no-untyped-def]
+        key, shape_key, shape, matcher, hint
+    ):
+        tracer.record_fill(label, ("exact", key), domains_for(key))
+        orig_put_compiled(key, shape_key, shape, matcher, hint)
+
+    cache.get = traced_get  # type: ignore[method-assign]
+    cache.put = traced_put  # type: ignore[method-assign]
+    cache.get_compiled = traced_get_compiled  # type: ignore[method-assign]
+    cache.put_compiled = traced_put_compiled  # type: ignore[method-assign]
+
+    orig_create = service.create_index
+    orig_drop = service.drop_index
+
+    def traced_create_index(collection, *args, **kwargs):  # type: ignore[no-untyped-def]
+        tracer.advance("ddl:%s" % collection)
+        return orig_create(collection, *args, **kwargs)
+
+    def traced_drop_index(collection, *args, **kwargs):  # type: ignore[no-untyped-def]
+        tracer.advance("ddl:%s" % collection)
+        return orig_drop(collection, *args, **kwargs)
+
+    service.create_index = traced_create_index  # type: ignore[method-assign]
+    service.drop_index = traced_drop_index  # type: ignore[method-assign]
+
+    def on_storage_event(event) -> None:  # type: ignore[no-untyped-def]
+        if event.collection is not None:
+            tracer.advance("storage:%s" % event.collection)
+
+    # Registered *after* the service's own listener, so the service's
+    # invalidation runs first and a correct implementation leaves no
+    # entry for the advanced generation to catch.
+    for shard in service.cluster.shards.values():
+        shard.database.add_storage_listener(on_storage_event)
+    return tracer

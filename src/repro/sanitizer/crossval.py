@@ -23,6 +23,10 @@ from typing import Iterable, List, Sequence, Set
 
 from repro.analysis.findings import Finding
 from repro.analysis.lockgraph import LockOrderGraph
+from repro.sanitizer.cachetrace import (
+    CACHE_INSTRUMENTED_PATHS,
+    CacheViolation,
+)
 from repro.sanitizer.core import LockOrderSanitizer, ObservedEdge
 from repro.sanitizer.fstrace import (
     LSM_FS_PATHS,
@@ -31,9 +35,11 @@ from repro.sanitizer.fstrace import (
 )
 
 __all__ = [
+    "CacheCrossValidationReport",
     "CrossValidationReport",
     "FsCrossValidationReport",
     "cross_validate",
+    "cross_validate_cache",
     "cross_validate_fs",
 ]
 
@@ -245,6 +251,110 @@ def cross_validate_fs(
     justified_set = set(justified)
     report = FsCrossValidationReport()
     for violation in merged:
+        if violation.family not in static_families:
+            report.unexplained_runtime_violations.append(violation)
+    for finding in in_scope:
+        if finding.fingerprint in justified_set:
+            continue
+        if finding.rule_id not in runtime_families:
+            report.unmanifested_static_findings.append(finding)
+    return report
+
+
+#: The static CC rules the runtime epoch tracer can observe.  CC005
+#: (lock released before the version check) needs a precisely-timed
+#: interleaving no deterministic workload reproduces, and CC006 is an
+#: informational sharing note with no event shape — neither is
+#: demanded back from traces.
+_OBSERVABLE_CC_RULES = ("CC001", "CC002", "CC003", "CC004")
+
+
+@dataclass
+class CacheCrossValidationReport:
+    """The outcome of one static-vs-trace cache comparison."""
+
+    unexplained_runtime_violations: List[CacheViolation] = field(
+        default_factory=list
+    )
+    unmanifested_static_findings: List[Finding] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the static model and the trace explain each other."""
+        return (
+            not self.unexplained_runtime_violations
+            and not self.unmanifested_static_findings
+        )
+
+    def render(self) -> str:
+        """Human-readable report, one line per discrepancy."""
+        if self.ok:
+            return (
+                "cache cross-validation OK: trace and static model agree"
+            )
+        lines: List[str] = []
+        for violation in self.unexplained_runtime_violations:
+            lines.append(
+                "runtime %s violation (%s on %s, seq %d) has no "
+                "static %s finding in the traced modules — analyzer "
+                "blind spot: %s"
+                % (
+                    violation.family,
+                    violation.kind,
+                    violation.label,
+                    violation.seq,
+                    violation.family,
+                    violation.detail,
+                )
+            )
+        for finding in self.unmanifested_static_findings:
+            lines.append(
+                "static finding %s never manifested in the trace and "
+                "is not justified: %s:%d %s"
+                % (
+                    finding.fingerprint,
+                    finding.path,
+                    finding.line,
+                    finding.message,
+                )
+            )
+        return "\n".join(lines)
+
+
+def cross_validate_cache(
+    static_findings: Sequence[Finding],
+    violations: Sequence[CacheViolation],
+    instrumented_paths: Iterable[str] = CACHE_INSTRUMENTED_PATHS,
+    justified: Iterable[str] = (),
+) -> CacheCrossValidationReport:
+    """Compare the epoch tracer's record against the static CC model.
+
+    Both directions fail the run:
+
+    * a **runtime stale hit with no same-family static finding** in
+      the traced modules means the static model proved an invalidation
+      discipline the trace just watched break — an analyzer blind
+      spot;
+    * a **static CC001–CC004 finding on a traced path that never
+      manifested** as a stale hit of its family must be listed in
+      ``justified`` (by fingerprint) or the run fails.
+    """
+    instrumented = [
+        path.replace(os.sep, "/") for path in instrumented_paths
+    ]
+    in_scope = [
+        finding
+        for finding in static_findings
+        if finding.rule_id in _OBSERVABLE_CC_RULES
+        and _in_scope(finding.path, instrumented)
+    ]
+    static_families = {finding.rule_id for finding in in_scope}
+    runtime_families = {violation.family for violation in violations}
+    justified_set = set(justified)
+    report = CacheCrossValidationReport()
+    for violation in violations:
         if violation.family not in static_families:
             report.unexplained_runtime_violations.append(violation)
     for finding in in_scope:

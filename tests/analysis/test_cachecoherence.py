@@ -1,0 +1,307 @@
+"""Unit tests for the CC checker shapes the fixtures don't cover.
+
+The three reconstruction fixtures pin CC002/CC003/CC004 end to end
+(tests/analysis/test_cache_reconstruction.py); these snippets pin
+CC001, CC005, CC006, the exemptions that keep the shipped tree
+quiet, and the ``--changed-only`` scoping of CC findings.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.checker import run_analysis
+
+CC = "cache-coherence"
+
+
+NAIVE_CACHE = """
+    class NaiveCache:
+        def __init__(self):
+            self._entries = {}
+
+        def get(self, key):
+            value = self._entries.get(key)
+            if value is None:
+                return None
+            return value
+
+        def put(self, key, value):
+            self._entries[key] = value
+
+        def clear(self):
+            self._entries.clear()
+"""
+
+
+class TestCC001UnkeyedRead:
+    def test_unkeyed_read_trips(self, check_project, rule_ids):
+        findings = check_project(
+            NAIVE_CACHE
+            + """
+            class Router:
+                def __init__(self):
+                    self.metadata_version = 0
+                    self.chunk_map = {}
+                    self.cache = NaiveCache()
+
+                def _bump(self):
+                    self.metadata_version += 1
+
+                def move(self, chunk_id, shard_id):
+                    self.chunk_map[chunk_id] = shard_id
+                    self._bump()
+
+                def route(self, interval):
+                    cached = self.cache.get(interval)
+                    if cached is not None:
+                        return cached
+                    owners = sorted(self.chunk_map)
+                    self.cache.put(interval, owners)
+                    return owners
+            """,
+            CC,
+        )
+        assert rule_ids(findings) == ["CC001"]
+        (finding,) = findings
+        assert finding.symbol.endswith("route")
+
+    def test_version_keyed_read_is_clean(self, check_project, rule_ids):
+        findings = check_project(
+            NAIVE_CACHE
+            + """
+            class Router:
+                def __init__(self):
+                    self.metadata_version = 0
+                    self.chunk_map = {}
+                    self.cache = NaiveCache()
+
+                def _bump(self):
+                    self.metadata_version += 1
+
+                def move(self, chunk_id, shard_id):
+                    self.chunk_map[chunk_id] = shard_id
+                    self._bump()
+
+                def route(self, interval):
+                    version = self.metadata_version
+                    key = (interval, version)
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        return cached
+                    owners = sorted(self.chunk_map)
+                    self.cache.put(key, owners)
+                    return owners
+            """,
+            CC,
+        )
+        assert rule_ids(findings) == []
+
+    def test_push_invalidated_cache_is_exempt(
+        self, check_project, rule_ids
+    ):
+        findings = check_project(
+            NAIVE_CACHE
+            + """
+            class Owner:
+                def __init__(self):
+                    self.cache = NaiveCache()
+
+                def read(self, shape):
+                    return self.cache.get(shape)
+
+                def on_ddl(self):
+                    self.cache.clear()
+            """,
+            CC,
+        )
+        assert rule_ids(findings) == []
+
+
+class TestCC005LockWindow:
+    LOCKED = """
+    import threading
+
+    class WindowCache:
+        def __init__(self):
+            self._entries = {}
+
+        def get(self, key):
+            value = self._entries.get(key)
+            if value is None:
+                return None
+            return value
+
+        def put(self, key, value):
+            self._entries[key] = value
+
+    class Holder:
+        def __init__(self):
+            self.metadata_version = 0
+            self.data = {}
+            self.cache = WindowCache()
+            self._lock = threading.Lock()
+
+        def _bump(self):
+            self.metadata_version += 1
+
+        def refresh(self, key, version):
+            with self._lock:
+                value = sorted(self.data)
+                self.cache.put((key, version), value)
+            if version != self.metadata_version:
+                return None
+            return value
+    """
+
+    def test_fill_under_lock_checked_after_release_warns(
+        self, check_project, rule_ids
+    ):
+        findings = check_project(self.LOCKED, CC)
+        assert rule_ids(findings) == ["CC005"]
+        (finding,) = findings
+        assert finding.symbol.endswith("refresh")
+        assert "_lock" in finding.message
+
+    def test_check_inside_the_lock_is_clean(
+        self, check_project, rule_ids
+    ):
+        inside = self.LOCKED.replace(
+            """with self._lock:
+                value = sorted(self.data)
+                self.cache.put((key, version), value)
+            if version != self.metadata_version:
+                return None""",
+            """with self._lock:
+                value = sorted(self.data)
+                self.cache.put((key, version), value)
+                if version != self.metadata_version:
+                    return None""",
+        )
+        assert inside != self.LOCKED
+        findings = check_project(inside, CC)
+        assert rule_ids(findings) == []
+
+
+class TestCC006ShardSharing:
+    def test_shared_shard_derived_value_is_noted(
+        self, check_project, rule_ids
+    ):
+        findings = check_project(
+            """
+            class Fanout:
+                def __init__(self):
+                    self.shards = {}
+
+                def run(self, ids, collection):
+                    first = self.shards[ids[0]]
+                    bounds = first.bounds(collection)
+
+                    def work(shard_id):
+                        return self.shards[shard_id].query(
+                            collection, bounds
+                        )
+
+                    return [work(i) for i in ids]
+            """,
+            CC,
+        )
+        assert rule_ids(findings) == ["CC006"]
+        (finding,) = findings
+        assert "bounds" in finding.message
+
+    def test_value_derived_inside_the_closure_is_clean(
+        self, check_project, rule_ids
+    ):
+        findings = check_project(
+            """
+            class Fanout:
+                def __init__(self):
+                    self.shards = {}
+
+                def run(self, ids, collection):
+                    def work(shard_id):
+                        shard = self.shards[shard_id]
+                        bounds = shard.bounds(collection)
+                        return shard.query(collection, bounds)
+
+                    return [work(i) for i in ids]
+            """,
+            CC,
+        )
+        assert rule_ids(findings) == []
+
+
+BUGGY_MODULE = """
+class NaiveCache:
+    def __init__(self):
+        self._entries = {}
+
+    def get(self, key):
+        value = self._entries.get(key)
+        if value is None:
+            return None
+        return value
+
+    def put(self, key, value):
+        self._entries[key] = value
+
+
+class Router:
+    def __init__(self):
+        self.metadata_version = 0
+        self.chunk_map = {}
+        self.cache = NaiveCache()
+
+    def _bump(self):
+        self.metadata_version += 1
+
+    def move(self, chunk_id, shard_id):
+        self.chunk_map[chunk_id] = shard_id
+        self._bump()
+
+    def route(self, interval):
+        cached = self.cache.get(interval)
+        if cached is not None:
+            return cached
+        owners = sorted(self.chunk_map)
+        self.cache.put(interval, owners)
+        return owners
+"""
+
+CLEAN_MODULE = """
+def lonely():
+    return 1
+"""
+
+
+class TestChangedOnlyScoping:
+    """CC findings participate in the dependent-selection walk."""
+
+    @pytest.fixture
+    def tree(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "router.py").write_text(textwrap.dedent(BUGGY_MODULE))
+        (src / "other.py").write_text(textwrap.dedent(CLEAN_MODULE))
+        return tmp_path
+
+    def test_changed_cache_module_keeps_the_finding(self, tree):
+        findings = run_analysis(
+            ["src"],
+            root=tree,
+            select=["CC"],
+            changed_scope=["src/router.py"],
+        )
+        assert [f.rule_id for f in findings] == ["CC001"]
+
+    def test_unrelated_change_drops_the_finding(self, tree):
+        findings = run_analysis(
+            ["src"],
+            root=tree,
+            select=["CC"],
+            changed_scope=["src/other.py"],
+        )
+        assert findings == []

@@ -1,0 +1,124 @@
+"""Staleness audit for the router's shared hinted plan bounds.
+
+``ShardedCluster.find`` builds hinted index bounds once against the
+first targeted shard and ships them to every other shard
+(``plan_bounds``) — the CC006 sharing shape the cache-coherence pass
+notes.  The sharing is safe only because of two properties these tests
+pin: :meth:`Collection.hinted_bounds` holds no memo (every call
+recomputes from the live index set), and the receiving shard's
+``hint in self._indexes`` guard drops bounds whose index no longer
+exists rather than scanning with them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterTopology, ShardedCluster
+from repro.cluster.zones import Zone
+from repro.docstore import bson
+from repro.docstore.planner import analyze_query
+from repro.errors import PlanError
+
+
+def build_cluster(n_shards: int = 2) -> ShardedCluster:
+    cluster = ShardedCluster(
+        topology=ClusterTopology(n_shards=n_shards),
+        chunk_max_bytes=2 * 1024,
+    )
+    cluster.shard_collection("t", [("k", 1)])
+    cluster.insert_many(
+        "t",
+        [
+            {"_id": i, "k": (i * 37) % 1000, "v": i % 7, "pad": "x" * 64}
+            for i in range(400)
+        ],
+    )
+    cluster.create_index("t", [("v", 1)], name="v_idx")
+    return cluster
+
+
+class TestNoMemo:
+    """hinted_bounds recomputes from the live index set on every call."""
+
+    def test_bounds_disappear_with_the_index(self):
+        cluster = build_cluster()
+        shard = next(iter(cluster.shards.values()))
+        col = shard.collection("t")
+        shape = analyze_query({"v": 3})
+        assert col.hinted_bounds("v_idx", shape) is not None
+        col.drop_index("v_idx")
+        assert col.hinted_bounds("v_idx", shape) is None
+
+    def test_bounds_follow_a_redefined_index(self):
+        """Drop + recreate under the same name: fresh definition wins."""
+        cluster = build_cluster()
+        shard = next(iter(cluster.shards.values()))
+        col = shard.collection("t")
+        shape = analyze_query({"v": 3, "k": 5})
+        before = col.hinted_bounds("v_idx", shape)
+        col.drop_index("v_idx")
+        col.create_index([("v", 1), ("k", 1)], name="v_idx")
+        after = col.hinted_bounds("v_idx", shape)
+        assert before is not None and after is not None
+        # The compound redefinition bounds one more field.
+        assert after[1] == before[1] + 1
+
+    def test_unknown_hint_returns_none(self):
+        cluster = build_cluster()
+        shard = next(iter(cluster.shards.values()))
+        col = shard.collection("t")
+        assert col.hinted_bounds("nope", analyze_query({"v": 3})) is None
+
+
+class TestRouterSharing:
+    """The shared bounds stay correct across metadata mutations."""
+
+    def test_hinted_find_agrees_with_unhinted_across_a_zone_split(self):
+        cluster = build_cluster()
+        query = {"v": 2}
+        expected = sorted(
+            d["_id"] for d in cluster.find("t", query)
+        )
+        hinted = cluster.find("t", query, hint="v_idx")
+        assert sorted(d["_id"] for d in hinted) == expected
+        pattern = cluster.catalog.get("t").pattern
+        mid = (bson.sort_key(500),)
+        low, high = sorted(cluster.shards)
+        cluster.update_zones(
+            "t",
+            [
+                Zone("low", pattern.global_min(), mid, low),
+                Zone("high", mid, pattern.global_max(), high),
+            ],
+        )
+        hinted_after = cluster.find("t", query, hint="v_idx")
+        assert sorted(d["_id"] for d in hinted_after) == expected
+
+    def test_dropped_hint_fails_loud_not_stale(self):
+        """After DDL the hint raises; no shard scans with dead bounds."""
+        cluster = build_cluster()
+        cluster.find("t", {"v": 2}, hint="v_idx")
+        cluster.drop_index("t", "v_idx")
+        with pytest.raises(PlanError):
+            cluster.find("t", {"v": 2}, hint="v_idx")
+
+    def test_stale_plan_bounds_are_dropped_by_the_index_guard(self):
+        """A shard handed bounds for a dead index must not use them.
+
+        This drives the ``hint in self._indexes`` guard directly: the
+        bounds were computed while the index existed, the index is
+        gone, and the only acceptable outcome is the planner's loud
+        PlanError — never an executed scan over a dropped index.
+        """
+        cluster = build_cluster()
+        shard = next(iter(cluster.shards.values()))
+        col = shard.collection("t")
+        shape = analyze_query({"v": 3})
+        stale_bounds = col.hinted_bounds("v_idx", shape)
+        assert stale_bounds is not None
+        col.drop_index("v_idx")
+        with pytest.raises(PlanError):
+            col.find_with_stats(
+                {"v": 3}, hint="v_idx", plan_bounds=stale_bounds
+            )

@@ -7,7 +7,13 @@ import random
 import pytest
 
 from repro.cluster.cluster import ClusterTopology, ShardedCluster
-from repro.sanitizer import LockOrderSanitizer, instrument_query_service
+from repro.sanitizer import (
+    CacheTracer,
+    LockOrderSanitizer,
+    instrument_plan_cache,
+    instrument_query_service,
+    instrument_targeting_cache,
+)
 from repro.service.service import QueryService
 
 
@@ -55,6 +61,29 @@ def lock_order_sanitizer(monkeypatch):
     monkeypatch.setattr(QueryService, "__init__", instrumented_init)
     yield sanitizer
     sanitizer.assert_clean()
+
+
+@pytest.fixture(autouse=True)
+def cache_epoch_tracer(monkeypatch):
+    """Run every service test under the cache epoch tracer.
+
+    Each QueryService constructed during the test gets its targeting
+    and plan caches wired into one :class:`CacheTracer`; teardown
+    fails the test if any cache served a hit whose fill predates a
+    governing mutation — the runtime half of the CC001–CC004 rules,
+    checked across the whole suite's workloads for free.
+    """
+    tracer = CacheTracer()
+    original_init = QueryService.__init__
+
+    def instrumented_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        instrument_targeting_cache(self.cluster, tracer)
+        instrument_plan_cache(self, tracer)
+
+    monkeypatch.setattr(QueryService, "__init__", instrumented_init)
+    yield tracer
+    tracer.assert_clean()
 
 
 @pytest.fixture

@@ -1,0 +1,154 @@
+"""Cache coherence of the live service, checked by the epoch tracer.
+
+The ISSUE-8 satellite: drive the TargetingCache through interleaved
+chunk splits and zone updates, and the plan cache through DDL on a
+*different* collection, with the autouse ``cache_epoch_tracer``
+fixture (tests/service/conftest.py) recording every fill and hit.
+Correctness here means two things at once: answers stay right, and
+the tracer's teardown ``assert_clean`` finds no hit whose fill
+predates a governing mutation.
+"""
+
+from __future__ import annotations
+
+from repro.docstore import bson
+from repro.cluster.zones import Zone
+from repro.service.service import QueryService
+
+
+def mid_key(value):
+    return (bson.sort_key(value),)
+
+
+class TestTargetingUnderInterleavedMutations:
+    def test_split_and_zone_updates_between_reads(
+        self, seeded_cluster, cache_epoch_tracer
+    ):
+        """Interleave range reads with splits and two zone layouts.
+
+        Every metadata mutation bumps ``metadata_version``; because
+        targeting keys embed the version, each post-mutation read must
+        miss, retarget, and refill — never hit a pre-mutation entry.
+        """
+        cluster = seeded_cluster
+        query = {"k": {"$gte": 100, "$lt": 7_000}}
+        with QueryService(cluster) as service:
+            expected = sorted(
+                d["_id"] for d in service.find("t", query)
+            )
+            pattern = cluster.catalog.get("t").pattern
+            shard_ids = sorted(cluster.shards)
+            layouts = [
+                [
+                    Zone("a", pattern.global_min(), mid_key(3000), shard_ids[0]),
+                    Zone("b", mid_key(3000), pattern.global_max(), shard_ids[1]),
+                ],
+                [
+                    Zone("a", pattern.global_min(), mid_key(5500), shard_ids[2]),
+                    Zone("b", mid_key(5500), pattern.global_max(), shard_ids[3]),
+                ],
+            ]
+            for layout in layouts:
+                # Warm the cache at the current version...
+                for _ in range(2):
+                    got = sorted(
+                        d["_id"] for d in service.find("t", query)
+                    )
+                    assert got == expected
+                # ...then mutate the routing metadata underneath it.
+                cluster.update_zones("t", layout)
+                got = sorted(d["_id"] for d in service.find("t", query))
+                assert got == expected
+            # Writes force chunk splits (chunk_max_bytes is tiny),
+            # interleaved with reads that would be wrong if targeting
+            # served a pre-split routing decision.
+            versions = {cluster.metadata_version}
+            for i in range(3):
+                service.insert_many(
+                    "t",
+                    [
+                        {
+                            "_id": 10_000 + 100 * i + j,
+                            "k": 3_000 + 10 * j,
+                            "group": j % 10,
+                            "counter": 0,
+                            "pad": "x" * 512,
+                        }
+                        for j in range(100)
+                    ],
+                )
+                versions.add(cluster.metadata_version)
+                got = service.find(
+                    "t", {"k": {"$gte": 3_000, "$lt": 3_500}}
+                )
+                by_id = {d["_id"] for d in got}
+                assert all(
+                    10_000 + 100 * n in by_id for n in range(i + 1)
+                )
+            assert len(versions) > 1, "splits must bump the version"
+        # Teardown: cache_epoch_tracer.assert_clean() is the verdict.
+
+    def test_cache_serves_hits_between_mutations(
+        self, seeded_cluster, cache_epoch_tracer
+    ):
+        """The point of the cache: repeats at a stable version hit."""
+        cluster = seeded_cluster
+        with QueryService(cluster) as service:
+            for _ in range(4):
+                service.find("t", {"k": {"$gte": 0, "$lt": 2_000}})
+            stats = cluster.targeting_cache.stats()
+            assert stats["hits"] >= 3
+
+
+class TestPlanCacheAcrossCollections:
+    def test_entries_survive_unrelated_ddl(
+        self, cluster_factory, cache_epoch_tracer
+    ):
+        """DDL on one collection must not stale-out another's plans.
+
+        The tracer's domains are per-collection (``ddl:t`` vs
+        ``ddl:u``), so if the plan cache over-shared state across
+        collections — or under-invalidated its own — teardown's
+        ``assert_clean`` would name the stale hit.
+        """
+        cluster = cluster_factory(n_docs=200)
+        cluster.shard_collection("u", [("k", 1)])
+        cluster.insert_many(
+            "u",
+            [
+                {"_id": i, "k": i * 11, "v": i % 5, "pad": "x" * 64}
+                for i in range(200)
+            ],
+        )
+        with QueryService(cluster) as service:
+            service.create_index("t", [("group", 1)], name="g_idx")
+            service.create_index("u", [("v", 1)], name="v_idx")
+            t_query = {"group": 3}
+            u_query = {"v": 2}
+            t_expected = sorted(
+                d["_id"] for d in service.find("t", t_query)
+            )
+            u_expected = sorted(
+                d["_id"] for d in service.find("u", u_query)
+            )
+            before = service.plan_cache.stats()["hits"]
+            # DDL churn on "u" only; "t" entries must stay live and
+            # keep hitting.
+            service.drop_index("u", "v_idx")
+            service.create_index("u", [("v", 1), ("k", 1)], name="v_idx")
+            for _ in range(2):
+                got = sorted(d["_id"] for d in service.find("t", t_query))
+                assert got == t_expected
+            assert service.plan_cache.stats()["hits"] > before
+            # And "u" itself replans correctly after its churn.
+            got = sorted(d["_id"] for d in service.find("u", u_query))
+            assert got == u_expected
+
+    def test_tracer_generations_are_per_collection(
+        self, cluster_factory, cache_epoch_tracer
+    ):
+        cluster = cluster_factory(n_docs=50)
+        with QueryService(cluster) as service:
+            service.create_index("t", [("group", 1)], name="g_idx")
+            assert cache_epoch_tracer.generation("ddl:t") == 1
+            assert cache_epoch_tracer.generation("ddl:u") == 0
