@@ -59,6 +59,13 @@ CallableNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
 SPAWN_METHODS = {"submit"}
 SPAWN_FACTORIES = {"Thread", "threading.Thread"}
 
+#: Constructor basenames treated as spawns regardless of how they are
+#: reached (``threading.Thread``, ``ctx.Process``,
+#: ``multiprocessing.Process``): the ``target=`` runs on a fresh
+#: thread *or* in a fresh process, so the spawner's held-lock set must
+#: not propagate into it.
+SPAWN_BASENAMES = {"Thread", "Process"}
+
 #: Method names of builtin containers/strings/files/futures.  A call
 #: like ``self._entries.clear()`` must not resolve to a project method
 #: that happens to be named ``clear`` — the unique-name fallback below
@@ -629,10 +636,12 @@ class _FunctionResolver:
         is_spawn_submit = (
             isinstance(func, ast.Attribute) and func.attr in SPAWN_METHODS
         )
-        is_spawn_thread = (
-            dotted_name(func) in SPAWN_FACTORIES
-            if not isinstance(func, ast.Lambda)
-            else False
+        dotted = (
+            dotted_name(func) if not isinstance(func, ast.Lambda) else None
+        )
+        is_spawn_thread = dotted is not None and (
+            dotted in SPAWN_FACTORIES
+            or dotted.split(".")[-1] in SPAWN_BASENAMES
         )
         callees = (
             [] if is_spawn_thread else self._resolve_callees(call)

@@ -188,7 +188,10 @@ class LockDisciplineChecker(Checker):
         "LD003": (
             "An attribute of a lock-owning class written outside any "
             "lock scope races every reader that does take the lock.  "
-            "Mutate under the class's own lock."
+            "Mutate under the class's own lock.  Methods whose name "
+            "ends in ``_locked`` declare the calling convention that "
+            "the caller already holds the class lock and are judged "
+            "as guarded."
         ),
     }
     rule_levels = {
@@ -315,9 +318,14 @@ class LockDisciplineChecker(Checker):
                 if child.name in ("__init__", "__new__", "__post_init__"):
                     continue
                 qual = "%s.%s" % (cls_qual, child.name)
+                # The ``_locked`` suffix is the repo's calling
+                # convention for "caller holds the class lock"; the
+                # runtime sanitizer still observes the real acquisition
+                # order, so a convention-violating caller is caught by
+                # the dynamic oracle rather than silently trusted.
                 self._visit_guarded(
                     child.body,
-                    guarded=False,
+                    guarded=child.name.endswith("_locked"),
                     lock_attrs=lock_attrs,
                     owners=owners,
                     module=module,

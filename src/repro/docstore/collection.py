@@ -77,6 +77,12 @@ class Collection:
         self._records: Dict[int, dict] = {}
         self._rid_counter = itertools.count()
         self._indexes: Dict[str, Index] = {}
+        #: Logical content epoch: bumped by every mutating operation
+        #: (writes, migration moves, index DDL).  Replication layers —
+        #: the process-parallel shard executors — compare it against
+        #: the epoch of their last shipped snapshot to decide whether a
+        #: replica must re-sync before serving a read.
+        self._mutations = 0
         self._btree_order = btree_order
         self.storage_model = storage_model or StorageModel()
         # The _id index exists on every MongoDB collection and cannot
@@ -97,6 +103,37 @@ class Collection:
             self._engine.recover()
             for _, raw in self._engine.scan():
                 self._insert_local(decode_document(raw))
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        name: str,
+        definitions: Sequence[IndexDefinition],
+        documents: Iterable[Mapping[str, Any]],
+    ) -> "Collection":
+        """Rebuild a read replica from a consistent snapshot.
+
+        ``definitions``/``documents`` come from
+        :meth:`index_definitions` and :meth:`all_documents` captured
+        under the same exclusion (the process-parallel executors pickle
+        both while holding the source shard's read lock).  Documents
+        are inserted in the given (rid) order, so replica rids are a
+        monotone remap of the source's: index scan order, collection
+        scan order, and every executionStats counter match the source
+        collection exactly.
+        """
+        replica = cls(name)
+        for definition in definitions:
+            if definition.name in replica._indexes:
+                continue  # _id_ is built by the constructor
+            replica._indexes[definition.name] = Index(
+                definition, order=replica._btree_order
+            )
+        for document in documents:
+            replica._insert_local(document)
+        # A replica starts at epoch 0 like any fresh collection; the
+        # executor layer tracks the *source* epoch per snapshot.
+        return replica
 
     # -- writes ---------------------------------------------------------------
 
@@ -122,6 +159,7 @@ class Collection:
         A fresh ObjectId is assigned when the document has none, exactly
         like the MongoDB client driver (Appendix A.1).
         """
+        self._mutations += 1
         doc = self._insert_local(document)
         if self._engine is not None:
             self._engine.put_one(
@@ -139,6 +177,7 @@ class Collection:
         propagates — mirroring the in-memory semantics, where they
         remain inserted.
         """
+        self._mutations += 1
         if self._engine is None:
             return [self._insert_local(d)["_id"] for d in documents]
         ids: List[Any] = []
@@ -156,6 +195,7 @@ class Collection:
 
     def delete_many(self, query: Mapping[str, Any]) -> int:
         """Delete matching documents; returns the count."""
+        self._mutations += 1
         matcher = Matcher(query)
         doomed = [
             (rid, doc)
@@ -193,6 +233,7 @@ class Collection:
             raise DocumentStoreError(
                 "unsupported update operators %r" % sorted(unknown)
             )
+        self._mutations += 1
         matcher = Matcher(query)
         touched = 0
         operations: List[Tuple[int, bytes, Optional[bytes]]] = []
@@ -263,6 +304,7 @@ class Collection:
         for rid, doc in self._records.items():
             index.insert_document(rid, doc)
         self._indexes[definition.name] = index
+        self._mutations += 1
         return definition.name
 
     def drop_index(self, name: str) -> None:
@@ -272,6 +314,7 @@ class Collection:
         if name not in self._indexes:
             raise IndexError_("no index named %r" % name)
         del self._indexes[name]
+        self._mutations += 1
 
     def list_indexes(self) -> List[str]:
         """Names of all indexes, ``_id_`` included."""
@@ -458,6 +501,7 @@ class Collection:
 
     def remove_by_rids(self, rids: Sequence[int]) -> int:
         """Remove records by internal id (chunk-migration fast path)."""
+        self._mutations += 1
         removed = 0
         operations: List[Tuple[int, bytes, Optional[bytes]]] = []
         for rid in rids:
@@ -525,6 +569,21 @@ class Collection:
 
     def __len__(self) -> int:
         return len(self._records)
+
+    @property
+    def mutation_count(self) -> int:
+        """Logical content epoch (see ``_mutations`` in __init__)."""
+        return self._mutations
+
+    def index_definitions(self) -> List[IndexDefinition]:
+        """Picklable definitions of every index, ``_id_`` included.
+
+        Snapshot-sync replication ships these instead of the live
+        :class:`Index` objects: a replica rebuilds each B-tree from the
+        definition plus the document stream, which keeps the wire frame
+        small and the rebuild deterministic.
+        """
+        return [index.definition for index in self._indexes.values()]
 
     def all_documents(self) -> Iterable[Mapping[str, Any]]:
         """Storage view of all documents (do not mutate)."""

@@ -50,6 +50,7 @@ from repro.sanitizer.fstrace import (
     sweep_crash_boundaries,
 )
 from repro.sanitizer.instrument import (
+    EXECUTOR_CLIENT_LOCK_KEY,
     INSTRUMENTED_KEYS,
     LSM_INSTRUMENTED_KEYS,
     LSM_MANIFEST_LOCK_KEY,
@@ -58,8 +59,10 @@ from repro.sanitizer.instrument import (
     SHARD_LOCKS_KEY,
     TARGETING_CACHE_LOCK_KEY,
     WAL_LOCK_KEY,
+    WORKER_HOST_LOCK_KEY,
     instrument_lsm_engine,
     instrument_query_service,
+    instrument_worker_host,
 )
 from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
 
@@ -70,6 +73,7 @@ __all__ = [
     "CacheViolation",
     "CrashReplayResult",
     "CrossValidationReport",
+    "EXECUTOR_CLIENT_LOCK_KEY",
     "FsCrossValidationReport",
     "FsEvent",
     "FsTracer",
@@ -90,6 +94,7 @@ __all__ = [
     "SanitizerViolation",
     "TARGETING_CACHE_LOCK_KEY",
     "WAL_LOCK_KEY",
+    "WORKER_HOST_LOCK_KEY",
     "cross_validate",
     "cross_validate_cache",
     "cross_validate_fs",
@@ -97,6 +102,7 @@ __all__ = [
     "instrument_plan_cache",
     "instrument_query_service",
     "instrument_targeting_cache",
+    "instrument_worker_host",
     "lsm_fs_modules",
     "sweep_crash_boundaries",
 ]

@@ -21,18 +21,22 @@ import threading
 from repro.docstore.lsm.engine import LSMEngine
 from repro.sanitizer.core import LockOrderSanitizer
 from repro.sanitizer.locks import SanitizedLock, SanitizedReadWriteLock
+from repro.service import executors
 from repro.service.service import QueryService
 
 __all__ = [
     "SHARD_LOCKS_KEY",
     "PLAN_CACHE_LOCK_KEY",
     "TARGETING_CACHE_LOCK_KEY",
+    "EXECUTOR_CLIENT_LOCK_KEY",
+    "WORKER_HOST_LOCK_KEY",
     "LSM_WRITE_LOCK_KEY",
     "LSM_MANIFEST_LOCK_KEY",
     "WAL_LOCK_KEY",
     "INSTRUMENTED_KEYS",
     "LSM_INSTRUMENTED_KEYS",
     "instrument_query_service",
+    "instrument_worker_host",
     "instrument_lsm_engine",
 ]
 
@@ -42,6 +46,8 @@ __all__ = [
 SHARD_LOCKS_KEY = "repro.service.service.QueryService._shard_locks"
 PLAN_CACHE_LOCK_KEY = "repro.service.plan_cache.PlanCache._lock"
 TARGETING_CACHE_LOCK_KEY = "repro.cluster.router.TargetingCache._lock"
+EXECUTOR_CLIENT_LOCK_KEY = "repro.service.executors._WorkerClient._lock"
+WORKER_HOST_LOCK_KEY = "repro.service.executors._WorkerHost._lock"
 LSM_WRITE_LOCK_KEY = "repro.docstore.lsm.engine.LSMEngine._write_lock"
 LSM_MANIFEST_LOCK_KEY = "repro.docstore.lsm.engine.LSMEngine._manifest_lock"
 WAL_LOCK_KEY = "repro.docstore.lsm.wal.WriteAheadLog._lock"
@@ -52,6 +58,7 @@ INSTRUMENTED_KEYS = (
     SHARD_LOCKS_KEY,
     PLAN_CACHE_LOCK_KEY,
     TARGETING_CACHE_LOCK_KEY,
+    EXECUTOR_CLIENT_LOCK_KEY,
 )
 
 #: Every key :func:`instrument_lsm_engine` can wire up.
@@ -90,7 +97,44 @@ def instrument_query_service(
     service.cluster.targeting_cache._lock = SanitizedLock(
         sanitizer, TARGETING_CACHE_LOCK_KEY
     )
+    if service._worker_pool is not None:
+        # The process backend's parent-side topology: per-worker client
+        # locks, ranked by worker index (the pool never nests them, so
+        # any observed client→client edge is itself a violation worth
+        # surfacing).  Clients lazily spawn their process/reader thread
+        # on first enqueue, so swapping here is race-free.
+        for rank, client in enumerate(service._worker_pool.clients()):
+            client._lock = SanitizedLock(
+                sanitizer, EXECUTOR_CLIENT_LOCK_KEY, rank
+            )
     return service
+
+
+def instrument_worker_host(host, sanitizer: LockOrderSanitizer):
+    """Instrument a shard worker's host lock, inside the worker process.
+
+    Runs in ``_worker_main`` when ``REPRO_WORKER_SANITIZE`` is set: the
+    worker has its own interpreter, so the parent's sanitizer cannot
+    see this lock — instead each worker runs its *own* sanitizer and
+    ships any violation back on every
+    :class:`~repro.service.wire.ResultFrame`, where the parent raises.
+    Must run before the host serves its first batch.
+    """
+    host._lock = SanitizedLock(sanitizer, WORKER_HOST_LOCK_KEY)
+    host._sanitizer = sanitizer
+    return host
+
+
+def _default_worker_instrumenter(host):
+    """What a sanitized worker runs at startup: its own fresh sanitizer."""
+    return instrument_worker_host(host, LockOrderSanitizer())
+
+
+# Layering (DS001) forbids repro.service.executors from importing this
+# package, so the worker-side hook is registered from above: importing
+# repro.sanitizer arms worker self-instrumentation, and fork-started
+# workers inherit the registration.
+executors.worker_instrumenter = _default_worker_instrumenter
 
 
 def instrument_lsm_engine(

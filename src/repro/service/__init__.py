@@ -3,9 +3,14 @@
 Everything above :mod:`repro.cluster` that turns the sharded cluster
 from a single-caller library into a query *server*:
 
-* :class:`QueryService` — parallel scatter-gather over a thread pool,
-  per-shard reader-writer locking, admission control with bounded
-  queueing and deadlines;
+* :class:`QueryService` — parallel scatter-gather over an executor
+  backend, per-shard reader-writer locking, admission control with
+  bounded queueing and deadlines;
+* :mod:`repro.service.executors` — the execution backends:
+  :class:`ThreadedExecutor` (a thread pool in this process) and
+  :class:`ShardWorkerPool` (per-shard worker processes fed
+  shape-batched picklable plan messages, see
+  :mod:`repro.service.wire`);
 * :class:`PlanCache` — MongoDB's query-shape → winning-index cache
   with DDL and write-volume invalidation;
 * :class:`ServiceMetrics` — latency percentiles, queue wait, and
@@ -14,6 +19,13 @@ from a single-caller library into a query *server*:
   workloads at a target offered load.
 """
 
+from repro.service.executors import (
+    Deadline,
+    ShardWorkerPool,
+    SubquerySpec,
+    ThreadedExecutor,
+    resolve_backend,
+)
 from repro.service.loadgen import LoadGenerator, LoadReport, render_workload
 from repro.service.locks import ReadWriteLock
 from repro.service.metrics import MetricsSnapshot, ServiceMetrics, percentile
@@ -28,6 +40,11 @@ __all__ = [
     "QueryService",
     "ServiceConfig",
     "ServiceFindResult",
+    "ThreadedExecutor",
+    "ShardWorkerPool",
+    "SubquerySpec",
+    "Deadline",
+    "resolve_backend",
     "PlanCache",
     "PlanCacheEntry",
     "query_shape_key",

@@ -1,0 +1,837 @@
+"""Execution backends for the query service's shard fan-out.
+
+:class:`~repro.service.service.QueryService` delegates per-shard
+subquery execution to an *executor*:
+
+* :class:`ThreadedExecutor` — the original behaviour: subqueries run
+  on a shared :class:`~concurrent.futures.ThreadPoolExecutor` inside
+  the service process, directly against the cluster's collections.
+* :class:`ShardWorkerPool` — process-parallel serving: each shard (or
+  shard group) is assigned to a worker *process* hosting read replicas
+  of its collections.  Subqueries travel as compact picklable plan
+  messages (:mod:`repro.service.wire`), queued subqueries sharing a
+  shape are coalesced into one batch frame per worker round-trip, and
+  each worker keeps an epoch-validated plan/result cache so repeated
+  subqueries skip plan binding, B-tree descent, and re-pickling
+  entirely.
+
+Replication contract (what makes results byte-identical):
+
+* The parent is authoritative.  Writes and DDL run parent-side under
+  the service's exclusive shard locks and bump the collection's
+  ``mutation_count`` epoch.
+* A worker replica is (re)built from a :class:`~repro.service.wire.
+  SyncFrame` snapshot captured under the shard *read* lock, documents
+  in rid order.  Rebuilding in that order remaps rids monotonically,
+  so index scan order, collection scan order, returned documents, and
+  every executionStats counter match the parent's collection exactly.
+* Every plan message carries the epoch it was targeted at; a worker
+  refuses to serve a replica (or cached result) whose epoch differs.
+  Because readers hold the shard read lock from epoch capture through
+  reply, and writers exclude readers, a shipped epoch can never be
+  stale by the time the worker executes it — the refusal is a
+  tripwire, not a retry protocol.
+
+Deadline semantics: an expired deadline abandons the in-flight
+subqueries (their replies are dropped by request id) and the service
+releases its read locks immediately.  That is safe here, unlike on
+the threaded path, because a remote subquery only touches the worker's
+own replica — it cannot race a parent-side writer that acquires the
+freed locks.  The threaded path keeps its drain-before-release dance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.docstore.collection import Collection
+from repro.docstore.matcher import Matcher
+from repro.docstore.planner import analyze_query
+from repro.errors import QueryTimeoutError, ServiceError
+from repro.service.metrics import ServiceMetrics
+from repro.service.plan_cache import exact_query_key, query_shape_key
+from repro.service.wire import (
+    BatchFrame,
+    BatchGroup,
+    PlanMessage,
+    ResultFrame,
+    ShutdownFrame,
+    SubqueryRequest,
+    SubqueryResult,
+    SyncFrame,
+    decode_error,
+    decode_result,
+    encode_error,
+    encode_result,
+    load_sync_payload,
+    make_sync_payload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import ShardedCluster
+    from repro.service.service import ServiceConfig
+
+__all__ = [
+    "ENV_BACKEND",
+    "ENV_WORKER_SANITIZE",
+    "Deadline",
+    "SubquerySpec",
+    "ThreadedExecutor",
+    "ShardWorkerPool",
+    "resolve_backend",
+]
+
+#: Environment switch consulted when ``ServiceConfig.executor="auto"``:
+#: ``thread`` (default) or ``process``.
+ENV_BACKEND = "REPRO_EXECUTOR_BACKEND"
+#: When set (and not "0"), worker processes run their host lock under
+#: a worker-local lock-order sanitizer and report violations with
+#: every reply.
+ENV_WORKER_SANITIZE = "REPRO_WORKER_SANITIZE"
+
+#: Worker-side instrumentation hook, filled in by
+#: ``repro.sanitizer.instrument`` when that package is imported.  The
+#: layering rule (DS001) forbids this module from importing the
+#: sanitizer, so the upper layer registers the callable here instead;
+#: fork-started workers inherit the registration.  When
+#: ``REPRO_WORKER_SANITIZE`` is set but nothing registered, the pool
+#: refuses to spawn rather than silently serving uninstrumented.
+worker_instrumenter: Optional[Any] = None
+
+
+def resolve_backend(configured: str) -> str:
+    """The effective backend name for a configured ``executor`` value."""
+    if configured != "auto":
+        return configured
+    value = os.environ.get(ENV_BACKEND, "").strip().lower()
+    if value in ("thread", "process"):
+        return value
+    return "thread"
+
+
+class Deadline:
+    """Absolute per-request deadline with remaining-time arithmetic."""
+
+    def __init__(self, timeout_ms: Optional[float]) -> None:
+        self._expires = (
+            None
+            if timeout_ms is None
+            else time.perf_counter() + timeout_ms / 1000.0
+        )
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or None when unbounded; raises when expired."""
+        if self._expires is None:
+            return None
+        left = self._expires - time.perf_counter()
+        if left <= 0:
+            raise QueryTimeoutError("query exceeded its deadline")
+        return left
+
+
+@dataclass(frozen=True)
+class SubquerySpec:
+    """Everything an executor needs to run one query's shard fan-out.
+
+    ``hint`` is the *effective* hint (explicit or plan-cache supplied)
+    and ``shape`` the already-analyzed query shape — the same objects
+    the service hands to :meth:`ShardedCluster.find`, so both backends
+    execute the identical plan.
+    """
+
+    collection: str
+    query: Mapping[str, Any]
+    hint: Optional[str]
+    max_geo_ranges: Optional[int]
+    fast_path: bool
+    shape: Any = None
+
+
+class ThreadedExecutor:
+    """The in-process backend: a thread pool over the live collections.
+
+    This is the PR-3 behaviour moved behind the executor seam —
+    subqueries close over the cluster's own collections, so an
+    abandoned fan-out must drain before the caller releases its read
+    locks (see :meth:`_drain_futures`).
+    """
+
+    name = "thread"
+
+    def __init__(
+        self, cluster: "ShardedCluster", config: "ServiceConfig"
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.max_workers,
+            thread_name_prefix="repro-service",
+        )
+
+    def shard_mapper(self, spec: SubquerySpec, deadline: Deadline):
+        """The fan-out hook passed to :meth:`ShardedCluster.find`."""
+        del spec  # threaded subqueries close over the live collections
+
+        def run_one(fn, shard_id):
+            pair = fn(shard_id)
+            if self.config.simulate_shard_latency:
+                _shard_id, result = pair
+                ms = self.cluster.cost_model.shard_time_ms(result.stats)
+                time.sleep(
+                    ms * self.config.simulated_latency_scale / 1000.0
+                )
+            return pair
+
+        def mapper(fn, shard_ids):
+            ids = list(shard_ids)
+            if not self.config.parallel_scatter_gather or len(ids) <= 1:
+                out = []
+                for shard_id in ids:
+                    deadline.remaining()  # raises when expired
+                    out.append(run_one(fn, shard_id))
+                return out
+            futures = [
+                self._pool.submit(run_one, fn, shard_id) for shard_id in ids
+            ]
+            try:
+                while True:
+                    remaining = deadline.remaining()
+                    done, pending = wait(
+                        futures,
+                        timeout=remaining,
+                        return_when=FIRST_EXCEPTION,
+                    )
+                    if not pending:
+                        return [f.result() for f in futures]
+                    if any(f.exception() is not None for f in done):
+                        self._drain_futures(futures)
+                        for f in futures:
+                            if not f.cancelled():
+                                f.result()  # re-raises the shard error
+            except QueryTimeoutError:
+                self._drain_futures(futures)
+                raise
+
+        return mapper
+
+    @staticmethod
+    def _drain_futures(futures) -> None:
+        """Cancel what hasn't started and wait out what has.
+
+        The caller is about to propagate an exception, after which
+        the service releases the per-shard read locks.  A subquery
+        still running on a pool thread would then race any writer
+        that grabs the freed locks, so abandoning the fan-out must
+        wait for running shards to finish first (cancelled futures
+        never run and need no waiting).
+        """
+        for f in futures:
+            f.cancel()
+        wait([f for f in futures if not f.cancelled()])
+
+    def shutdown(self) -> None:
+        """Release the thread pool."""
+        self._pool.shutdown(wait=True)
+
+
+class _PendingReply:
+    """Parent-side handle for one in-flight remote subquery."""
+
+    def __init__(
+        self, client: "_WorkerClient", request_id: int, synced: bool
+    ) -> None:
+        self._client = client
+        self.request_id = request_id
+        #: True when this request shipped a fresh replica snapshot.
+        self.synced = synced
+        #: True when the worker served its epoch-validated result cache.
+        self.cached = False
+        self._event = threading.Event()
+        self._frame: Optional[ResultFrame] = None
+        self._error: Optional[BaseException] = None
+
+    def deliver(self, frame: ResultFrame) -> None:
+        """Reader-thread entry: hand the reply to the waiting caller."""
+        self._frame = frame
+        self.cached = frame.cached
+        self._event.set()
+
+    def fail(self, message: str) -> None:
+        """Fail the waiter (worker death, pool shutdown)."""
+        self._error = ServiceError(message)
+        self._event.set()
+
+    def abandon(self) -> None:
+        """Drop the reply when it arrives; the caller stopped waiting."""
+        self._client.discard(self.request_id)
+
+    def result(self, deadline: Deadline) -> SubqueryResult:
+        """Block (deadline-bounded) for the reply and decode it."""
+        while not self._event.is_set():
+            remaining = deadline.remaining()  # raises when expired
+            self._event.wait(
+                0.05 if remaining is None else min(remaining, 0.05)
+            )
+        if self._error is not None:
+            raise self._error
+        frame = self._frame
+        assert frame is not None
+        if frame.violations:
+            raise ServiceError(
+                "worker lock-order sanitizer: %s"
+                % "; ".join(frame.violations)
+            )
+        if frame.error is not None:
+            raise decode_error(frame.error)
+        assert frame.payload is not None
+        return decode_result(frame.payload)
+
+
+class _WorkerClient:
+    """Parent-side endpoint of one worker process.
+
+    All shared state — the request outbox, queued sync frames, the
+    pending-reply table, and the pipe's send side — is guarded by one
+    mutex (``_lock``).  Callers enqueue while holding their shard read
+    locks, establishing the shard-lock → client-lock order the static
+    lockgraph models; nothing is ever acquired *under* the client
+    lock, so the hierarchy stays acyclic.  The reply-reader thread and
+    the worker process both start lazily on first use, which lets the
+    sanitizer swap ``_lock`` for an instrumented wrapper right after
+    construction.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        worker_index: int,
+        cost_model,
+        config: "ServiceConfig",
+        sanitize: bool,
+    ) -> None:
+        self.worker_index = worker_index
+        self._lock = threading.Lock()
+        self._ctx = ctx
+        self._cost_model = cost_model
+        self._simulate = config.simulate_shard_latency
+        self._scale = config.simulated_latency_scale
+        self._cache_size = config.worker_cache_size
+        self._sanitize = sanitize
+        self._ids = itertools.count()
+        self._pending: Dict[int, _PendingReply] = {}
+        self._outbox: List[SubqueryRequest] = []
+        self._sync_outbox: Dict[Tuple[str, str], SyncFrame] = {}
+        #: Last epoch shipped per (shard, collection).
+        self._synced: Dict[Tuple[str, str], int] = {}
+        self._conn = None
+        self._proc = None
+        self._reader: Optional[threading.Thread] = None
+        self._dead_reason: Optional[str] = None
+        self._closed = False
+
+    # -- request path (caller holds the shard read lock) -----------------------
+
+    def enqueue(
+        self,
+        shard_id: str,
+        collection: Collection,
+        spec: SubquerySpec,
+        shape_key: Optional[Tuple[Any, ...]],
+        exact_key: Optional[Tuple[Any, ...]],
+        stall_ms: float,
+    ) -> _PendingReply:
+        """Queue one subquery (and any missing snapshot) for this worker.
+
+        The caller must hold ``shard_id``'s read lock: the epoch is
+        read and the snapshot pickled *here*, so no writer can slide
+        between epoch capture and payload capture.
+        """
+        epoch = collection.mutation_count
+        with self._lock:
+            if self._closed:
+                raise ServiceError("shard worker pool is shut down")
+            self._ensure_worker_locked()
+            key = (shard_id, spec.collection)
+            synced = False
+            if self._synced.get(key) != epoch:
+                self._sync_outbox[key] = SyncFrame(
+                    shard_id=shard_id,
+                    collection=spec.collection,
+                    epoch=epoch,
+                    payload=make_sync_payload(collection),
+                )
+                self._synced[key] = epoch
+                synced = True
+            request_id = next(self._ids)
+            pending = _PendingReply(self, request_id, synced=synced)
+            self._pending[request_id] = pending
+            plan = PlanMessage(
+                collection=spec.collection,
+                query=spec.query,
+                hint=spec.hint,
+                max_geo_ranges=spec.max_geo_ranges,
+                fast_path=spec.fast_path,
+                shape_key=shape_key,
+                exact_key=exact_key,
+                epoch=epoch,
+                stall_ms=stall_ms,
+            )
+            self._outbox.append(
+                SubqueryRequest(
+                    request_id=request_id, shard_id=shard_id, plan=plan
+                )
+            )
+        return pending
+
+    def flush(self) -> None:
+        """Send everything queued as one shape-grouped batch frame.
+
+        Whoever flushes first drains the *whole* outbox — including
+        requests other threads enqueued since — so concurrent queries
+        coalesce into one round-trip and a queued sync frame can never
+        be overtaken by a request that depends on it.
+        """
+        with self._lock:
+            if self._dead_reason is not None or self._conn is None:
+                return
+            if not self._outbox and not self._sync_outbox:
+                return
+            syncs = tuple(self._sync_outbox.values())
+            self._sync_outbox.clear()
+            requests = self._outbox
+            self._outbox = []
+            by_shape: Dict[Any, List[SubqueryRequest]] = {}
+            order: List[Any] = []
+            for request in requests:
+                group_key = request.plan.shape_key
+                if group_key not in by_shape:
+                    by_shape[group_key] = []
+                    order.append(group_key)
+                by_shape[group_key].append(request)
+            frame = BatchFrame(
+                syncs=syncs,
+                groups=tuple(
+                    BatchGroup(
+                        shape_key=group_key,
+                        requests=tuple(by_shape[group_key]),
+                    )
+                    for group_key in order
+                ),
+            )
+            try:
+                self._conn.send(frame)
+            except (BrokenPipeError, OSError):
+                self._dead_reason = "shard worker process died mid-send"
+                self._fail_pending_locked(self._dead_reason)
+
+    def discard(self, request_id: int) -> None:
+        """Forget a pending reply; the worker's answer will be dropped."""
+        with self._lock:
+            self._pending.pop(request_id, None)
+
+    def synced_epoch(self, shard_id: str, collection: str) -> Optional[int]:
+        """Last shipped epoch for a namespace (introspection/tests)."""
+        with self._lock:
+            return self._synced.get((shard_id, collection))
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    def _ensure_worker_locked(self) -> None:
+        """Spawn (or respawn after death) the worker process."""
+        if (
+            self._proc is not None
+            and self._dead_reason is None
+            and self._proc.is_alive()
+        ):
+            return
+        if self._sanitize and worker_instrumenter is None:
+            raise ServiceError(
+                "%s is set but no worker instrumenter is registered; "
+                "import repro.sanitizer before spawning shard workers"
+                % ENV_WORKER_SANITIZE
+            )
+        self._dead_reason = None
+        self._synced.clear()
+        parent_conn, child_conn = self._ctx.Pipe()
+        self._conn = parent_conn
+        self._proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._cost_model,
+                self._simulate,
+                self._scale,
+                self._cache_size,
+                self._sanitize,
+            ),
+            daemon=True,
+            name="repro-shard-worker-%d" % self.worker_index,
+        )
+        self._proc.start()
+        child_conn.close()
+        self._reader = threading.Thread(
+            target=self._reader_main,
+            args=(parent_conn,),
+            daemon=True,
+            name="repro-worker-reader-%d" % self.worker_index,
+        )
+        self._reader.start()
+
+    def _reader_main(self, conn) -> None:
+        """Dispatch reply frames to their pending waiters until EOF."""
+        while True:
+            try:
+                frame = conn.recv()
+            except (EOFError, OSError):
+                with self._lock:
+                    if conn is self._conn:
+                        self._dead_reason = "shard worker process died"
+                        self._fail_pending_locked(self._dead_reason)
+                return
+            if isinstance(frame, ResultFrame):
+                with self._lock:
+                    pending = self._pending.pop(frame.request_id, None)
+                if pending is not None:
+                    pending.deliver(frame)
+
+    def _fail_pending_locked(self, reason: str) -> None:
+        for pending in self._pending.values():
+            pending.fail(reason)
+        self._pending.clear()
+
+    def close(self) -> None:
+        """Stop the worker process and fail anything still in flight."""
+        with self._lock:
+            self._closed = True
+            conn = self._conn
+            proc = self._proc
+            self._fail_pending_locked("shard worker pool is shut down")
+            if conn is not None and self._dead_reason is None:
+                try:
+                    conn.send(ShutdownFrame())
+                except (BrokenPipeError, OSError):
+                    pass
+            self._dead_reason = "shard worker pool is shut down"
+        if proc is not None:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class ShardWorkerPool:
+    """Process-parallel backend: shard groups served by worker processes.
+
+    Shards are assigned round-robin over ``executor_workers`` (default
+    ``max_workers``) worker processes; each worker hosts replicas for
+    its shards only, so the pool's lock topology per process is: the
+    parent's shard read lock (already held by the caller) → that
+    worker's client mutex, and *inside* a worker a single host mutex
+    with nothing nested under it.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        cluster: "ShardedCluster",
+        config: "ServiceConfig",
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.metrics = metrics
+        #: Test hook (satellite: stalled-worker coverage): per-shard
+        #: artificial delay injected into each plan message.
+        self.debug_stall_ms: Dict[str, float] = {}
+        workers = config.executor_workers or config.max_workers
+        workers = max(1, min(workers, len(cluster.shards)))
+        sanitize = os.environ.get(ENV_WORKER_SANITIZE, "") not in ("", "0")
+        ctx = multiprocessing.get_context("fork")
+        self._workers: List[_WorkerClient] = [
+            _WorkerClient(ctx, index, cluster.cost_model, config, sanitize)
+            for index in range(workers)
+        ]
+        self._clients: Dict[str, _WorkerClient] = {}
+        for index, shard_id in enumerate(sorted(cluster.shards)):
+            self._clients[shard_id] = self._workers[index % workers]
+
+    def clients(self) -> List[_WorkerClient]:
+        """The distinct worker clients (instrumentation/tests)."""
+        return list(self._workers)
+
+    def client_for(self, shard_id: str) -> _WorkerClient:
+        """The client owning a shard (introspection/tests)."""
+        return self._clients[shard_id]
+
+    def shard_mapper(self, spec: SubquerySpec, deadline: Deadline):
+        """The fan-out hook passed to :meth:`ShardedCluster.find`.
+
+        The ``fn`` the cluster hands over is ignored: subqueries run
+        in the worker processes from the plan message, not through the
+        parent-side closure.  Results are decoded into objects with
+        the same ``documents``/``stats`` attributes ``run_shard``
+        returns, so the cluster's merge path is untouched.
+        """
+        shape_key = query_shape_key(
+            spec.collection,
+            spec.shape if spec.shape is not None else spec.query,
+        )
+        exact_key = exact_query_key(spec.collection, spec.query)
+
+        def mapper(fn, shard_ids):
+            del fn  # executed remotely from the plan message
+            ids = list(shard_ids)
+            pendings: List[Tuple[str, _PendingReply]] = []
+            touched: List[_WorkerClient] = []
+            for shard_id in ids:
+                deadline.remaining()  # raises when expired
+                client: _WorkerClient = self._clients[shard_id]
+                col = self.cluster.shards[shard_id].collection(
+                    spec.collection
+                )
+                pending = client.enqueue(
+                    shard_id,
+                    col,
+                    spec,
+                    shape_key,
+                    exact_key,
+                    self.debug_stall_ms.get(shard_id, 0.0),
+                )
+                pendings.append((shard_id, pending))
+                if client not in touched:
+                    touched.append(client)
+            for client in touched:
+                client.flush()
+            out = []
+            try:
+                for shard_id, pending in pendings:
+                    result = pending.result(deadline)
+                    out.append((shard_id, result))
+            except BaseException:
+                # Abandon the fan-out: replies still in flight are
+                # dropped by request id.  Unlike the threaded path no
+                # drain is needed before the caller releases its read
+                # locks — remote subqueries only touch worker-local
+                # replicas and cannot race a parent-side writer.
+                for _shard_id, pending in pendings:
+                    pending.abandon()
+                raise
+            if self.metrics is not None:
+                for _shard_id, pending in pendings:
+                    self.metrics.record_remote(
+                        cached=pending.cached, synced=pending.synced
+                    )
+            return out
+
+        return mapper
+
+    def shutdown(self) -> None:
+        """Stop every worker process."""
+        for client in self._workers:
+            client.close()
+
+
+# -- worker-process side -------------------------------------------------------
+
+
+class _CachedResult:
+    """One epoch-stamped entry of a worker's result cache."""
+
+    __slots__ = ("epoch", "payload", "cost_ms")
+
+    def __init__(self, epoch: int, payload: bytes, cost_ms: float) -> None:
+        self.epoch = epoch
+        self.payload = payload
+        self.cost_ms = cost_ms
+
+
+class _WorkerHost:
+    """The worker process's state: replicas, caches, and one mutex.
+
+    The event loop is single-threaded, but all replica and cache state
+    is still guarded by ``_lock``: the lock *is* the worker's declared
+    topology (nothing may nest under it), the static lockgraph checks
+    that claim on this source, and ``REPRO_WORKER_SANITIZE`` swaps in
+    an instrumented wrapper so the claim is also checked at runtime —
+    any future worker-side thread that violates it trips both oracles
+    instead of corrupting a replica silently.
+    """
+
+    def __init__(
+        self,
+        cost_model,
+        simulate: bool,
+        scale: float,
+        cache_size: int,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._cost_model = cost_model
+        self._simulate = simulate
+        self._scale = scale
+        self._cache_size = max(0, cache_size)
+        self._replicas: Dict[Tuple[str, str], Collection] = {}
+        self._epochs: Dict[Tuple[str, str], int] = {}
+        #: Result LRU: dicts preserve insertion order, and hits
+        #: re-insert their entry, so eviction pops the real LRU head.
+        self._results: Dict[Tuple[Any, ...], _CachedResult] = {}
+        self._sanitizer = None
+
+    def violations(self) -> Tuple[str, ...]:
+        """Rendered sanitizer violations (empty when clean/uninstrumented)."""
+        if self._sanitizer is None:
+            return ()
+        return tuple(
+            "%s: %s" % (v.kind, v.detail)
+            for v in self._sanitizer.violations()
+        )
+
+    def handle_batch(self, frame: BatchFrame):
+        """Apply syncs, then serve each grouped request in order."""
+        for sync in frame.syncs:
+            with self._lock:
+                self._apply_sync_locked(sync)
+        for group in frame.groups:
+            for request in group.requests:
+                yield self._serve(request)
+
+    def _serve(self, request: SubqueryRequest) -> ResultFrame:
+        plan = request.plan
+        if plan.stall_ms > 0.0:
+            time.sleep(plan.stall_ms / 1000.0)
+        try:
+            with self._lock:
+                payload, cost_ms, cached = self._execute_locked(
+                    request.shard_id, plan
+                )
+        except Exception as exc:
+            return ResultFrame(
+                request_id=request.request_id,
+                error=encode_error(exc),
+                violations=self.violations(),
+            )
+        if self._simulate and not cached:
+            # The sleep models the shard-side B-tree work the cost
+            # model prices.  A cache hit resends stored reply bytes
+            # without performing that work, so it owes none of the
+            # modelled time either — this is exactly the amortization
+            # the process backend is built to exploit.
+            time.sleep(cost_ms * self._scale / 1000.0)
+        return ResultFrame(
+            request_id=request.request_id,
+            payload=payload,
+            cached=cached,
+            violations=self.violations(),
+        )
+
+    def _apply_sync_locked(self, sync: SyncFrame) -> None:
+        definitions, documents = load_sync_payload(sync.payload)
+        key = (sync.shard_id, sync.collection)
+        self._replicas[key] = Collection.from_snapshot(
+            sync.collection, definitions, documents
+        )
+        self._epochs[key] = sync.epoch
+
+    def _execute_locked(
+        self, shard_id: str, plan: PlanMessage
+    ) -> Tuple[bytes, float, bool]:
+        key = (shard_id, plan.collection)
+        replica = self._replicas.get(key)
+        if replica is None or self._epochs.get(key) != plan.epoch:
+            raise ServiceError(
+                "worker replica for %s/%s is stale (have epoch %s, "
+                "need %s)"
+                % (shard_id, plan.collection, self._epochs.get(key),
+                   plan.epoch)
+            )
+        cache_key = None
+        if plan.exact_key is not None and self._cache_size > 0:
+            cache_key = (
+                shard_id,
+                plan.collection,
+                plan.exact_key,
+                plan.hint,
+                plan.max_geo_ranges,
+                plan.fast_path,
+            )
+            entry = self._results.get(cache_key)
+            if entry is not None and entry.epoch == plan.epoch:
+                # Sound by construction: replica content only changes
+                # through epoch-bumping sync frames, so an epoch match
+                # means re-execution would produce these exact bytes.
+                del self._results[cache_key]
+                self._results[cache_key] = entry
+                return entry.payload, entry.cost_ms, True
+        shape = analyze_query(plan.query)
+        matcher = Matcher(plan.query, fast_path=plan.fast_path)
+        plan_bounds = None
+        if plan.fast_path and plan.hint is not None:
+            plan_bounds = replica.hinted_bounds(
+                plan.hint, shape, plan.max_geo_ranges
+            )
+        result = replica.find_with_stats(
+            plan.query,
+            hint=plan.hint,
+            max_geo_ranges=plan.max_geo_ranges,
+            matcher=matcher,
+            shape=shape,
+            fast_path=plan.fast_path,
+            plan_bounds=plan_bounds,
+        )
+        payload = encode_result(result.documents, result.stats)
+        cost_ms = self._cost_model.shard_time_ms(result.stats)
+        if cache_key is not None:
+            self._results[cache_key] = _CachedResult(
+                plan.epoch, payload, cost_ms
+            )
+            while len(self._results) > self._cache_size:
+                oldest = next(iter(self._results))
+                del self._results[oldest]
+        return payload, cost_ms, False
+
+
+def _worker_main(
+    conn,
+    cost_model,
+    simulate: bool,
+    scale: float,
+    cache_size: int,
+    sanitize: bool,
+) -> None:
+    """The worker process's event loop: recv frames, send replies."""
+    host = _WorkerHost(cost_model, simulate, scale, cache_size)
+    if sanitize:
+        # Registered by repro.sanitizer.instrument in the parent and
+        # inherited through fork; _ensure_worker_locked refused to
+        # spawn if it was missing.
+        assert worker_instrumenter is not None
+        worker_instrumenter(host)
+    while True:
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if isinstance(frame, ShutdownFrame):
+            break
+        if isinstance(frame, BatchFrame):
+            try:
+                for reply in host.handle_batch(frame):
+                    conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -48,7 +48,18 @@ def render_workload(
 
 @dataclass(frozen=True)
 class LoadReport:
-    """The outcome of one load-generation run."""
+    """The outcome of one load-generation run.
+
+    ``mean_queue_wait_ms`` averages over every arrival that reached
+    admission control — including the ones the service *rejected* or
+    timed out, which record the wait they endured before failing.
+    Counting only completions (as earlier revisions did) made the
+    metric read near-zero exactly when the queue was refusing work,
+    which is the one regime where queue wait matters.
+    ``rejected_at_generator`` counts open-loop arrivals the generator
+    itself dropped because every issuing thread was busy; they are
+    included in ``rejected``.
+    """
 
     mode: str
     clients: int
@@ -64,6 +75,8 @@ class LoadReport:
     p95_latency_ms: float
     p99_latency_ms: float
     mean_queue_wait_ms: float
+    rejected_at_generator: int = 0
+    executor: str = "thread"
     plan_cache: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -71,10 +84,12 @@ class LoadReport:
         return {
             "mode": self.mode,
             "clients": self.clients,
+            "executorBackend": self.executor,
             "durationS": round(self.duration_s, 3),
             "offered": self.offered,
             "completed": self.completed,
             "rejected": self.rejected,
+            "rejectedAtGenerator": self.rejected_at_generator,
             "timedOut": self.timed_out,
             "errors": self.errors,
             "achievedQps": round(self.achieved_qps, 2),
@@ -97,6 +112,7 @@ class _RunTally:
         self.offered = 0
         self.completed = 0
         self.rejected = 0
+        self.rejected_at_generator = 0
         self.timed_out = 0
         self.errors = 0
 
@@ -118,19 +134,48 @@ class LoadGenerator:
 
     # -- shared per-query execution -------------------------------------------
 
-    def _issue(self, index: int, tally: _RunTally) -> None:
+    def _issue(
+        self,
+        index: int,
+        tally: _RunTally,
+        scheduled_at: float | None = None,
+    ) -> None:
+        """Issue one query and record its outcome.
+
+        ``scheduled_at`` is the open-loop arrival's metronome time;
+        any gap between it and the actual issue start is queue wait
+        the client experienced before admission control even saw the
+        request.  Rejected and timed-out requests record the wait they
+        endured before failing — dropping them (as earlier revisions
+        did) made ``meanQueueWaitMs`` read near-zero precisely under
+        the overload it should expose.
+        """
         query = self.queries[index % len(self.queries)]
+        issued_at = time.perf_counter()
+        handoff_ms = (
+            max(0.0, issued_at - scheduled_at) * 1000.0
+            if scheduled_at is not None
+            else 0.0
+        )
+
+        def waited_so_far() -> float:
+            return handoff_ms + (time.perf_counter() - issued_at) * 1000.0
+
         with tally.lock:
             tally.offered += 1
         try:
             result = self.service.find(self.collection, query)
         except ServiceOverloadedError:
+            waited = waited_so_far()
             with tally.lock:
                 tally.rejected += 1
+                tally.queue_waits_ms.append(waited)
             return
         except QueryTimeoutError:
+            waited = waited_so_far()
             with tally.lock:
                 tally.timed_out += 1
+                tally.queue_waits_ms.append(waited)
             return
         except Exception:
             with tally.lock:
@@ -139,7 +184,7 @@ class LoadGenerator:
         with tally.lock:
             tally.completed += 1
             tally.latencies_ms.append(result.latency_ms)
-            tally.queue_waits_ms.append(result.queue_wait_ms)
+            tally.queue_waits_ms.append(handoff_ms + result.queue_wait_ms)
 
     def _report(
         self, mode: str, clients: int, tally: _RunTally, duration_s: float
@@ -171,6 +216,8 @@ class LoadGenerator:
                 if tally.queue_waits_ms
                 else 0.0
             ),
+            rejected_at_generator=tally.rejected_at_generator,
+            executor=self.service.executor_backend,
             plan_cache=cache_stats,
         )
 
@@ -235,9 +282,9 @@ class LoadGenerator:
         interval = 1.0 / target_qps
         idle_issuers = threading.Semaphore(clients)
 
-        def issue_and_release(index: int) -> None:
+        def issue_and_release(index: int, scheduled_at: float) -> None:
             try:
-                self._issue(index, tally)
+                self._issue(index, tally, scheduled_at=scheduled_at)
             finally:
                 idle_issuers.release()
 
@@ -256,11 +303,18 @@ class LoadGenerator:
                     time.sleep(min(next_fire - now, 0.01))
                     continue
                 if idle_issuers.acquire(blocking=False):
-                    pool.submit(issue_and_release, index)
+                    pool.submit(issue_and_release, index, next_fire)
                 else:
+                    # The arrival is turned away at the generator, but
+                    # it still *waited* from its scheduled time until
+                    # this rejection decision — record that wait so
+                    # overload does not erase queue-wait evidence.
+                    waited_ms = max(0.0, now - next_fire) * 1000.0
                     with tally.lock:
                         tally.offered += 1
                         tally.rejected += 1
+                        tally.rejected_at_generator += 1
+                        tally.queue_waits_ms.append(waited_ms)
                 index += 1
                 next_fire += interval
         duration = time.perf_counter() - started

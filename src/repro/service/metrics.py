@@ -51,6 +51,9 @@ class MetricsSnapshot:
     #: Hit/miss counters of the fast-path caches (targeting, range
     #: decomposition, ...), keyed by cache name.
     caches: Dict[str, Dict] = field(default_factory=dict)
+    #: Process-executor counters: subqueries shipped to shard workers,
+    #: worker-side result-cache hits, and replica snapshot syncs.
+    executor: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """The snapshot as a JSON-ready mapping."""
@@ -73,6 +76,7 @@ class MetricsSnapshot:
                 for stage, ms in sorted(self.stage_totals_ms.items())
             },
             "caches": self.caches,
+            "executor": self.executor,
         }
 
 
@@ -94,6 +98,9 @@ class ServiceMetrics:
         self.rejected = 0
         self.timed_out = 0
         self.writes = 0
+        self.remote_subqueries = 0
+        self.remote_cache_hits = 0
+        self.replica_syncs = 0
         self._first_at: float | None = None
         self._last_at: float | None = None
 
@@ -128,6 +135,20 @@ class ServiceMetrics:
         with self._lock:
             self.writes += 1
 
+    def record_remote(self, cached: bool, synced: bool) -> None:
+        """Record one subquery served by a shard worker process.
+
+        ``cached`` marks a worker-side result-cache hit (the reply
+        bytes were resent without re-executing the plan); ``synced``
+        marks a request whose batch carried a replica snapshot.
+        """
+        with self._lock:
+            self.remote_subqueries += 1
+            if cached:
+                self.remote_cache_hits += 1
+            if synced:
+                self.replica_syncs += 1
+
     def record_rejection(self) -> None:
         """Record an admission-control rejection (backpressure)."""
         with self._lock:
@@ -148,6 +169,9 @@ class ServiceMetrics:
             self.rejected = 0
             self.timed_out = 0
             self.writes = 0
+            self.remote_subqueries = 0
+            self.remote_cache_hits = 0
+            self.replica_syncs = 0
             self._first_at = None
             self._last_at = None
 
@@ -190,4 +214,9 @@ class ServiceMetrics:
                 plan_cache=dict(plan_cache_stats or {}),
                 stage_totals_ms=stages,
                 caches=dict(caches or {}),
+                executor={
+                    "remoteSubqueries": self.remote_subqueries,
+                    "remoteCacheHits": self.remote_cache_hits,
+                    "replicaSyncs": self.replica_syncs,
+                },
             )

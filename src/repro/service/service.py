@@ -7,11 +7,14 @@ subqueries dispatched concurrently, bounded queues in front of the
 executor, and a plan cache so repeated query shapes skip optimization.
 :class:`QueryService` adds exactly that layer:
 
-* **Parallel scatter-gather** — per-shard subqueries run on a
-  :class:`~concurrent.futures.ThreadPoolExecutor`; merged documents
-  and :class:`~repro.cluster.metrics.ClusterQueryStats` are identical
-  to the sequential path (the cost model's ``max(shard_time)`` reading
-  of Section 5 now matches real wall-clock shape).
+* **Parallel scatter-gather** — per-shard subqueries run on an
+  executor backend (:mod:`repro.service.executors`): a thread pool by
+  default, or per-shard worker *processes* when
+  ``ServiceConfig.executor`` selects the ``process`` backend; merged
+  documents and :class:`~repro.cluster.metrics.ClusterQueryStats` are
+  identical to the sequential path (the cost model's
+  ``max(shard_time)`` reading of Section 5 now matches real
+  wall-clock shape).
 * **Reader-writer locking** — per-shard shared/exclusive locks let any
   number of reads proceed concurrently while inserts, updates, and
   deletes (whose chunk splits and migrations can touch any shard) take
@@ -40,7 +43,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -51,6 +53,13 @@ from repro.errors import (
     QueryTimeoutError,
     ServiceError,
     ServiceOverloadedError,
+)
+from repro.service.executors import (
+    Deadline,
+    ShardWorkerPool,
+    SubquerySpec,
+    ThreadedExecutor,
+    resolve_backend,
 )
 from repro.service.locks import ReadWriteLock
 from repro.service.metrics import ServiceMetrics
@@ -96,6 +105,18 @@ class ServiceConfig:
     simulate_shard_latency: bool = False
     #: Multiplier on the simulated per-shard milliseconds.
     simulated_latency_scale: float = 1.0
+    #: Execution backend for the shard fan-out: ``"thread"`` (the
+    #: in-process pool), ``"process"`` (the :class:`ShardWorkerPool`
+    #: of per-shard worker processes), or ``"auto"`` (consult the
+    #: ``REPRO_EXECUTOR_BACKEND`` environment variable, defaulting to
+    #: ``"thread"``).
+    executor: str = "auto"
+    #: Worker *processes* for the process backend (shards are assigned
+    #: round-robin); defaults to ``max_workers``.
+    executor_workers: Optional[int] = None
+    #: Entries in each worker process's epoch-validated result cache;
+    #: 0 disables worker-side result caching.
+    worker_cache_size: int = 512
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -105,6 +126,14 @@ class ServiceConfig:
         limit = self.effective_concurrency
         if limit < 1:
             raise ServiceError("max_concurrent_queries must be positive")
+        if self.executor not in ("auto", "thread", "process"):
+            raise ServiceError(
+                "executor must be 'auto', 'thread', or 'process'"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ServiceError("executor_workers must be positive")
+        if self.worker_cache_size < 0:
+            raise ServiceError("worker_cache_size must be >= 0")
 
     @property
     def effective_concurrency(self) -> int:
@@ -140,26 +169,6 @@ class ServiceFindResult:
         return len(self.documents)
 
 
-class _Deadline:
-    """Absolute per-request deadline with remaining-time arithmetic."""
-
-    def __init__(self, timeout_ms: Optional[float]) -> None:
-        self._expires = (
-            None
-            if timeout_ms is None
-            else time.perf_counter() + timeout_ms / 1000.0
-        )
-
-    def remaining(self) -> Optional[float]:
-        """Seconds left, or None when unbounded; raises when expired."""
-        if self._expires is None:
-            return None
-        left = self._expires - time.perf_counter()
-        if left <= 0:
-            raise QueryTimeoutError("query exceeded its deadline")
-        return left
-
-
 class QueryService:
     """A concurrent query server in front of a :class:`ShardedCluster`.
 
@@ -188,10 +197,18 @@ class QueryService:
             if self.config.plan_cache_enabled
             else None
         )
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.config.max_workers,
-            thread_name_prefix="repro-service",
-        )
+        # The shard fan-out backend.  Exactly one of the typed
+        # attributes is populated; call sites branch on it explicitly
+        # so the static lockgraph resolves each mapper unambiguously.
+        self.executor_backend = resolve_backend(self.config.executor)
+        self._threaded: Optional[ThreadedExecutor] = None
+        self._worker_pool: Optional[ShardWorkerPool] = None
+        if self.executor_backend == "process":
+            self._worker_pool = ShardWorkerPool(
+                cluster, self.config, metrics=self.metrics
+            )
+        else:
+            self._threaded = ThreadedExecutor(cluster, self.config)
         limit = self.config.effective_concurrency
         #: Total in-flight requests (executing + queued); non-blocking.
         self._admission = threading.Semaphore(
@@ -219,9 +236,12 @@ class QueryService:
     # -- lifecycle -------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop accepting work and release the worker pool."""
+        """Stop accepting work and release the execution backend."""
         self._closed = True
-        self._pool.shutdown(wait=True)
+        if self._threaded is not None:
+            self._threaded.shutdown()
+        if self._worker_pool is not None:
+            self._worker_pool.shutdown()
 
     def __enter__(self) -> "QueryService":
         """Context-manager entry: the service itself."""
@@ -261,7 +281,7 @@ class QueryService:
                 )
             )
 
-    def _acquire_slot(self, deadline: _Deadline) -> float:
+    def _acquire_slot(self, deadline: Deadline) -> float:
         """Wait for an execution slot; returns queue wait in ms."""
         started = time.perf_counter()
         while True:
@@ -290,7 +310,7 @@ class QueryService:
         started = time.perf_counter()
         if timeout_ms is None:
             timeout_ms = self.config.default_timeout_ms
-        deadline = _Deadline(timeout_ms)
+        deadline = Deadline(timeout_ms)
         self._admit()
         try:
             try:
@@ -319,7 +339,7 @@ class QueryService:
         query: Mapping[str, Any],
         hint: Optional[str],
         max_geo_ranges: Optional[int],
-        deadline: _Deadline,
+        deadline: Deadline,
         started: float,
         queue_wait_ms: float,
     ) -> ServiceFindResult:
@@ -344,21 +364,52 @@ class QueryService:
             effective_hint = hint if hint is not None else cached_hint
             shape = analyze_query(query)
             matcher = Matcher(query, fast_path=fast)
+        spec = SubquerySpec(
+            collection=collection,
+            query=query,
+            hint=effective_hint,
+            max_geo_ranges=max_geo_ranges,
+            fast_path=fast,
+            shape=shape,
+        )
         locks, targeting = self._read_lock_targeted_shards(
             collection, query, deadline, shape=shape, fast_path=fast
         )
         try:
-            result = self.cluster.find(
-                collection,
-                query,
-                hint=effective_hint,
-                max_geo_ranges=max_geo_ranges,
-                shard_mapper=self._shard_mapper(deadline),
-                shape=shape,
-                matcher=matcher,
-                targeting=targeting,
-                fast_path=fast,
-            )
+            # The two branches differ only in which executor builds the
+            # mapper; they are spelled out (rather than dispatched via a
+            # shared variable) so the static lockgraph resolves each
+            # closure and models its lock footprint under the held read
+            # locks.
+            if self._worker_pool is not None:
+                result = self.cluster.find(
+                    collection,
+                    query,
+                    hint=effective_hint,
+                    max_geo_ranges=max_geo_ranges,
+                    shard_mapper=self._worker_pool.shard_mapper(
+                        spec, deadline
+                    ),
+                    shape=shape,
+                    matcher=matcher,
+                    targeting=targeting,
+                    fast_path=fast,
+                )
+            else:
+                assert self._threaded is not None
+                result = self.cluster.find(
+                    collection,
+                    query,
+                    hint=effective_hint,
+                    max_geo_ranges=max_geo_ranges,
+                    shard_mapper=self._threaded.shard_mapper(
+                        spec, deadline
+                    ),
+                    shape=shape,
+                    matcher=matcher,
+                    targeting=targeting,
+                    fast_path=fast,
+                )
         finally:
             for lock in locks:
                 lock.release_read()
@@ -398,7 +449,7 @@ class QueryService:
         self,
         collection: str,
         query: Mapping[str, Any],
-        deadline: _Deadline,
+        deadline: Deadline,
         shape=None,
         fast_path: bool = True,
     ) -> Tuple[List[ReadWriteLock], Any]:
@@ -442,66 +493,6 @@ class QueryService:
                     "timed out waiting for shard read locks"
                 )
         raise ServiceError("routing metadata kept changing during targeting")
-
-    def _shard_mapper(self, deadline: _Deadline):
-        """The fan-out hook passed to :meth:`ShardedCluster.find`."""
-
-        def run_one(fn, shard_id):
-            pair = fn(shard_id)
-            if self.config.simulate_shard_latency:
-                _shard_id, result = pair
-                ms = self.cluster.cost_model.shard_time_ms(result.stats)
-                time.sleep(
-                    ms * self.config.simulated_latency_scale / 1000.0
-                )
-            return pair
-
-        def mapper(fn, shard_ids):
-            ids = list(shard_ids)
-            if not self.config.parallel_scatter_gather or len(ids) <= 1:
-                out = []
-                for shard_id in ids:
-                    deadline.remaining()  # raises when expired
-                    out.append(run_one(fn, shard_id))
-                return out
-            futures = [
-                self._pool.submit(run_one, fn, shard_id) for shard_id in ids
-            ]
-            try:
-                while True:
-                    remaining = deadline.remaining()
-                    done, pending = wait(
-                        futures,
-                        timeout=remaining,
-                        return_when=FIRST_EXCEPTION,
-                    )
-                    if not pending:
-                        return [f.result() for f in futures]
-                    if any(f.exception() is not None for f in done):
-                        self._drain_futures(futures)
-                        for f in futures:
-                            if not f.cancelled():
-                                f.result()  # re-raises the shard error
-            except QueryTimeoutError:
-                self._drain_futures(futures)
-                raise
-
-        return mapper
-
-    @staticmethod
-    def _drain_futures(futures) -> None:
-        """Cancel what hasn't started and wait out what has.
-
-        The caller is about to propagate an exception, after which
-        :meth:`_execute_read` releases the per-shard read locks.  A
-        subquery still running on a pool thread would then race any
-        writer that grabs the freed locks, so abandoning the fan-out
-        must wait for running shards to finish first (cancelled
-        futures never run and need no waiting).
-        """
-        for f in futures:
-            f.cancel()
-        wait([f for f in futures if not f.cancelled()])
 
     def _maybe_cache_plan(
         self, cache_key, result: ClusterFindResult

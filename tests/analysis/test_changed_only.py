@@ -199,3 +199,49 @@ class TestChangedOnlyCli:
         )
         assert code == 2
         assert "--changed-only" in output
+
+
+class TestRealTreeExecutorScope:
+    """The dependent walk on the shipped tree: editing the executor
+    backend must re-run analysis on everything whose findings could
+    shift — the service that inlines its mappers, the load generator
+    that labels runs with the backend, and the sanitizer bridge that
+    registers the worker instrumenter."""
+
+    def _src_graph(self):
+        from pathlib import Path
+
+        from repro.analysis.checker import (
+            ModuleInfo,
+            iter_python_files,
+            load_module,
+        )
+
+        root = Path(__file__).resolve().parents[2]
+        modules = [
+            loaded
+            for loaded in (
+                load_module(path, root)
+                for path in iter_python_files(["src"], root)
+            )
+            if isinstance(loaded, ModuleInfo)
+        ]
+        return build_call_graph(modules)
+
+    def test_executors_edit_pulls_in_the_service_layer(self):
+        scope = dependent_modules(
+            ["src/repro/service/executors.py"], self._src_graph()
+        )
+        assert "src/repro/service/service.py" in scope
+        assert "src/repro/service/loadgen.py" in scope
+        assert "src/repro/sanitizer/instrument.py" in scope
+        # The docstore layer sits *below* the executors: its findings
+        # cannot change, so it must stay out of scope.
+        assert not any("repro/docstore/" in path for path in scope)
+
+    def test_wire_edit_reaches_the_executors(self):
+        scope = dependent_modules(
+            ["src/repro/service/wire.py"], self._src_graph()
+        )
+        assert "src/repro/service/executors.py" in scope
+        assert "src/repro/service/service.py" in scope

@@ -251,6 +251,45 @@ class TestLD003GuardedSharedMutation:
         """
         assert check(source, "lock-discipline") == []
 
+    def test_locked_suffix_convention_is_trusted(self, check):
+        # Methods named ``*_locked`` declare that the caller holds the
+        # class lock (the worker-host/worker-client idiom); their
+        # mutations are judged as guarded.
+        source = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._put_locked(key, value)
+
+            def _put_locked(self, key, value):
+                self._entries[key] = value
+        """
+        assert check(source, "lock-discipline") == []
+
+    def test_locked_suffix_does_not_cover_closures(self, check, rule_ids):
+        # A closure defined inside a ``*_locked`` method may run later
+        # on another thread; it is still judged on its own terms.
+        source = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._entries = {}
+
+            def _schedule_locked(self, key, value):
+                def later():
+                    self._entries[key] = value
+                return later
+        """
+        assert rule_ids(check(source, "lock-discipline")) == ["LD003"]
+
     def test_class_without_locks_is_exempt(self, check):
         source = """
         class PlainBag:

@@ -8,6 +8,9 @@ from repro.analysis.lockgraph import analyze_locks
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 RECONSTRUCTION = Path(__file__).with_name("lockorder_reconstruction.py")
+EXECUTOR_RECONSTRUCTION = Path(__file__).with_name(
+    "executor_lockorder_reconstruction.py"
+)
 
 
 class TestLK001CycleReconstruction:
@@ -50,6 +53,28 @@ class TestLK001CycleReconstruction:
                         pass
         """
         assert check_project(source) == []
+
+
+class TestLK001ExecutorTopologyReconstruction:
+    """The process-backend acceptance scenario: a shard-lock/client-lock
+    inversion in the new parent-side topology is caught statically."""
+
+    def test_intraprocedural_rules_are_blind_to_it(self):
+        findings = run_analysis(
+            [str(EXECUTOR_RECONSTRUCTION)], root=REPO_ROOT
+        )
+        assert [f for f in findings if f.rule_id == "LD001"] == []
+        assert [f for f in findings if f.rule_id == "LD002"] == []
+        assert [f for f in findings if f.rule_id == "LD003"] == []
+
+    def test_lk001_flags_the_inverted_resync(self):
+        findings = run_analysis(
+            [str(EXECUTOR_RECONSTRUCTION)], root=REPO_ROOT, select=["LK001"]
+        )
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "shard_lock" in message and "client_lock" in message
+        assert "cycle" in message
 
 
 class TestLK001Collections:
@@ -316,10 +341,10 @@ class TestShippedTree:
     def test_src_blocking_calls_are_exactly_the_baselined_ones(self):
         findings = run_analysis(["src"], root=REPO_ROOT, select=["LK002"])
         assert sorted(f.symbol for f in findings) == [
-            "QueryService._drain_futures",
-            "QueryService._shard_mapper.mapper",
-            "QueryService._shard_mapper.mapper",
-            "QueryService._shard_mapper.run_one",
+            "ThreadedExecutor._drain_futures",
+            "ThreadedExecutor.shard_mapper.mapper",
+            "ThreadedExecutor.shard_mapper.mapper",
+            "ThreadedExecutor.shard_mapper.run_one",
         ]
 
 

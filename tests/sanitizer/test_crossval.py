@@ -10,18 +10,23 @@ import pytest
 from repro.analysis.lockgraph import build_lock_order_graph
 from repro.cluster.cluster import ClusterTopology, ShardedCluster
 from repro.sanitizer import (
+    EXECUTOR_CLIENT_LOCK_KEY,
     SHARD_LOCKS_KEY,
     LockOrderSanitizer,
     SanitizedLock,
     cross_validate,
     instrument_query_service,
 )
-from repro.service.service import QueryService
+from repro.service.service import QueryService, ServiceConfig
+from tests.analysis.executor_lockorder_reconstruction import FanoutFrontend
 from tests.analysis.lockorder_reconstruction import TransferLedger
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 RECONSTRUCTION = (
     REPO_ROOT / "tests" / "analysis" / "lockorder_reconstruction.py"
+)
+EXECUTOR_RECONSTRUCTION = (
+    REPO_ROOT / "tests" / "analysis" / "executor_lockorder_reconstruction.py"
 )
 
 LEDGER_KEY = (
@@ -29,6 +34,14 @@ LEDGER_KEY = (
 )
 AUDIT_KEY = (
     "tests.analysis.lockorder_reconstruction.TransferLedger.audit_lock"
+)
+FANOUT_SHARD_KEY = (
+    "tests.analysis.executor_lockorder_reconstruction"
+    ".FanoutFrontend.shard_lock"
+)
+FANOUT_CLIENT_KEY = (
+    "tests.analysis.executor_lockorder_reconstruction"
+    ".FanoutFrontend.client_lock"
 )
 
 
@@ -73,6 +86,47 @@ class TestReconstructionRuntime:
         ledger.audit_scan()
         report = cross_validate(
             reconstruction_graph(), san, [LEDGER_KEY, AUDIT_KEY]
+        )
+        assert report.ok
+        assert "OK" in report.render()
+
+
+class TestExecutorTopologyReconstruction:
+    """Runtime half of the process-backend acceptance scenario: the
+    shard-lock/client-lock inversion LK001 flags statically is also
+    tripped by the runtime sanitizer, and the two oracles agree."""
+
+    def instrumented_frontend(self, sanitizer):
+        frontend = FanoutFrontend()
+        frontend.shard_lock = SanitizedLock(sanitizer, FANOUT_SHARD_KEY)
+        frontend.client_lock = SanitizedLock(sanitizer, FANOUT_CLIENT_KEY)
+        return frontend
+
+    def test_sanitizer_detects_the_inverted_resync(self):
+        san = LockOrderSanitizer()
+        frontend = self.instrumented_frontend(san)
+        frontend.serve()
+        frontend.resync_replica()
+        kinds = [v.kind for v in san.violations()]
+        assert "lock-order-cycle" in kinds
+        (cycle,) = [
+            v for v in san.violations() if v.kind == "lock-order-cycle"
+        ]
+        assert FANOUT_SHARD_KEY in cycle.detail
+        assert FANOUT_CLIENT_KEY in cycle.detail
+        with pytest.raises(AssertionError, match="lock-order-cycle"):
+            san.assert_clean()
+
+    def test_runtime_and_static_graphs_cross_validate(self):
+        san = LockOrderSanitizer()
+        frontend = self.instrumented_frontend(san)
+        frontend.serve()
+        frontend.resync_replica()
+        static = build_lock_order_graph(
+            [str(EXECUTOR_RECONSTRUCTION)], REPO_ROOT
+        )
+        report = cross_validate(
+            static, san, [FANOUT_SHARD_KEY, FANOUT_CLIENT_KEY]
         )
         assert report.ok
         assert "OK" in report.render()
@@ -163,3 +217,31 @@ class TestServiceWorkload:
         report = cross_validate(static, san, [SHARD_LOCKS_KEY])
         assert report.ok, report.render()
         assert san.observed_edges() != set()
+
+    def test_process_backend_workload_matches_static_graph(self):
+        # The new parent-side topology: the serving path nests each
+        # worker client's lock under the shard read locks, never the
+        # other way around, and never client under client.  The same
+        # workload as above, run on the process backend, must observe
+        # exactly edges the shipped-src graph explains.
+        san = LockOrderSanitizer()
+        config = ServiceConfig(executor="process")
+        with QueryService(self._small_cluster(), config) as service:
+            instrument_query_service(service, san)
+            for lo in range(0, 8_000, 1_000):
+                service.find("t", {"k": {"$gte": lo, "$lt": lo + 1_500}})
+            service.insert_many(
+                "t", [{"_id": 200 + i, "k": i} for i in range(20)]
+            )
+            service.delete_many("t", {"group": 3})
+        assert san.violations() == []
+        static = build_lock_order_graph(["src"], REPO_ROOT)
+        report = cross_validate(
+            static, san, [SHARD_LOCKS_KEY, EXECUTOR_CLIENT_LOCK_KEY]
+        )
+        assert report.ok, report.render()
+        # The defining edge of the process topology must actually have
+        # been exercised, not vacuously absent.
+        assert (SHARD_LOCKS_KEY, EXECUTOR_CLIENT_LOCK_KEY) in {
+            (edge.src, edge.dst) for edge in san.observed_edges()
+        }
