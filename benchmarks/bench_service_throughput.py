@@ -46,7 +46,7 @@ from repro.service import (
     render_workload,
 )
 from repro.service.wire import WIRE_PROTOCOL
-from repro.workloads.queries import big_queries
+from repro.workloads.queries import big_queries, randomized_queries
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT_PATH = REPO_ROOT / "BENCH_service.json"
@@ -194,6 +194,24 @@ def main(argv=None) -> int:
         action="store_true",
         help="parity gates only, small dataset (CI mode)",
     )
+    parser.add_argument(
+        "--workload",
+        choices=("qb", "randomized"),
+        default="qb",
+        help=(
+            "qb replays the paper's four fixed Q^b queries (every "
+            "repeat is an exact plan-cache hit); randomized replays a "
+            "seeded jittered Q^s/Q^b stream where no literal repeats, "
+            "so reuse comes from shape-keyed plans — planOutcomes in "
+            "the report separates exactHits / shapeHits / misses"
+        ),
+    )
+    parser.add_argument(
+        "--workload-seed",
+        type=int,
+        default=3,
+        help="seed for the randomized workload stream",
+    )
     args = parser.parse_args(argv)
 
     n_docs = 2_000 if args.quick else 6_000
@@ -201,7 +219,13 @@ def main(argv=None) -> int:
 
     print("deploying hil on 12 shards (%d docs)..." % n_docs)
     deployment = build_deployment(n_docs)
-    workload = render_workload(deployment.approach, big_queries())
+    if args.workload == "randomized":
+        queries = randomized_queries(
+            24 if args.quick else 48, seed=args.workload_seed
+        )
+    else:
+        queries = big_queries()
+    workload = render_workload(deployment.approach, queries)
 
     print("checking result/counter parity (library vs thread vs process)...")
     parity = check_parity(deployment, workload)
@@ -213,7 +237,12 @@ def main(argv=None) -> int:
         "cpuCount": os.cpu_count(),
         "nDocs": n_docs,
         "nShards": 12,
-        "workload": "Qb",
+        "workload": (
+            "Qb"
+            if args.workload == "qb"
+            else "randomized(seed=%d)" % args.workload_seed
+        ),
+        "nWorkloadQueries": len(workload),
         "latencyScale": LATENCY_SCALE,
         "resultParity": parity,
         "runs": [],
@@ -252,12 +281,14 @@ def main(argv=None) -> int:
             row["label"] = "%s-%dw" % (backend, workers)
             rows.append(row)
             print(
-                "%s: %.1f q/s  p95=%.1fms  remoteCacheHits=%d"
+                "%s: %.1f q/s  p95=%.1fms  remoteCacheHits=%d  "
+                "planOutcomes=%s"
                 % (
                     row["label"],
                     row["achievedQps"],
                     row["p95LatencyMs"],
                     row["executorCounters"]["remoteCacheHits"],
+                    row["planOutcomes"],
                 )
             )
 

@@ -65,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=7, help="temporal window in days"
     )
 
+    stats = sub.add_parser(
+        "stats", help="statistics catalog operations (ANALYZE)"
+    )
+    stats_sub = stats.add_subparsers(dest="stats_command", required=True)
+    analyze = stats_sub.add_parser(
+        "analyze",
+        help="deploy generated data and run the ANALYZE pass",
+    )
+    analyze.add_argument("collection")
+    analyze.add_argument("--records", type=int, default=2_000)
+    analyze.add_argument("--shards", type=int, default=4)
+    analyze.add_argument("--buckets", type=int, default=32)
+    analyze.add_argument("--sketch-order", type=int, default=10)
+
     sub.add_parser("info", help="version and system inventory")
     return parser
 
@@ -150,6 +164,48 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.cluster import ClusterTopology
+    from repro.core.approaches import (
+        COLLECTION,
+        deploy_approach,
+        make_approach,
+    )
+    from repro.datagen.vehicles import FleetConfig, FleetGenerator, GREECE_BBOX
+    from repro.service import QueryService, ServiceConfig
+
+    docs = FleetGenerator(
+        FleetConfig(n_vehicles=max(20, args.records // 300))
+    ).generate_list(args.records)
+    deployment = deploy_approach(
+        make_approach("bslST", dataset_bbox=GREECE_BBOX),
+        docs,
+        topology=ClusterTopology(n_shards=args.shards),
+        chunk_max_bytes=64 * 1024,
+    )
+    if args.collection != COLLECTION:
+        print(
+            "unknown collection %r (the demo deployment shards %r)"
+            % (args.collection, COLLECTION),
+            file=sys.stderr,
+        )
+        return 2
+    with QueryService(
+        deployment.cluster, ServiceConfig(parallel_scatter_gather=False)
+    ) as service:
+        stats = service.analyze_collection(
+            args.collection,
+            histogram_buckets=args.buckets,
+            sketch_order=args.sketch_order,
+        )
+        payload = stats.as_dict()
+        payload["catalog"] = service.stats_catalog.stats()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
 
@@ -172,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "encode": _cmd_encode,
         "generate": _cmd_generate,
         "compare": _cmd_compare,
+        "stats": _cmd_stats,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

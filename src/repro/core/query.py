@@ -124,6 +124,7 @@ class SpatioTemporalQuery:
         encoder: SpatioTemporalEncoder,
         max_ranges: Optional[int] = None,
         fast_path: bool = True,
+        cache: Optional[RangeDecompositionCache] = None,
     ) -> HilbertQueryRendering:
         """The query document the hil/hil* approaches execute.
 
@@ -133,11 +134,15 @@ class SpatioTemporalQuery:
         :data:`~repro.sfc.ranges.DEFAULT_RANGE_CACHE` (repeated
         rectangles skip the quadtree walk); ``fast_path=False``
         recomputes every time, as paper-faithful measurement requires.
+        An explicit ``cache`` overrides that default (benchmarks pin
+        their own instances to isolate A/B arms from process state).
         """
         range_set, elapsed_ms = self.hilbert_ranges(
             encoder,
             max_ranges,
-            cache=DEFAULT_RANGE_CACHE if fast_path else None,
+            cache=cache
+            if cache is not None
+            else (DEFAULT_RANGE_CACHE if fast_path else None),
         )
         clauses: List[Dict[str, Any]] = [
             {encoder.index_field: {"$gte": r.lo, "$lte": r.hi}}

@@ -463,10 +463,17 @@ class Collection:
         result = self.find_with_stats(query, hint=hint)
         shape = analyze_query(query)
         winner = result.plan.describe()
+        # Identity is (stage, index), not the full description: the
+        # winning plan's cost estimates are advisory and may be zeroed
+        # (hinted or single-candidate planning) while the re-ranked
+        # candidates below always carry computed estimates.
+        winner_id = (winner.get("stage"), winner.get("indexName"))
         rejected = [
-            plan.describe()
+            described
             for plan in plan_candidates(shape, list(self._indexes.values()))
-            if plan.describe() != winner
+            for described in (plan.describe(),)
+            if (described.get("stage"), described.get("indexName"))
+            != winner_id
         ]
         return {
             "queryPlanner": {

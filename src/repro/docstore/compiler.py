@@ -48,7 +48,7 @@ from repro.docstore.document import MISSING, get_path
 from repro.geo.geojson import parse_geometry
 from repro.geo.geometry import BoundingBox, LineString, Point, Polygon
 
-__all__ = ["compile_matcher", "CompiledPredicateList"]
+__all__ = ["compile_matcher", "CompiledPredicateList", "_geo_test_from_region"]
 
 # Cost classes used to order the compiled conjunction (stable sort, so
 # same-cost predicates keep query-document order).
@@ -265,6 +265,16 @@ def _compile_geo_test(arg: Any, intersects: bool) -> Optional[_Test]:
         region = _geo_region(arg)
     except Exception:
         return None  # the interpreter raises per matches() call
+    return _geo_test_from_region(region, intersects)
+
+
+def _geo_test_from_region(region: Any, intersects: bool) -> _Test:
+    """The geo value test for an already-parsed region.
+
+    Split out of :func:`_compile_geo_test` so the parameterized-plan
+    binder (:mod:`repro.docstore.paramplan`) can parse a query's region
+    once and share it between the planner shape and the compiled test.
+    """
     box = region if isinstance(region, BoundingBox) else region.bbox
     region_contains = region.contains
     # Rectangular regions admit a parse-free branch for the dominant

@@ -206,6 +206,28 @@ class Matcher:
 
             self._compiled = compile_matcher(query, self._compiled_ors)
 
+    @classmethod
+    def from_compiled(
+        cls,
+        query: Mapping[str, Any],
+        compiled_ors: dict,
+        compiled,
+    ) -> "Matcher":
+        """Construct a matcher around an externally compiled predicate.
+
+        The parameterized-plan binder
+        (:mod:`repro.docstore.paramplan`) builds the compiled
+        conjunction itself while binding a cached plan template, so
+        validation and recompilation are skipped — the binder only
+        emits forms :meth:`__init__` would have accepted and compiled
+        identically.
+        """
+        self = cls.__new__(cls)
+        self._query = query
+        self._compiled_ors = compiled_ors
+        self._compiled = compiled
+        return self
+
     def _validate(self, query: Mapping[str, Any]) -> None:
         for key, value in query.items():
             if key in _LOGICAL:

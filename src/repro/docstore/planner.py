@@ -38,7 +38,7 @@ from repro.docstore.matcher import is_operator_expression
 from repro.errors import PlanError, QueryError
 from repro.geo.geojson import parse_geometry
 from repro.geo.geometry import BoundingBox, Polygon
-from repro.sfc.ranges import covering_ranges
+from repro.sfc.ranges import covering_ranges, curve_skeleton
 
 __all__ = [
     "Interval",
@@ -452,6 +452,9 @@ def _geo_intervals(
     index: Index, region: Any, max_geo_ranges: Optional[int]
 ) -> List[Interval]:
     bbox = region.bbox if isinstance(region, Polygon) else region
+    # The shared cell-walk skeleton memoizes the box-independent part
+    # of the quadtree walk; the decomposition itself is recomputed per
+    # box, so results are identical to the uncached call.
     ranges = covering_ranges(
         index.grid,
         bbox.min_lon,
@@ -459,6 +462,7 @@ def _geo_intervals(
         bbox.max_lon,
         bbox.max_lat,
         max_ranges=max_geo_ranges,
+        skeleton=curve_skeleton(index.grid),
     )
     return [
         Interval(bson.sort_key(r.lo), bson.sort_key(r.hi))
@@ -543,12 +547,30 @@ def plan_query(
                 n_bounded_fields=n_bounded,
             )
         raise PlanError("hinted index %r is not usable for this query" % hint)
-    candidates: List[IndexScanPlan] = []
+    usable: List[Tuple[Index, List[List[Interval]], int]] = []
     for index in indexes:
         built = build_bounds_for_index(index, shape, max_geo_ranges)
         if built is None:
             continue
         bounds, n_bounded = built
+        usable.append((index, bounds, n_bounded))
+    if not usable:
+        return CollScanPlan(estimated_cost=float(collection_size))
+    if len(usable) == 1:
+        # A single usable plan has no race to rank: skip the cost
+        # estimate (a per-interval selectivity sweep that is expensive
+        # for fragmented geo/Hilbert coverings).  As on the hint path,
+        # the estimates are advisory only, so zeros are safe.
+        index, bounds, n_bounded = usable[0]
+        return IndexScanPlan(
+            index=index,
+            bounds=bounds,
+            estimated_cost=0.0,
+            estimated_keys=0.0,
+            n_bounded_fields=n_bounded,
+        )
+    candidates: List[IndexScanPlan] = []
+    for index, bounds, n_bounded in usable:
         cost, keys = estimate_plan(index, bounds)
         candidates.append(
             IndexScanPlan(
@@ -559,8 +581,6 @@ def plan_query(
                 n_bounded_fields=n_bounded,
             )
         )
-    if not candidates:
-        return CollScanPlan(estimated_cost=float(collection_size))
     cheapest = min(p.estimated_cost for p in candidates)
     # MongoDB's trial-based ranking effectively treats plans of similar
     # productivity as ties and prefers the more specific one (more

@@ -23,6 +23,7 @@ from repro.sanitizer.cachetrace import (
     CacheTracer,
     CacheViolation,
     instrument_plan_cache,
+    instrument_stats_catalog,
     instrument_targeting_cache,
 )
 from repro.sanitizer.core import (
@@ -101,6 +102,7 @@ __all__ = [
     "instrument_lsm_engine",
     "instrument_plan_cache",
     "instrument_query_service",
+    "instrument_stats_catalog",
     "instrument_targeting_cache",
     "instrument_worker_host",
     "lsm_fs_modules",

@@ -35,6 +35,7 @@ __all__ = [
     "CacheTracer",
     "CacheViolation",
     "instrument_plan_cache",
+    "instrument_stats_catalog",
     "instrument_targeting_cache",
 ]
 
@@ -46,6 +47,7 @@ CACHE_INSTRUMENTED_PATHS = (
     "src/repro/cluster/router.py",
     "src/repro/cluster/cluster.py",
     "src/repro/service/service.py",
+    "src/repro/docstore/stats.py",
 )
 
 
@@ -270,6 +272,8 @@ def instrument_plan_cache(
     orig_put = cache.put
     orig_get_compiled = cache.get_compiled
     orig_put_compiled = cache.put_compiled
+    orig_get_shape_plan = cache.get_shape_plan
+    orig_put_shape_plan = cache.put_shape_plan
 
     def traced_get(key):  # type: ignore[no-untyped-def]
         result = orig_get(key)
@@ -297,10 +301,27 @@ def instrument_plan_cache(
         tracer.record_fill(label, ("exact", key), domains_for(key))
         orig_put_compiled(key, shape_key, shape, matcher, hint)
 
+    def traced_get_shape_plan(key):  # type: ignore[no-untyped-def]
+        result = orig_get_shape_plan(key)
+        if result is not None:
+            tracer.check_hit(
+                label,
+                ("shape-plan", key),
+                domains_for(key),
+                family="CC003",
+            )
+        return result
+
+    def traced_put_shape_plan(key, template):  # type: ignore[no-untyped-def]
+        tracer.record_fill(label, ("shape-plan", key), domains_for(key))
+        orig_put_shape_plan(key, template)
+
     cache.get = traced_get  # type: ignore[method-assign]
     cache.put = traced_put  # type: ignore[method-assign]
     cache.get_compiled = traced_get_compiled  # type: ignore[method-assign]
     cache.put_compiled = traced_put_compiled  # type: ignore[method-assign]
+    cache.get_shape_plan = traced_get_shape_plan  # type: ignore[method-assign]
+    cache.put_shape_plan = traced_put_shape_plan  # type: ignore[method-assign]
 
     orig_create = service.create_index
     orig_drop = service.drop_index
@@ -324,5 +345,89 @@ def instrument_plan_cache(
     # invalidation runs first and a correct implementation leaves no
     # entry for the advanced generation to catch.
     for shard in service.cluster.shards.values():
+        shard.database.add_storage_listener(on_storage_event)
+    return tracer
+
+
+def instrument_stats_catalog(
+    service: QueryService,
+    tracer: CacheTracer,
+    label: str = "stats-catalog",
+) -> CacheTracer:
+    """Wire a service's StatsCatalogCache into a tracer.
+
+    Two domains govern every catalog entry: ``"metadata"`` advances
+    inside the cluster's ``_bump_metadata_version`` (splits, moves,
+    DDL) — the same stamp the catalog validates at read time — and
+    ``"storage:<collection>"`` advances on flush/compaction events,
+    mirroring the push invalidation in ``_on_storage_event``.  Fills
+    are stamped with a *derivation-time* snapshot taken when
+    ``analyze_collection`` starts: a catalog built from data read
+    before a concurrent bump then carries the old vector, exactly as
+    the version stamp captured at the top of the ANALYZE pass demands
+    (the CC002 discipline).  A stale hit can therefore only mean the
+    read path's stamp validation failed — the CC001 family.
+
+    Composes with :func:`instrument_targeting_cache` and
+    :func:`instrument_plan_cache` on the same tracer: the shared
+    domains may then advance more than once per mutation, which is
+    harmless — generations only ever need to be monotonic.
+    """
+    catalog = service.stats_catalog
+    cluster = service.cluster
+    orig_get = catalog.get
+    orig_put = catalog.put
+    orig_bump = cluster._bump_metadata_version
+    orig_analyze = service.analyze_collection
+
+    def domains_for(collection: str) -> Tuple[str, str]:
+        return ("metadata", "storage:%s" % collection)
+
+    #: collection → generation vector at the start of its ANALYZE.
+    deriving: Dict[str, Dict[str, int]] = {}
+
+    def traced_analyze(collection, **kwargs):  # type: ignore[no-untyped-def]
+        deriving[collection] = tracer.snapshot()
+        try:
+            return orig_analyze(collection, **kwargs)
+        finally:
+            deriving.pop(collection, None)
+
+    def traced_get(collection, metadata_version):  # type: ignore[no-untyped-def]
+        entry = orig_get(collection, metadata_version)
+        if entry is not None:
+            tracer.check_hit(
+                label,
+                collection,
+                domains_for(collection),
+                family="CC001",
+            )
+        return entry
+
+    def traced_put(collection, stats):  # type: ignore[no-untyped-def]
+        tracer.record_fill(
+            label,
+            collection,
+            domains_for(collection),
+            at=deriving.get(collection),
+        )
+        orig_put(collection, stats)
+
+    def traced_bump():  # type: ignore[no-untyped-def]
+        tracer.advance("metadata")
+        return orig_bump()
+
+    catalog.get = traced_get  # type: ignore[method-assign]
+    catalog.put = traced_put  # type: ignore[method-assign]
+    service.analyze_collection = traced_analyze  # type: ignore[method-assign]
+    cluster._bump_metadata_version = traced_bump  # type: ignore[method-assign]
+
+    def on_storage_event(event) -> None:  # type: ignore[no-untyped-def]
+        if event.collection is not None:
+            tracer.advance("storage:%s" % event.collection)
+
+    # After the service's own listener: push invalidation runs first,
+    # so a correct catalog leaves no entry for the advance to catch.
+    for shard in cluster.shards.values():
         shard.database.add_storage_listener(on_storage_event)
     return tracer

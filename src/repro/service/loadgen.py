@@ -78,6 +78,13 @@ class LoadReport:
     rejected_at_generator: int = 0
     executor: str = "thread"
     plan_cache: Dict[str, float] = field(default_factory=dict)
+    #: How the service's plan cache resolved the queries it served over
+    #: this generator's lifetime: "exactHits" (fully compiled plan
+    #: reused), "shapeHits" (parameters bound into a shape-keyed plan),
+    #: "misses" (full analysis + compilation).  Cumulative over the
+    #: service, so warmup passes issued through the same service are
+    #: included.
+    plan_outcomes: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """The report as a JSON-ready mapping."""
@@ -99,6 +106,7 @@ class LoadReport:
             "p99LatencyMs": round(self.p99_latency_ms, 3),
             "meanQueueWaitMs": round(self.mean_queue_wait_ms, 3),
             "planCache": self.plan_cache,
+            "planOutcomes": self.plan_outcomes,
         }
 
 
@@ -219,6 +227,9 @@ class LoadGenerator:
             rejected_at_generator=tally.rejected_at_generator,
             executor=self.service.executor_backend,
             plan_cache=cache_stats,
+            plan_outcomes=dict(
+                self.service.metrics_snapshot().plan_outcomes
+            ),
         )
 
     # -- closed loop -----------------------------------------------------------

@@ -54,6 +54,11 @@ class MetricsSnapshot:
     #: Process-executor counters: subqueries shipped to shard workers,
     #: worker-side result-cache hits, and replica snapshot syncs.
     executor: Dict[str, int] = field(default_factory=dict)
+    #: How served queries resolved against the plan cache: reused a
+    #: fully compiled exact-query plan ("exactHits"), bound parameters
+    #: into a shape-keyed plan ("shapeHits"), or paid full analysis +
+    #: compilation ("misses").
+    plan_outcomes: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """The snapshot as a JSON-ready mapping."""
@@ -77,6 +82,7 @@ class MetricsSnapshot:
             },
             "caches": self.caches,
             "executor": self.executor,
+            "planOutcomes": self.plan_outcomes,
         }
 
 
@@ -101,6 +107,9 @@ class ServiceMetrics:
         self.remote_subqueries = 0
         self.remote_cache_hits = 0
         self.replica_syncs = 0
+        self.exact_hits = 0
+        self.shape_hits = 0
+        self.plan_misses = 0
         self._first_at: float | None = None
         self._last_at: float | None = None
 
@@ -109,12 +118,16 @@ class ServiceMetrics:
         latency_ms: float,
         queue_wait_ms: float,
         stage_times: Dict[str, float] | None = None,
+        cache_outcome: str | None = None,
     ) -> None:
         """Record one successfully served read query.
 
         ``stage_times`` carries the per-stage wall-clock breakdown
         (plan/scan/filter/merge) the execution layer measured; it
-        accumulates into the snapshot's stage totals.
+        accumulates into the snapshot's stage totals.  ``cache_outcome``
+        is ``"exact"`` / ``"shape"`` / ``"miss"`` — how the query
+        resolved against the plan cache (None leaves the outcome
+        counters untouched, for callers without a plan cache).
         """
         now = time.perf_counter()
         with self._lock:
@@ -125,6 +138,12 @@ class ServiceMetrics:
                     self._stage_totals_ms[stage] = (
                         self._stage_totals_ms.get(stage, 0.0) + ms
                     )
+            if cache_outcome == "exact":
+                self.exact_hits += 1
+            elif cache_outcome == "shape":
+                self.shape_hits += 1
+            elif cache_outcome == "miss":
+                self.plan_misses += 1
             self.completed += 1
             if self._first_at is None:
                 self._first_at = now
@@ -172,6 +191,9 @@ class ServiceMetrics:
             self.remote_subqueries = 0
             self.remote_cache_hits = 0
             self.replica_syncs = 0
+            self.exact_hits = 0
+            self.shape_hits = 0
+            self.plan_misses = 0
             self._first_at = None
             self._last_at = None
 
@@ -218,5 +240,10 @@ class ServiceMetrics:
                     "remoteSubqueries": self.remote_subqueries,
                     "remoteCacheHits": self.remote_cache_hits,
                     "replicaSyncs": self.replica_syncs,
+                },
+                plan_outcomes={
+                    "exactHits": self.exact_hits,
+                    "shapeHits": self.shape_hits,
+                    "misses": self.plan_misses,
                 },
             )

@@ -30,6 +30,7 @@ __all__ = [
     "PlanCache",
     "PlanCacheEntry",
     "CompiledPlan",
+    "ShapePlan",
     "query_shape_key",
     "exact_query_key",
 ]
@@ -159,6 +160,29 @@ class CompiledPlan:
 
 
 @dataclass
+class ShapePlan:
+    """A parameterized plan: a structural bind template.
+
+    Keyed by :func:`repro.docstore.paramplan.param_shape_key`, so one
+    entry serves every query sharing the structure — millions of
+    distinct boxes bind into it instead of recompiling.  ``template``
+    is the key's slot tuple, handed to
+    :func:`repro.docstore.paramplan.bind_plan` at execute time.
+
+    Deliberately *no* cached index hint: the per-shard optimizer ranks
+    plans with per-shard field statistics, so the winner for one set of
+    bound values is not the winner for another, and forcing it would
+    change ``keysExamined``/``docsExamined`` against the interpreter.
+    A bind skips analysis and compilation only; per-shard planning runs
+    exactly as it would uncached.
+    """
+
+    template: Tuple
+    writes_at_creation: int
+    hits: int = 0
+
+
+@dataclass
 class PlanCacheEntry:
     """One cached winning plan."""
 
@@ -181,6 +205,7 @@ class PlanCache:
         self.write_invalidation_threshold = write_invalidation_threshold
         self._entries: "OrderedDict[Tuple, PlanCacheEntry]" = OrderedDict()
         self._compiled: "OrderedDict[Tuple, CompiledPlan]" = OrderedDict()
+        self._shape_plans: "OrderedDict[Tuple, ShapePlan]" = OrderedDict()
         self._writes: Dict[str, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -188,6 +213,41 @@ class PlanCache:
         self.evictions = 0
         self.compiled_hits = 0
         self.compiled_misses = 0
+        self.shape_hits = 0
+        self.shape_misses = 0
+        # Exact-store admission control: under a workload of ever-
+        # distinct queries the exact store is a miss machine — every
+        # lookup pays full-document canonicalization and every fill
+        # churns the LRU for nothing.  Lookups are windowed; a window
+        # with (almost) no hits suppresses the store, after which only
+        # every ``_EXACT_PROBE_EVERY``-th query probes it so a shift
+        # back to repeat traffic lifts the suppression.
+        self._exact_window_lookups = 0
+        self._exact_window_hits = 0
+        self._exact_suppressed = False
+        self._exact_probe_clock = 0
+        self.exact_bypasses = 0
+
+    _EXACT_WINDOW = 256
+    _EXACT_WINDOW_MIN_HITS = 3
+    _EXACT_PROBE_EVERY = 32
+
+    def exact_admission(self) -> bool:
+        """Whether the exact store is worth consulting for this query.
+
+        Perf-only: a ``False`` skips a cache *read* (and the matching
+        fill), which can never serve stale data — it only spares the
+        canonicalization cost when the store has stopped paying for
+        itself.
+        """
+        with self._lock:
+            if not self._exact_suppressed:
+                return True
+            self._exact_probe_clock += 1
+            if self._exact_probe_clock % self._EXACT_PROBE_EVERY == 0:
+                return True
+            self.exact_bypasses += 1
+            return False
 
     def get(self, key: Tuple) -> Optional[str]:
         """The cached winning index name for a shape key, or None.
@@ -249,6 +309,22 @@ class PlanCache:
                     del self._compiled[key]
                     self.evictions += 1
                     plan = None
+            self._exact_window_lookups += 1
+            if plan is not None:
+                self._exact_window_hits += 1
+                if self._exact_suppressed:
+                    # A probe hit means repeat traffic is back: lift
+                    # the suppression immediately, don't wait out a
+                    # probe-paced window.
+                    self._exact_suppressed = False
+                    self._exact_window_lookups = 0
+                    self._exact_window_hits = 0
+            if self._exact_window_lookups >= self._EXACT_WINDOW:
+                self._exact_suppressed = (
+                    self._exact_window_hits < self._EXACT_WINDOW_MIN_HITS
+                )
+                self._exact_window_lookups = 0
+                self._exact_window_hits = 0
             if plan is None:
                 self.compiled_misses += 1
                 return None
@@ -281,6 +357,48 @@ class PlanCache:
                 self._compiled.popitem(last=False)
                 self.evictions += 1
 
+    def get_shape_plan(self, key: Tuple) -> Optional[ShapePlan]:
+        """The parameterized plan for a structural key, or None.
+
+        The template is purely structural and cannot go stale, but the
+        entry follows the same write-volume lifecycle as the shape and
+        compiled stores so a single invalidation invariant governs all
+        three (and the coherence oracles can check them uniformly).
+        """
+        collection = key[0]
+        with self._lock:
+            plan = self._shape_plans.get(key)
+            if plan is not None:
+                written = self._writes.get(collection, 0)
+                if (
+                    written - plan.writes_at_creation
+                    >= self.write_invalidation_threshold
+                ):
+                    del self._shape_plans[key]
+                    self.evictions += 1
+                    plan = None
+            if plan is None:
+                self.shape_misses += 1
+                return None
+            plan.hits += 1
+            self.shape_hits += 1
+            self.hits += 1
+            self._shape_plans.move_to_end(key)
+            return plan
+
+    def put_shape_plan(self, key: Tuple, template: Tuple) -> None:
+        """Cache a parameterized plan for a structural key."""
+        collection = key[0]
+        with self._lock:
+            self._shape_plans[key] = ShapePlan(
+                template=template,
+                writes_at_creation=self._writes.get(collection, 0),
+            )
+            self._shape_plans.move_to_end(key)
+            while len(self._shape_plans) > self.max_entries:
+                self._shape_plans.popitem(last=False)
+                self.evictions += 1
+
     def note_writes(self, collection: str, n: int = 1) -> None:
         """Record write volume against a collection."""
         with self._lock:
@@ -301,14 +419,21 @@ class PlanCache:
             ]
             for k in doomed_compiled:
                 del self._compiled[k]
-            self.evictions += len(doomed) + len(doomed_compiled)
-            return len(doomed) + len(doomed_compiled)
+            doomed_shapes = [
+                k for k in self._shape_plans if k[0] == collection
+            ]
+            for k in doomed_shapes:
+                del self._shape_plans[k]
+            total = len(doomed) + len(doomed_compiled) + len(doomed_shapes)
+            self.evictions += total
+            return total
 
     def clear(self) -> None:
         """Drop every entry (counters survive)."""
         with self._lock:
             self._entries.clear()
             self._compiled.clear()
+            self._shape_plans.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -331,4 +456,8 @@ class PlanCache:
                 "compiledEntries": len(self._compiled),
                 "compiledHits": self.compiled_hits,
                 "compiledMisses": self.compiled_misses,
+                "shapeEntries": len(self._shape_plans),
+                "shapeHits": self.shape_hits,
+                "shapeMisses": self.shape_misses,
+                "exactBypasses": self.exact_bypasses,
             }

@@ -48,7 +48,13 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import ClusterFindResult, ShardedCluster
 from repro.docstore.matcher import Matcher
+from repro.docstore.paramplan import bind_plan, param_shape_key
 from repro.docstore.planner import analyze_query
+from repro.docstore.stats import (
+    CollectionStats,
+    StatsCatalogCache,
+    analyze_collection as _build_collection_stats,
+)
 from repro.errors import (
     QueryTimeoutError,
     ServiceError,
@@ -94,6 +100,12 @@ class ServiceConfig:
     plan_cache_size: int = 256
     #: Writes per collection that invalidate its cached plans.
     plan_cache_write_threshold: int = 1000
+    #: Enable shape-keyed parameterized plans: structurally identical
+    #: queries with different box/date constants bind into one cached
+    #: template instead of re-running analysis and compilation.
+    #: ``False`` restricts the plan cache to exact-query entries (the
+    #: A/B baseline ``benchmarks/bench_planner.py`` measures against).
+    shape_plans_enabled: bool = True
     #: Enable the compiled query fast path end to end: compiled-plan
     #: entries in the plan cache, targeting/range-decomposition memos,
     #: compiled matchers, multi-range index scans, and structural
@@ -154,6 +166,7 @@ class ServiceFindResult:
         queue_wait_ms: float,
         plan_cache_hit: bool,
         hint_used: Optional[str],
+        cache_outcome: Optional[str] = None,
     ) -> None:
         self.documents = documents
         self.stats = stats
@@ -161,6 +174,11 @@ class ServiceFindResult:
         self.queue_wait_ms = queue_wait_ms
         self.plan_cache_hit = plan_cache_hit
         self.hint_used = hint_used
+        #: How the query resolved against the plan cache: ``"exact"``
+        #: (reused a compiled exact-query plan), ``"shape"`` (bound
+        #: parameters into a shape-keyed plan or reused its hint), or
+        #: ``"miss"``; None when the plan cache was bypassed.
+        self.cache_outcome = cache_outcome
 
     def __iter__(self):
         return iter(self.documents)
@@ -220,6 +238,10 @@ class QueryService:
             shard_id: ReadWriteLock() for shard_id in cluster.shards
         }
         self._closed = False
+        #: ANALYZE output per collection, version-stamped; reads pass
+        #: the live ``metadata_version`` so splits/DDL evict by stamp,
+        #: and storage events push-invalidate below.
+        self.stats_catalog = StatsCatalogCache()
         # Storage-epoch contract (PR-5): a memtable flush or a
         # compaction changes which storage structures back a
         # collection, so cached compiled plans are invalidated exactly
@@ -230,8 +252,11 @@ class QueryService:
             shard.database.add_storage_listener(self._on_storage_event)
 
     def _on_storage_event(self, event) -> None:
-        if self.plan_cache is not None and event.collection is not None:
+        if event.collection is None:
+            return
+        if self.plan_cache is not None:
             self.plan_cache.invalidate_collection(event.collection)
+        self.stats_catalog.invalidate_collection(event.collection)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -260,6 +285,7 @@ class QueryService:
         caches = {
             "targeting": self.cluster.targeting_cache.stats(),
             "rangeDecomposition": DEFAULT_RANGE_CACHE.stats(),
+            "statsCatalog": self.stats_catalog.stats(),
         }
         plan_stats = (
             self.plan_cache.stats() if self.plan_cache is not None else None
@@ -347,23 +373,74 @@ class QueryService:
         compiled = None
         exact_key = None
         cache_key = None
+        param_key = None
+        shape_plan = None
+        bound = None
         cached_hint: Optional[str] = None
+        cache_outcome: Optional[str] = None
         if fast and hint is None and self.plan_cache is not None:
-            exact_key = exact_query_key(collection, query)
-            if exact_key is not None:
-                compiled = self.plan_cache.get_compiled(exact_key)
+            cache_outcome = "miss"
+            if self.plan_cache.exact_admission():
+                exact_key = exact_query_key(collection, query)
+                if exact_key is not None:
+                    compiled = self.plan_cache.get_compiled(exact_key)
         if compiled is not None:
             shape = compiled.shape
             matcher = compiled.matcher
             cache_key = compiled.shape_key
             effective_hint = hint if hint is not None else compiled.hint
+            cache_outcome = "exact"
         else:
-            if hint is None and self.plan_cache is not None:
-                cache_key = query_shape_key(collection, query)
-                cached_hint = self.plan_cache.get(cache_key)
+            # Exact miss: try the parameterized shape-keyed plan.  A
+            # hit binds this query's box/date/range values into the
+            # cached template — no analyze_query, no recompilation.
+            # No index hint is ever reused across a value-free key:
+            # per-shard plan ranking depends on per-shard field
+            # statistics and on the bound values, so a forced winner
+            # would change keysExamined/docsExamined against the
+            # interpreter.  Binding keeps per-shard planning intact.
+            if (
+                fast
+                and hint is None
+                and self.plan_cache is not None
+                and self.config.shape_plans_enabled
+            ):
+                param_key = param_shape_key(collection, query)
+                if param_key is not None:
+                    shape_plan = self.plan_cache.get_shape_plan(param_key)
+            if shape_plan is not None:
+                cache_outcome = "shape"
+                bound = bind_plan(query, shape_plan.template)
+            if bound is not None:
+                shape, matcher = bound
+                cache_key = param_key
+            else:
+                shape = analyze_query(query)
+                if param_key is not None:
+                    # Parameterizable structure: first sighting, or a
+                    # value-level bind refusal (e.g. null $or points).
+                    # Pay the full analyze + compile, never a hint.
+                    cache_key = param_key
+                elif (
+                    hint is None
+                    and self.plan_cache is not None
+                    and self.config.shape_plans_enabled
+                ):
+                    # Legacy value-free path, for structures the
+                    # parameterizer does not cover ($ne, $exists,
+                    # multi-path $or, ...): reuse the unanimous
+                    # winner as a hint, as PR-4 shipped it.
+                    cache_key = query_shape_key(collection, shape)
+                    cached_hint = self.plan_cache.get(cache_key)
+                    if cached_hint is not None:
+                        cache_outcome = "shape"
+                elif exact_key is not None:
+                    # Exact-only mode (shape plans disabled) still
+                    # files compiled entries under a shape key; the
+                    # analyzed shape makes it a cheap derivation.
+                    cache_key = query_shape_key(collection, shape)
+                matcher = Matcher(query, fast_path=fast)
             effective_hint = hint if hint is not None else cached_hint
-            shape = analyze_query(query)
-            matcher = Matcher(query, fast_path=fast)
         spec = SubquerySpec(
             collection=collection,
             query=query,
@@ -414,8 +491,29 @@ class QueryService:
             for lock in locks:
                 lock.release_read()
         winner: Optional[str] = None
-        if compiled is None and cache_key is not None and cached_hint is None:
-            winner = self._maybe_cache_plan(cache_key, result)
+        if compiled is None and hint is None and self.plan_cache is not None:
+            if (
+                cached_hint is None
+                and param_key is None
+                and shape_plan is None
+                and cache_key is not None
+                and self.config.shape_plans_enabled
+            ):
+                # Legacy value-free store: cache the unanimous winner
+                # for the non-parameterizable structures only.
+                winner = self._maybe_cache_plan(cache_key, result)
+            else:
+                # The unanimous winner (when there is one) is still
+                # recorded on the exact-query compiled plan below —
+                # replaying the byte-identical query re-picks it.
+                winner = self._plan_winner(result)
+            if shape_plan is None and param_key is not None:
+                # First sighting of a parameterizable structure: seed
+                # the shape-keyed plan so every later query of this
+                # shape binds instead of recompiling.
+                self.plan_cache.put_shape_plan(
+                    param_key, template=param_key[1]
+                )
         if (
             compiled is None
             and exact_key is not None
@@ -435,14 +533,20 @@ class QueryService:
             latency_ms,
             queue_wait_ms,
             stage_times=result.stats.stage_times_ms,
+            cache_outcome=cache_outcome,
         )
         return ServiceFindResult(
             documents=result.documents,
             stats=result.stats,
             latency_ms=latency_ms,
             queue_wait_ms=queue_wait_ms,
-            plan_cache_hit=compiled is not None or cached_hint is not None,
+            plan_cache_hit=(
+                compiled is not None
+                or shape_plan is not None
+                or cached_hint is not None
+            ),
             hint_used=effective_hint,
+            cache_outcome=cache_outcome,
         )
 
     def _read_lock_targeted_shards(
@@ -494,6 +598,25 @@ class QueryService:
                 )
         raise ServiceError("routing metadata kept changing during targeting")
 
+    @staticmethod
+    def _plan_winner(result: ClusterFindResult) -> Optional[str]:
+        """The index name every shard agreed on, or None.
+
+        COLLSCAN shards (empty index name) and disagreements yield
+        None — caching such a "winner" as a hint could change results
+        on a shard whose optimizer would have chosen differently.
+        """
+        if not result.stats.per_shard:
+            return None
+        names = {
+            stats.index_name
+            for stats in result.stats.per_shard.values()
+        }
+        if len(names) != 1:
+            return None
+        (winner,) = names
+        return winner or None
+
     def _maybe_cache_plan(
         self, cache_key, result: ClusterFindResult
     ) -> Optional[str]:
@@ -502,16 +625,10 @@ class QueryService:
         Returns the winner so the caller can seed a compiled plan with
         the same hint, or None when the shape stays uncached.
         """
-        if self.plan_cache is None or not result.stats.per_shard:
+        if self.plan_cache is None:
             return None
-        names = {
-            stats.index_name
-            for stats in result.stats.per_shard.values()
-        }
-        if len(names) != 1:
-            return None
-        winner = names.pop()
-        if not winner:  # COLLSCAN shards have no index name
+        winner = self._plan_winner(result)
+        if winner is None:
             return None
         self.plan_cache.put(cache_key, winner)
         return winner
@@ -624,3 +741,41 @@ class QueryService:
         )
         if self.plan_cache is not None:
             self.plan_cache.invalidate_collection(collection)
+
+    # -- statistics (ANALYZE) --------------------------------------------------
+
+    def analyze_collection(
+        self,
+        collection: str,
+        *,
+        histogram_buckets: int = 32,
+        sketch_order: int = 10,
+    ) -> CollectionStats:
+        """Rebuild the statistics catalog for one collection.
+
+        Runs under the exclusive section so the scan sees a frozen
+        chunk map; the version stamp is still captured before any data
+        is read, so the entry self-identifies as stale if built
+        against a version that moved.
+        """
+
+        def _analyze() -> CollectionStats:
+            stats = _build_collection_stats(
+                self.cluster,
+                collection,
+                histogram_buckets=histogram_buckets,
+                sketch_order=sketch_order,
+            )
+            self.stats_catalog.put(collection, stats)
+            return stats
+
+        return self._run_exclusive(_analyze)
+
+    def collection_stats(
+        self, collection: str
+    ) -> Optional[CollectionStats]:
+        """The catalog entry for a collection, or None when absent
+        or built under an older ``metadata_version``."""
+        return self.stats_catalog.get(
+            collection, self.cluster.metadata_version
+        )

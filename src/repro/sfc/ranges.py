@@ -23,7 +23,14 @@ import threading
 from dataclasses import dataclass
 from typing import List, Protocol, Sequence, Tuple
 
-__all__ = ["CurveRange", "Quadtree2DCurve", "covering_ranges", "RangeSet"]
+__all__ = [
+    "CurveRange",
+    "Quadtree2DCurve",
+    "covering_ranges",
+    "RangeSet",
+    "CellWalkSkeleton",
+    "curve_skeleton",
+]
 
 
 class Quadtree2DCurve(Protocol):
@@ -127,6 +134,62 @@ class RangeSet:
         return any(r.contains(value) for r in self.ranges)
 
 
+class CellWalkSkeleton:
+    """Memo of quadtree-node squares for one curve's cell walk.
+
+    The decomposition DFS is two parts: a *skeleton* — which square of
+    the plane each quadtree node ``(d0, m)`` occupies, a pure function
+    of the (frozen, immutable) curve — and the box tests against the
+    query rectangle, which change per query.  Different query boxes
+    revisit the same high-level nodes constantly, so memoizing the
+    skeleton lets every later decomposition over the same curve skip
+    the per-node ``decode_cell`` bit-twiddling and re-walk only the
+    box-dependent part.
+
+    Deliberately *not* a coherence-governed cache: there is no state to
+    go stale against (the mapping can never be invalidated), so it
+    carries no version stamp.  Writes are idempotent same-value stores
+    into a plain dict, safe under concurrent readers; growth is capped
+    by refusing inserts past ``max_nodes`` rather than evicting.
+    """
+
+    __slots__ = ("curve", "nodes", "max_nodes")
+
+    def __init__(
+        self, curve: Quadtree2DCurve, max_nodes: int = 1 << 18
+    ) -> None:
+        self.curve = curve
+        self.nodes: dict = {}
+        self.max_nodes = max_nodes
+
+    def node_square(self, d0: int, m: int) -> Tuple[int, int]:
+        """Origin ``(sx0, sy0)`` of the side-``2**m`` node at ``d0``."""
+        square = self.nodes.get((d0, m))
+        if square is None:
+            side = 1 << m
+            cx, cy = self.curve.decode_cell(d0)
+            square = (cx & ~(side - 1), cy & ~(side - 1))
+            if len(self.nodes) < self.max_nodes:
+                self.nodes[(d0, m)] = square
+        return square
+
+
+#: Process-wide skeleton per curve.  Curves are frozen dataclasses, so
+#: identity-by-value keying can never conflate precisions or curve
+#: families; the table is tiny (one entry per distinct curve in use).
+_SKELETONS: dict = {}
+
+
+def curve_skeleton(curve: Quadtree2DCurve) -> CellWalkSkeleton:
+    """The shared :class:`CellWalkSkeleton` for a curve."""
+    skeleton = _SKELETONS.get(curve)
+    if skeleton is None:
+        if len(_SKELETONS) >= 64:
+            _SKELETONS.clear()
+        skeleton = _SKELETONS.setdefault(curve, CellWalkSkeleton(curve))
+    return skeleton
+
+
 def covering_ranges(
     curve: Quadtree2DCurve,
     min_x: float,
@@ -134,6 +197,7 @@ def covering_ranges(
     max_x: float,
     max_y: float,
     max_ranges: int | None = None,
+    skeleton: CellWalkSkeleton | None = None,
 ) -> List[CurveRange]:
     """Curve ranges covering every cell intersecting the rectangle.
 
@@ -141,12 +205,16 @@ def covering_ranges(
     are merged).  When ``max_ranges`` is given, the smallest inter-range
     gaps are swallowed until the count fits, trading false positives for
     fewer query clauses (the refinement step removes them later).
+    ``skeleton`` optionally supplies the memoized cell walk for this
+    curve (see :class:`CellWalkSkeleton`); results are identical with or
+    without it.
     """
     if min_x > max_x or min_y > max_y:
         raise ValueError("empty query rectangle")
     qx0, qy0, qx1, qy1 = curve.cell_range_for_box(min_x, min_y, max_x, max_y)
     order = curve.order
     found: List[Tuple[int, int]] = []
+    node_square = skeleton.node_square if skeleton is not None else None
 
     # Iterative DFS over the quadtree of curve sub-ranges.  Each stack
     # entry is (d0, m): the sub-curve [d0, d0 + 4**m) occupying an
@@ -155,9 +223,12 @@ def covering_ranges(
     while stack:
         d0, m = stack.pop()
         side = 1 << m
-        cx, cy = curve.decode_cell(d0)
-        sx0 = cx & ~(side - 1)
-        sy0 = cy & ~(side - 1)
+        if node_square is not None:
+            sx0, sy0 = node_square(d0, m)
+        else:
+            cx, cy = curve.decode_cell(d0)
+            sx0 = cx & ~(side - 1)
+            sy0 = cy & ~(side - 1)
         sx1 = sx0 + side - 1
         sy1 = sy0 + side - 1
         if sx1 < qx0 or sx0 > qx1 or sy1 < qy0 or sy0 > qy1:
@@ -207,10 +278,13 @@ def covering_range_set(
     max_x: float,
     max_y: float,
     max_ranges: int | None = None,
+    skeleton: CellWalkSkeleton | None = None,
 ) -> RangeSet:
     """Convenience wrapper returning a :class:`RangeSet`."""
     return RangeSet.from_ranges(
-        covering_ranges(curve, min_x, min_y, max_x, max_y, max_ranges)
+        covering_ranges(
+            curve, min_x, min_y, max_x, max_y, max_ranges, skeleton=skeleton
+        )
     )
 
 
@@ -230,10 +304,13 @@ class RangeDecompositionCache:
     result can be handed to any number of readers.
     """
 
-    def __init__(self, max_entries: int = 512) -> None:
+    def __init__(
+        self, max_entries: int = 512, use_skeleton: bool = True
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self._max_entries = max_entries
+        self._use_skeleton = use_skeleton
         self._entries: "collections.OrderedDict" = collections.OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -266,9 +343,20 @@ class RangeDecompositionCache:
             self.misses += 1
         # Decompose outside the lock: the computation is the expensive
         # part, and duplicate concurrent work is harmless (last write
-        # wins with an identical value).
+        # wins with an identical value).  A miss still reuses the
+        # per-curve cell-walk skeleton, so only the box-dependent part
+        # of the quadtree walk is recomputed for a new rectangle
+        # (``use_skeleton=False`` keeps the cache purely value-keyed,
+        # the A/B baseline ``benchmarks/bench_planner.py`` measures
+        # against).
         result = covering_range_set(
-            curve, min_x, min_y, max_x, max_y, max_ranges
+            curve,
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+            max_ranges,
+            skeleton=curve_skeleton(curve) if self._use_skeleton else None,
         )
         with self._lock:
             self._entries[key] = result

@@ -19,6 +19,7 @@ as in the paper.
 from __future__ import annotations
 
 import datetime as _dt
+import random
 from typing import Dict, List
 
 from repro.core.query import SpatioTemporalQuery
@@ -31,6 +32,7 @@ __all__ = [
     "small_queries",
     "big_queries",
     "all_queries",
+    "randomized_queries",
 ]
 
 #: Q^s spatial constraint (the paper's exact coordinates).
@@ -93,3 +95,49 @@ def big_queries() -> List[SpatioTemporalQuery]:
 def all_queries() -> Dict[str, List[SpatioTemporalQuery]]:
     """Both query categories keyed by 'small'/'big'."""
     return {"small": small_queries(), "big": big_queries()}
+
+
+def randomized_queries(
+    n: int,
+    seed: int = 3,
+    window_hours: float = 1.0,
+) -> List[SpatioTemporalQuery]:
+    """A seeded stream of jittered Q^s/Q^b-style queries.
+
+    The paper's eight fixed queries repeat verbatim under load, so an
+    exact-match plan cache answers all of them after one pass — which
+    says nothing about plan caching for real traffic, where every
+    request differs in its literals.  This stream keeps the workload's
+    *shape* (small or big box, fixed-length window, each with p=0.5)
+    while randomizing every literal: the box is the Q^s or Q^b
+    rectangle shifted by up to ±0.3 of its own dimensions and scaled
+    by 0.5-1.5x, and the window anchor is drawn uniformly from the
+    first 60 days of the R data set.  Deterministic in ``seed`` so
+    benchmark arms replay the identical stream.
+    """
+    rng = random.Random(seed)
+    start = _dt.datetime(2018, 7, 1, tzinfo=_UTC)
+    queries = []
+    for i in range(n):
+        big = rng.random() < 0.5
+        base = BIG_BBOX if big else SMALL_BBOX
+        width = base.max_lon - base.min_lon
+        height = base.max_lat - base.min_lat
+        dx = rng.uniform(-0.3, 0.3) * width
+        dy = rng.uniform(-0.3, 0.3) * height
+        scale = rng.uniform(0.5, 1.5)
+        min_lon = base.min_lon + dx
+        min_lat = base.min_lat + dy
+        bbox = BoundingBox(
+            min_lon, min_lat, min_lon + width * scale, min_lat + height * scale
+        )
+        t_from = start + _dt.timedelta(hours=rng.uniform(0, 24 * 60))
+        queries.append(
+            SpatioTemporalQuery(
+                bbox=bbox,
+                time_from=t_from,
+                time_to=t_from + _dt.timedelta(hours=window_hours),
+                label="Qr%s%d" % ("b" if big else "s", i),
+            )
+        )
+    return queries

@@ -23,11 +23,13 @@ from repro.sanitizer import (
     CacheTracer,
     cross_validate_cache,
     instrument_plan_cache,
+    instrument_stats_catalog,
     instrument_targeting_cache,
 )
 from repro.service.service import QueryService
 from tests.analysis.cache_reconstruction import (
     plan_cache_ddl,
+    stats_catalog_split,
     storage_epoch_swap,
     targeting_version,
 )
@@ -325,6 +327,98 @@ class TestStorageEpochSwap:
         assert "blind spot" in report.render()
 
 
+class TestStatsCatalogSplit:
+    """Bug class 4: ANALYZE output outlives the chunk map it measured."""
+
+    def test_static_checker_flags_exactly_cc001(self):
+        findings = analyze("stats_catalog_split.py")
+        assert {f.rule_id for f in findings} == {"CC001"}
+        (finding,) = findings
+        assert finding.symbol.endswith("stats_for")
+        assert "no version token" in finding.message
+
+    def _drive(self):
+        tracer = CacheTracer()
+        cluster = stats_catalog_split.StatsCluster()
+        orig_bump = cluster._bump_metadata_version
+
+        def bump():
+            # Ground truth: the chunk map mutates here whether or not
+            # the fixture's catalog ever hears about it.
+            tracer.advance("metadata")
+            return orig_bump()
+
+        cluster._bump_metadata_version = bump
+        orig_get, orig_put = (
+            cluster.catalog.get,
+            cluster.catalog.put,
+        )
+
+        def get(key):
+            value = orig_get(key)
+            if value is not None:
+                tracer.check_hit(
+                    "catalog", key, ("metadata",), family="CC001"
+                )
+            return value
+
+        def put(key, value):
+            tracer.record_fill("catalog", key, ("metadata",))
+            orig_put(key, value)
+
+        cluster.catalog.get, cluster.catalog.put = get, put
+
+        assert cluster.analyze("traces") == {"chunks": 1}
+        assert cluster.stats_for("traces") == {"chunks": 1}  # fresh
+        cluster.split_chunk("c0", 50)
+        # The catalog still answers with the pre-split chunk count —
+        # the cost model plans against 1 chunk where the cluster now
+        # has 2, the wrong answer the tracer pins as a stale hit.
+        stale = cluster.stats_for("traces")
+        assert stale == {"chunks": 1}
+        assert len(cluster.chunks) == 2
+        return tracer
+
+    def test_trace_oracle_observes_the_stale_hit(self):
+        tracer = self._drive()
+        families = {v.family for v in tracer.violations()}
+        assert families == {"CC001"}
+        with pytest.raises(AssertionError, match="stale hit"):
+            tracer.assert_clean()
+
+    def test_both_verdicts_cross_validate(self):
+        tracer = self._drive()
+        report = cross_validate_cache(
+            analyze("stats_catalog_split.py"),
+            tracer.violations(),
+            [rel("stats_catalog_split.py")],
+        )
+        assert report.ok, report.render()
+
+    def test_runtime_without_static_is_a_blind_spot(self):
+        tracer = self._drive()
+        report = cross_validate_cache(
+            [], tracer.violations(), [rel("stats_catalog_split.py")]
+        )
+        assert not report.ok
+        assert "blind spot" in report.render()
+
+    def test_static_without_runtime_needs_justification(self):
+        findings = analyze("stats_catalog_split.py")
+        report = cross_validate_cache(
+            findings, [], [rel("stats_catalog_split.py")]
+        )
+        assert not report.ok
+        assert report.unmanifested_static_findings
+        justified = cross_validate_cache(
+            findings,
+            [],
+            [rel("stats_catalog_split.py")],
+            justified=[f.fingerprint for f in findings],
+        )
+        assert justified.ok
+
+
 class TestShippedCaches:
     """The shipped tree, traced under a real workload, validates clean."""
 
@@ -338,6 +432,7 @@ class TestShippedCaches:
         with QueryService(cluster) as service:
             instrument_targeting_cache(cluster, tracer)
             instrument_plan_cache(service, tracer)
+            instrument_stats_catalog(service, tracer)
             rng = random.Random(11)
             docs = [
                 {
@@ -350,9 +445,11 @@ class TestShippedCaches:
             ]
             service.insert_many("t", docs)
             service.create_index("t", [("v", 1)], name="v_idx")
+            service.analyze_collection("t")
             for _ in range(3):
                 service.find("t", {"k": {"$gte": 10, "$lt": 600}})
                 service.find("t", {"v": 2})
+                assert service.collection_stats("t") is not None
             pattern = cluster.catalog.get("t").pattern
             mid = (bson.sort_key(500),)
             low, high = sorted(cluster.shards)
@@ -363,9 +460,14 @@ class TestShippedCaches:
                     Zone("high", mid, pattern.global_max(), high),
                 ],
             )
+            # The zone change bumped the metadata version: the catalog
+            # must refuse its stamp, and a re-ANALYZE restamps it.
+            assert service.collection_stats("t") is None
+            service.analyze_collection("t")
             for _ in range(3):
                 service.find("t", {"k": {"$gte": 10, "$lt": 600}})
                 service.find("t", {"v": 2})
+                assert service.collection_stats("t") is not None
             service.drop_index("t", "v_idx")
             for _ in range(2):
                 service.find("t", {"v": 2})

@@ -201,6 +201,52 @@ class TestChangedOnlyCli:
         assert "--changed-only" in output
 
 
+def _shipped_src_graph():
+    from pathlib import Path
+
+    from repro.analysis.checker import (
+        ModuleInfo,
+        iter_python_files,
+        load_module,
+    )
+
+    root = Path(__file__).resolve().parents[2]
+    modules = [
+        loaded
+        for loaded in (
+            load_module(path, root)
+            for path in iter_python_files(["src"], root)
+        )
+        if isinstance(loaded, ModuleInfo)
+    ]
+    return build_call_graph(modules)
+
+
+class TestRealTreeStatsScope:
+    """The dependent walk covers the statistics subsystem: editing the
+    ANALYZE pass must re-run analysis on everything that consumes the
+    catalog — the service that stamps and serves it, the chooser that
+    prices plans from it, the load generator that reports plan
+    outcomes, and the stats CLI."""
+
+    def test_stats_edit_pulls_in_catalog_consumers(self):
+        scope = dependent_modules(
+            ["src/repro/docstore/stats.py"], _shipped_src_graph()
+        )
+        assert "src/repro/service/service.py" in scope
+        assert "src/repro/core/chooser.py" in scope
+        assert "src/repro/cli.py" in scope
+        assert "src/repro/service/loadgen.py" in scope
+
+    def test_chooser_is_a_leaf_of_the_src_graph(self):
+        # The chooser's consumers are benchmarks and tests, outside
+        # the src tree: editing it re-analyzes only itself.
+        scope = dependent_modules(
+            ["src/repro/core/chooser.py"], _shipped_src_graph()
+        )
+        assert scope == {"src/repro/core/chooser.py"}
+
+
 class TestRealTreeExecutorScope:
     """The dependent walk on the shipped tree: editing the executor
     backend must re-run analysis on everything whose findings could

@@ -126,7 +126,8 @@ class TestServiceCacheEpoch:
             service.find("traces", {"x": {"$gte": 3}})
             stats = service.plan_cache.stats()
             assert stats["hits"] >= 1
-            assert stats["entries"] > 0
+            assert stats["compiledEntries"] > 0
+            assert stats["shapeEntries"] > 0
             # Pad documents force memtable overflow -> flush events on
             # every shard -> the cached plans for "traces" must go.
             cluster.insert_many(
@@ -134,7 +135,8 @@ class TestServiceCacheEpoch:
                 [{"x": i, "pad": "p" * 200} for i in range(10, 60)],
             )
             after = service.plan_cache.stats()
-            assert after["entries"] == 0
+            assert after["compiledEntries"] == 0
+            assert after["shapeEntries"] == 0
             assert after["evictions"] > stats["evictions"]
         cluster.close()
 

@@ -12,6 +12,7 @@ from repro.sanitizer import (
     LockOrderSanitizer,
     instrument_plan_cache,
     instrument_query_service,
+    instrument_stats_catalog,
     instrument_targeting_cache,
 )
 from repro.service.service import QueryService
@@ -68,10 +69,12 @@ def cache_epoch_tracer(monkeypatch):
     """Run every service test under the cache epoch tracer.
 
     Each QueryService constructed during the test gets its targeting
-    and plan caches wired into one :class:`CacheTracer`; teardown
-    fails the test if any cache served a hit whose fill predates a
-    governing mutation — the runtime half of the CC001–CC004 rules,
-    checked across the whole suite's workloads for free.
+    cache, plan cache (shape, exact, and parameterized-plan stores),
+    and statistics catalog wired into one :class:`CacheTracer`;
+    teardown fails the test if any cache served a hit whose fill
+    predates a governing mutation — the runtime half of the
+    CC001–CC004 rules, checked across the whole suite's workloads for
+    free.
     """
     tracer = CacheTracer()
     original_init = QueryService.__init__
@@ -80,6 +83,7 @@ def cache_epoch_tracer(monkeypatch):
         original_init(self, *args, **kwargs)
         instrument_targeting_cache(self.cluster, tracer)
         instrument_plan_cache(self, tracer)
+        instrument_stats_catalog(self, tracer)
 
     monkeypatch.setattr(QueryService, "__init__", instrumented_init)
     yield tracer

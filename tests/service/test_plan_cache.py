@@ -90,3 +90,53 @@ class TestCacheBehaviour:
         for _ in range(9):
             cache.get(key)  # hits
         assert cache.hit_rate == 0.9
+
+
+class TestExactAdmission:
+    """The exact store's admission control under ever-distinct traffic."""
+
+    def _drive_miss_window(self, cache):
+        for i in range(PlanCache._EXACT_WINDOW):
+            cache.get_compiled(("t", "q%d" % i))
+
+    def test_admits_by_default(self):
+        cache = PlanCache()
+        assert all(cache.exact_admission() for _ in range(10))
+        assert cache.exact_bypasses == 0
+
+    def test_hitless_window_suppresses_store(self):
+        cache = PlanCache()
+        self._drive_miss_window(cache)
+        decisions = [cache.exact_admission() for _ in range(64)]
+        # Suppressed: only every _EXACT_PROBE_EVERY-th lookup probes.
+        assert decisions.count(True) == 64 // PlanCache._EXACT_PROBE_EVERY
+        assert cache.exact_bypasses == 64 - decisions.count(True)
+
+    def test_probe_hit_lifts_suppression(self):
+        cache = PlanCache()
+        cache.put_compiled(("t", "warm"), ("t", "shape"), None, None, None)
+        self._drive_miss_window(cache)
+        # Wait out bypasses until a probe is granted, then hit on it.
+        while not cache.exact_admission():
+            pass
+        assert cache.get_compiled(("t", "warm")) is not None
+        # Repeat traffic is back: admission is unconditional again.
+        assert all(cache.exact_admission() for _ in range(10))
+
+    def test_sparse_hits_keep_store_admitted(self):
+        cache = PlanCache()
+        cache.put_compiled(("t", "warm"), ("t", "shape"), None, None, None)
+        # A window with just enough hits stays admitted.
+        for i in range(PlanCache._EXACT_WINDOW):
+            if i % 64 == 0:
+                cache.get_compiled(("t", "warm"))
+            else:
+                cache.get_compiled(("t", "q%d" % i))
+        assert cache.exact_admission()
+        assert cache.exact_bypasses == 0
+
+    def test_bypasses_reported_in_stats(self):
+        cache = PlanCache()
+        self._drive_miss_window(cache)
+        cache.exact_admission()
+        assert cache.stats()["exactBypasses"] == cache.exact_bypasses

@@ -57,3 +57,23 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("bslST", "bslTS", "hil", "hilstar"):
             assert name in out
+
+    def test_stats_analyze_smoke(self, capsys):
+        import json
+
+        assert main(
+            ["stats", "analyze", "traces", "--records", "400",
+             "--shards", "2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["collection"] == "traces"
+        assert payload["totalDocs"] == 400
+        assert payload["timeHistogram"]["total"] == 400
+        assert payload["cellSketch"]["cells"] > 0
+        assert payload["catalog"]["fills"] == 1
+
+    def test_stats_analyze_unknown_collection(self, capsys):
+        assert main(
+            ["stats", "analyze", "nope", "--records", "200",
+             "--shards", "2"]
+        ) == 2

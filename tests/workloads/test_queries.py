@@ -10,6 +10,7 @@ from repro.workloads.queries import (
     SMALL_BBOX,
     all_queries,
     big_queries,
+    randomized_queries,
     small_queries,
 )
 
@@ -64,3 +65,36 @@ class TestBuilders:
     def test_increasing_temporal_spans(self):
         durations = [q.duration for q in small_queries()]
         assert durations == sorted(durations)
+
+
+class TestRandomizedStream:
+    def test_deterministic_in_seed(self):
+        a = randomized_queries(50, seed=3)
+        b = randomized_queries(50, seed=3)
+        assert [(q.bbox, q.time_from, q.time_to) for q in a] == [
+            (q.bbox, q.time_from, q.time_to) for q in b
+        ]
+        c = randomized_queries(50, seed=4)
+        assert [(q.bbox, q.time_from) for q in a] != [
+            (q.bbox, q.time_from) for q in c
+        ]
+
+    def test_no_literal_repeats(self):
+        queries = randomized_queries(200, seed=3)
+        assert len({(q.bbox, q.time_from) for q in queries}) == 200
+
+    def test_shape_mix_and_windows(self):
+        queries = randomized_queries(200, seed=3)
+        big = sum(
+            1
+            for q in queries
+            if (q.bbox.max_lon - q.bbox.min_lon) > 0.1
+        )
+        # p=0.5 big/small split, loosely.
+        assert 60 <= big <= 140
+        for q in queries:
+            assert q.time_to - q.time_from == dt.timedelta(hours=1)
+            assert dt.datetime(2018, 7, 1, tzinfo=dt.timezone.utc) <= q.time_from
+            assert q.time_from <= dt.datetime(
+                2018, 8, 31, tzinfo=dt.timezone.utc
+            )
